@@ -1,0 +1,158 @@
+//! Ablations for the design choices DESIGN.md §7 calls out, beyond the
+//! paper's own Fig. 5/6 studies:
+//!
+//! 1. δ (writer-synchronization slack): 0 vs half-writer-duration vs fixed.
+//! 2. Readers-try-HTM-first: on vs off, for short and long readers.
+//! 3. Versioned SGL (reader anti-starvation): on vs off.
+//! 4. HTM conflict policy: requester-wins vs responder-wins.
+//! 5. Duration sampling: thread 0 only vs all threads.
+
+use htm_sim::{CapacityProfile, ConflictPolicy, Htm, HtmConfig};
+use sprwl::{DeltaPolicy, SpRwl, SprwlConfig};
+use sprwl_bench::{hashmap_point, run_hashmap, LockKind, RunConfig, RunReport};
+use sprwl_workloads::HashmapSpec;
+
+fn point(profile: CapacityProfile, spec: &HashmapSpec, cfg: SprwlConfig, label: &str, n: usize) {
+    let kind = LockKind::Sprwl(cfg);
+    let (htm, lock, map) = hashmap_point(profile, spec, &kind, n);
+    let rep = run_hashmap(
+        &htm,
+        &*lock,
+        &map,
+        spec,
+        &RunConfig {
+            threads: n,
+            duration: RunConfig::bench_duration(),
+            seed: 47,
+        },
+    )
+    .with_lock_name(label.to_string());
+    println!("{}", rep.row());
+    println!("CSV:ablation,{},{}", label.replace(' ', "_"), rep.csv());
+}
+
+fn main() {
+    let threads = *RunConfig::bench_threads().last().unwrap_or(&8);
+    let profile = CapacityProfile::BROADWELL_SIM;
+    let long = HashmapSpec::paper(&profile, true, 10);
+    let short = HashmapSpec::paper(&profile, false, 10);
+
+    println!("\n=== Ablation 1: δ policy (long readers, 10% upd, {threads} thr) ===");
+    println!("{}", RunReport::header());
+    for (delta, label) in [
+        (DeltaPolicy::Zero, "delta=0"),
+        (DeltaPolicy::HalfWriterDuration, "delta=w/2"),
+        (DeltaPolicy::FixedNs(50_000), "delta=50us"),
+    ] {
+        point(
+            profile,
+            &long,
+            SprwlConfig {
+                delta,
+                ..SprwlConfig::default()
+            },
+            label,
+            threads,
+        );
+    }
+
+    println!("\n=== Ablation 2: readers-try-HTM-first (off / adaptive / always) ===");
+    println!("{}", RunReport::header());
+    for (spec, sl) in [(&long, "long"), (&short, "short")] {
+        for (try_htm, adaptive, ol) in [
+            (false, false, "direct"),
+            (true, true, "adaptive"),
+            (true, false, "always"),
+        ] {
+            point(
+                profile,
+                spec,
+                SprwlConfig {
+                    readers_try_htm: try_htm,
+                    adaptive_reader_htm: adaptive,
+                    ..SprwlConfig::default()
+                },
+                &format!("{sl}-{ol}"),
+                threads,
+            );
+        }
+    }
+
+    println!("\n=== Ablation 3: versioned SGL ===");
+    println!("{}", RunReport::header());
+    for (on, label) in [(false, "plain-sgl"), (true, "versioned-sgl")] {
+        point(
+            profile,
+            &long,
+            SprwlConfig {
+                versioned_sgl: on,
+                ..SprwlConfig::default()
+            },
+            label,
+            threads,
+        );
+    }
+
+    println!("\n=== Ablation 4: HTM conflict policy (substrate knob) ===");
+    println!("{}", RunReport::header());
+    for (policy, label) in [
+        (ConflictPolicy::RequesterWins, "requester-wins"),
+        (ConflictPolicy::ResponderWins, "responder-wins"),
+    ] {
+        let htm = Htm::new(
+            HtmConfig {
+                capacity: profile,
+                max_threads: threads,
+                conflict_policy: policy,
+                ..HtmConfig::default()
+            },
+            long.cells_needed(threads) + 4096,
+        );
+        let lock = SpRwl::with_defaults(&htm);
+        let map = long.build(htm.memory(), threads);
+        let rep = run_hashmap(
+            &htm,
+            &lock,
+            &map,
+            &long,
+            &RunConfig {
+                threads,
+                duration: RunConfig::bench_duration(),
+                seed: 48,
+            },
+        )
+        .with_lock_name(label.to_string());
+        println!("{}", rep.row());
+        println!("CSV:ablation,{label},{}", rep.csv());
+    }
+
+    println!("\n=== Ablation 5: duration sampling thread-0 vs all threads ===");
+    println!("{}", RunReport::header());
+    for (all, label) in [(false, "sample-t0"), (true, "sample-all")] {
+        point(
+            profile,
+            &long,
+            SprwlConfig {
+                sample_all_threads: all,
+                ..SprwlConfig::default()
+            },
+            label,
+            threads,
+        );
+    }
+
+    println!("\n=== Ablation 6: timed reader waits (§3.4) ===");
+    println!("{}", RunReport::header());
+    for (on, label) in [(false, "poll-wait"), (true, "timed-wait")] {
+        point(
+            profile,
+            &long,
+            SprwlConfig {
+                timed_reader_wait: on,
+                ..SprwlConfig::default()
+            },
+            label,
+            threads,
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! Figure 3: hashmap, readers execute 10 lookups (overflowing HTM
+//! capacity), writers 1 insert/delete; 10/50/90 % updates; thread sweep on
+//! both capacity profiles. Expected shape: TLE collapses onto the global
+//! lock (capacity aborts), pessimistic locks stay flat, SpRWL commits its
+//! readers uninstrumented and leads — by the largest factor in the
+//! read-dominated (10 %) mix.
+
+use htm_sim::CapacityProfile;
+use sprwl_bench::{hashmap_point, run_hashmap, LockKind, RunConfig, RunReport};
+use sprwl_workloads::HashmapSpec;
+
+fn main() {
+    let duration = RunConfig::bench_duration();
+    let threads = RunConfig::bench_threads();
+    for profile in [CapacityProfile::BROADWELL_SIM, CapacityProfile::POWER8_SIM] {
+        for upd in [10u32, 50, 90] {
+            println!(
+                "\n=== Fig 3 [{}] hashmap: 10-lookup readers, {upd}% updates ===",
+                profile.name
+            );
+            println!("{}", RunReport::header());
+            let spec = HashmapSpec::paper(&profile, true, upd);
+            for kind in LockKind::paper_set(&profile) {
+                for &n in &threads {
+                    let (htm, lock, map) = hashmap_point(profile, &spec, &kind, n);
+                    let rep = run_hashmap(
+                        &htm,
+                        &*lock,
+                        &map,
+                        &spec,
+                        &RunConfig {
+                            threads: n,
+                            duration,
+                            seed: 42,
+                        },
+                    )
+                    .with_lock_name(kind.name());
+                    println!("{}", rep.row());
+                    println!("CSV:fig3,{},{},{}", profile.name, upd, rep.csv());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Figure 4: hashmap, readers execute a single lookup (fitting in HTM) —
+//! the unfavourable workload for SpRWL. Expected shape: TLE leads (its
+//! readers elide in HTM with no SpRWL bookkeeping); SpRWL stays within
+//! tens of percent thanks to the readers-try-HTM-first optimization
+//! (§3.4), committing nearly everything in HTM at low thread counts.
+
+use htm_sim::CapacityProfile;
+use sprwl_bench::{hashmap_point, run_hashmap, LockKind, RunConfig, RunReport};
+use sprwl_workloads::HashmapSpec;
+
+fn main() {
+    let duration = RunConfig::bench_duration();
+    let threads = RunConfig::bench_threads();
+    for profile in [CapacityProfile::BROADWELL_SIM, CapacityProfile::POWER8_SIM] {
+        for upd in [10u32, 50, 90] {
+            println!(
+                "\n=== Fig 4 [{}] hashmap: 1-lookup readers, {upd}% updates ===",
+                profile.name
+            );
+            println!("{}", RunReport::header());
+            let spec = HashmapSpec::paper(&profile, false, upd);
+            for kind in LockKind::paper_set(&profile) {
+                for &n in &threads {
+                    let (htm, lock, map) = hashmap_point(profile, &spec, &kind, n);
+                    let rep = run_hashmap(
+                        &htm,
+                        &*lock,
+                        &map,
+                        &spec,
+                        &RunConfig {
+                            threads: n,
+                            duration,
+                            seed: 43,
+                        },
+                    )
+                    .with_lock_name(kind.name());
+                    println!("{}", rep.row());
+                    println!("CSV:fig4,{},{},{}", profile.name, upd, rep.csv());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Figure 5: the scheduling ablation — NoSched / RWait / RSync / full
+//! SpRWL (plus TLE for reference) on the Broadwell-like profile, 10 %
+//! updates, 10-lookup readers. Expected shape: reader-induced writer
+//! aborts (`rdr` column) shrink monotonically NoSched → RWait → RSync →
+//! SpRWL, writer latency drops, and throughput orders the same way at
+//! high thread counts.
+
+use htm_sim::CapacityProfile;
+use sprwl::SprwlConfig;
+use sprwl_bench::{hashmap_point, run_hashmap, LockKind, RunConfig, RunReport};
+use sprwl_workloads::HashmapSpec;
+
+fn main() {
+    let duration = RunConfig::bench_duration();
+    let threads = RunConfig::bench_threads();
+    let profile = CapacityProfile::BROADWELL_SIM;
+    let spec = HashmapSpec::paper(&profile, true, 10);
+
+    // The §4.1.1 variants; TLE is the reference line of the plot.
+    let variants: Vec<LockKind> = vec![
+        LockKind::Tle,
+        LockKind::Sprwl(SprwlConfig::no_sched()),
+        LockKind::Sprwl(SprwlConfig::rwait()),
+        LockKind::Sprwl(SprwlConfig::rsync()),
+        LockKind::Sprwl(SprwlConfig::full()),
+    ];
+
+    println!(
+        "\n=== Fig 5 [{}] scheduling ablation: 10-lookup readers, 10% updates ===",
+        profile.name
+    );
+    println!("{}", RunReport::header());
+    for kind in &variants {
+        for &n in &threads {
+            let (htm, lock, map) = hashmap_point(profile, &spec, kind, n);
+            let rep = run_hashmap(
+                &htm,
+                &*lock,
+                &map,
+                &spec,
+                &RunConfig {
+                    threads: n,
+                    duration,
+                    seed: 44,
+                },
+            )
+            .with_lock_name(kind.name());
+            println!("{}", rep.row());
+            println!("CSV:fig5,{},10,{}", profile.name, rep.csv());
+        }
+    }
+}

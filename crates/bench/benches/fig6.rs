@@ -1,0 +1,52 @@
+//! Figure 6: the reader-tracking ablation — per-thread flags vs SNZI —
+//! at 50 % updates on the POWER8-like profile, sweeping the reader size
+//! (lookups per read critical section). Expected shape: SNZI loses for
+//! short readers (its O(log n) arrive/depart overhead dominates) and wins
+//! for long readers (the writer's commit-time check reads one line instead
+//! of one per thread, shrinking its footprint and its abort window).
+
+use htm_sim::CapacityProfile;
+use sprwl::SprwlConfig;
+use sprwl_bench::{hashmap_point, run_hashmap, LockKind, RunConfig, RunReport};
+use sprwl_workloads::HashmapSpec;
+
+fn main() {
+    let duration = RunConfig::bench_duration();
+    let threads = *RunConfig::bench_threads().last().unwrap_or(&8);
+    let profile = CapacityProfile::POWER8_SIM;
+
+    println!(
+        "\n=== Fig 6 [{}] SNZI vs flags: 50% updates, {} threads, reader size sweep ===",
+        profile.name, threads
+    );
+    println!("reader_lookups  {}", RunReport::header());
+    for lookups in [1usize, 2, 5, 10, 25, 50] {
+        let spec = HashmapSpec {
+            lookups_per_read: lookups,
+            ..HashmapSpec::paper(&profile, true, 50)
+        };
+        for kind in [
+            LockKind::Sprwl(SprwlConfig::full()),
+            LockKind::Sprwl(SprwlConfig::with_snzi()),
+            // §5 future work, implemented: self-tuning tracking should hug
+            // whichever static line wins at each reader size.
+            LockKind::Sprwl(SprwlConfig::adaptive()),
+        ] {
+            let (htm, lock, map) = hashmap_point(profile, &spec, &kind, threads);
+            let rep = run_hashmap(
+                &htm,
+                &*lock,
+                &map,
+                &spec,
+                &RunConfig {
+                    threads,
+                    duration,
+                    seed: 45,
+                },
+            )
+            .with_lock_name(kind.name());
+            println!("{:>14}  {}", lookups, rep.row());
+            println!("CSV:fig6,{},{},{}", profile.name, lookups, rep.csv());
+        }
+    }
+}

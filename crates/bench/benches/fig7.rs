@@ -1,0 +1,54 @@
+//! Figure 7: TPC-C with the paper's mix (Stock-Level 31 %, Delivery 4 %,
+//! Order-Status 4 %, Payment 43 %, New-Order 18 %; ≈35 % read-only),
+//! warehouses = max threads, on both capacity profiles. Expected shape:
+//! SpRWL commits most update transactions in HTM while running the long
+//! Stock-Level readers uninstrumented; TLE loses its readers to the global
+//! lock; RW-LE (POWER8 only) commits updates as HTM/ROTs but pays
+//! quiescence-inflated writer latency; the SNZI variant helps on POWER8.
+
+use htm_sim::CapacityProfile;
+use sprwl::SprwlConfig;
+use sprwl_bench::{run_tpcc, tpcc_point, LockKind, RunConfig, RunReport};
+use sprwl_workloads::tpcc::TpccScale;
+use sprwl_workloads::Mix;
+
+fn main() {
+    let duration = RunConfig::bench_duration();
+    let threads = RunConfig::bench_threads();
+    let max_threads = *threads.iter().max().unwrap_or(&8);
+    for profile in [CapacityProfile::BROADWELL_SIM, CapacityProfile::POWER8_SIM] {
+        println!(
+            "\n=== Fig 7 [{}] TPC-C paper mix, {} warehouses ===",
+            profile.name, max_threads
+        );
+        println!("{}", RunReport::header());
+        let mut kinds = LockKind::paper_set(&profile);
+        kinds.push(LockKind::Sprwl(SprwlConfig::with_snzi()));
+        for kind in kinds {
+            for &n in &threads {
+                let scale = TpccScale::with_warehouses(max_threads as u32);
+                let (htm, lock, db) = tpcc_point(profile, scale, &kind, n);
+                let rep = run_tpcc(
+                    &htm,
+                    &*lock,
+                    &db,
+                    &Mix::PAPER,
+                    &RunConfig {
+                        threads: n,
+                        duration,
+                        seed: 46,
+                    },
+                )
+                .with_lock_name(kind.name());
+                println!("{}", rep.row());
+                println!("CSV:fig7,{},mix,{}", profile.name, rep.csv());
+                assert!(
+                    db.audit_ytd(htm.memory()),
+                    "TPC-C YTD consistency violated under {}",
+                    kind.name()
+                );
+                assert!(db.audit_order_queues(htm.memory()));
+            }
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Criterion micro-benchmarks of the primitives: uncontended section
+//! overhead per scheme, raw HTM transaction cost, SNZI operations, and the
+//! duration estimator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use htm_sim::{CapacityProfile, Htm, HtmConfig, TxKind};
+use snzi::Snzi;
+use sprwl::SpRwl;
+use sprwl_locks::{
+    BrLock, LockThread, PassiveRwLock, PhaseFairRwLock, PthreadRwLock, RwSync, SectionId, Tle,
+};
+
+fn htm() -> Htm {
+    Htm::new(
+        HtmConfig {
+            capacity: CapacityProfile::BROADWELL_SIM,
+            max_threads: 8,
+            ..HtmConfig::default()
+        },
+        64 * 1024,
+    )
+}
+
+fn bench_raw_htm(c: &mut Criterion) {
+    let h = htm();
+    let cell = h.memory().alloc(1).cell(0);
+    let mut ctx = h.thread(0);
+    c.bench_function("htm/txn-1r1w", |b| {
+        b.iter(|| {
+            ctx.txn(TxKind::Htm, |tx| {
+                let v = tx.read(cell)?;
+                tx.write(cell, v + 1)
+            })
+            .unwrap()
+        })
+    });
+    let d = h.direct(1);
+    c.bench_function("htm/untracked-load", |b| b.iter(|| d.load(cell)));
+    c.bench_function("htm/untracked-store", |b| b.iter(|| d.store(cell, 1)));
+    c.bench_function("htm/peek", |b| b.iter(|| h.memory().peek(cell)));
+}
+
+fn bench_sections(c: &mut Criterion) {
+    let h = htm();
+    let cell = h.memory().alloc(1).cell(0);
+    let mut group = c.benchmark_group("uncontended-write-section");
+    let locks: Vec<(&str, Box<dyn RwSync>)> = vec![
+        ("SpRWL", Box::new(SpRwl::with_defaults(&h))),
+        ("TLE", Box::new(Tle::new(&h))),
+        ("RWL", Box::new(PthreadRwLock::new())),
+        ("BRLock", Box::new(BrLock::new(8))),
+        ("PF-RWL", Box::new(PhaseFairRwLock::new())),
+        ("PRWL", Box::new(PassiveRwLock::new(8))),
+    ];
+    for (name, lock) in &locks {
+        let mut t = LockThread::new(h.thread(0));
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                lock.write_section(&mut t, SectionId(0), &mut |a| {
+                    let v = a.read(cell)?;
+                    a.write(cell, v + 1)?;
+                    Ok(v)
+                })
+            })
+        });
+        drop(t);
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("uncontended-read-section");
+    for (name, lock) in &locks {
+        let mut t = LockThread::new(h.thread(0));
+        group.bench_function(*name, |b| {
+            b.iter(|| lock.read_section(&mut t, SectionId(1), &mut |a| a.read(cell)))
+        });
+        drop(t);
+    }
+    group.finish();
+}
+
+fn bench_snzi(c: &mut Criterion) {
+    let h = htm();
+    let snzi = Snzi::new(h.memory(), 8);
+    let d = h.direct(0);
+    c.bench_function("snzi/arrive-depart", |b| {
+        b.iter(|| {
+            snzi.arrive(&d, 3);
+            snzi.depart(&d, 3);
+        })
+    });
+    snzi.arrive(&d, 1); // keep the tree warm: re-arrivals stay leaf-local
+    c.bench_function("snzi/arrive-depart-warm", |b| {
+        b.iter(|| {
+            snzi.arrive(&d, 1);
+            snzi.depart(&d, 1);
+        })
+    });
+    c.bench_function("snzi/query", |b| b.iter(|| snzi.query_untracked(&d)));
+}
+
+fn bench_estimator(c: &mut Criterion) {
+    let est = sprwl::DurationEstimator::new(8, false);
+    c.bench_function("estimator/record", |b| {
+        b.iter(|| est.record(0, SectionId(2), 1234))
+    });
+    c.bench_function("estimator/end-time", |b| b.iter(|| est.end_time(SectionId(2))));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(400)).warm_up_time(std::time::Duration::from_millis(150));
+    targets = bench_raw_htm, bench_sections, bench_snzi, bench_estimator
+}
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! # sprwl-bench — the figure-regeneration harness
+//!
+//! One bench target per figure of the paper's evaluation (`cargo bench -p
+//! sprwl-bench --bench fig3` … `fig7`), plus an `ablation` bench for the
+//! design-choice knobs DESIGN.md calls out and a `micro` criterion bench
+//! for primitive costs. Each figure bench prints both a human-readable
+//! table and `CSV:`-prefixed machine-readable rows.
+//!
+//! Environment knobs: `SPRWL_BENCH_SECS` (seconds per point, default 0.25)
+//! and `SPRWL_BENCH_THREADS` (comma-separated sweep, default `1,2,4,8`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod harness;
+
+pub use harness::{
+    hashmap_point, htm_for, run_generic, run_hashmap, run_tpcc, tpcc_point, LockKind, RunConfig,
+    RunReport, WorkerCtx,
+};

@@ -1,0 +1,235 @@
+//! SpRWL configuration: scheduling variants, reader tracking, optimizations.
+
+use sprwl_locks::RetryPolicy;
+
+/// Which of the paper's scheduling schemes are active.
+///
+/// These are exactly the variants of the §4.1.1 ablation (Fig. 5):
+/// `NoSched` < `RWait` < `RSync` < `Full`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Scheduling {
+    /// §3.1 base algorithm only: writers check for readers at commit;
+    /// no waiting on either side.
+    NoSched,
+    /// Readers wait for the active writer predicted to finish last, but do
+    /// not join other waiting readers.
+    RWait,
+    /// Full reader synchronization (§3.2.1): waiting readers are joined by
+    /// newcomers, aligning reader start times.
+    RSync,
+    /// Reader synchronization + writer synchronization (§3.2.2): aborted
+    /// writers delay their retry to finish δ after the last active reader.
+    /// The paper's default.
+    #[default]
+    Full,
+}
+
+impl Scheduling {
+    /// Whether readers wait for active writers at all.
+    pub fn readers_wait(self) -> bool {
+        !matches!(self, Scheduling::NoSched)
+    }
+
+    /// Whether waiting readers are joined by newly arrived readers.
+    pub fn readers_join(self) -> bool {
+        matches!(self, Scheduling::RSync | Scheduling::Full)
+    }
+
+    /// Whether writers delay retries after reader-induced aborts.
+    pub fn writers_wait(self) -> bool {
+        matches!(self, Scheduling::Full)
+    }
+
+    /// Label used in benchmark output (paper's variant names).
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheduling::NoSched => "NoSched",
+            Scheduling::RWait => "RWait",
+            Scheduling::RSync => "RSync",
+            Scheduling::Full => "SpRWL",
+        }
+    }
+}
+
+/// How writers detect concurrent active readers at commit time (§3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReaderTracking {
+    /// Scan the per-thread `state` array: O(threads) cache lines in the
+    /// writer's transactional read-set. The paper's default.
+    #[default]
+    Flags,
+    /// Query a scalable non-zero indicator: one cache line in the read-set,
+    /// at the cost of O(log threads) reader arrival/departure overhead.
+    Snzi,
+    /// Self-tuning (the paper's §5 future work): start with flags, switch
+    /// to SNZI when readers dwarf writers, and back — with a sound
+    /// transition protocol (see [`crate::adaptive`]).
+    Adaptive,
+}
+
+/// The δ slack of the writer-synchronization scheme (§3.2.2): a delayed
+/// writer aims to finish δ cycles after the last active reader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DeltaPolicy {
+    /// δ = half the writer's expected duration — the paper's default,
+    /// found best in their preliminary experiments.
+    #[default]
+    HalfWriterDuration,
+    /// δ = 0: maximize reader/writer overlap, risking more reader aborts.
+    Zero,
+    /// A fixed δ in nanoseconds (for the δ-sweep ablation).
+    FixedNs(u64),
+}
+
+impl DeltaPolicy {
+    /// Resolves δ for a writer whose estimated duration is `writer_ns`.
+    pub fn resolve(self, writer_ns: u64) -> u64 {
+        match self {
+            DeltaPolicy::HalfWriterDuration => writer_ns / 2,
+            DeltaPolicy::Zero => 0,
+            DeltaPolicy::FixedNs(ns) => ns,
+        }
+    }
+}
+
+/// Full SpRWL configuration.
+#[derive(Debug, Clone)]
+pub struct SprwlConfig {
+    /// Scheduling variant (ablation: Fig. 5).
+    pub scheduling: Scheduling,
+    /// Commit-time reader detection (ablation: Fig. 6).
+    pub reader_tracking: ReaderTracking,
+    /// §3.4: readers optimistically try HTM before going uninstrumented.
+    pub readers_try_htm: bool,
+    /// §3.4's predictive refinement ("one could use the online statistics
+    /// … to predict a priori whether certain readers are likely to incur
+    /// capacity exceptions and run them directly using the uninstrumented
+    /// execution path"): after a capacity abort, a section skips its
+    /// optimistic HTM attempts for a window of executions before probing
+    /// again. Without real hardware the probe-everything policy would pay
+    /// the simulator's (much higher) per-access instrumentation cost on
+    /// every long read, so the predictive variant is the default here.
+    pub adaptive_reader_htm: bool,
+    /// Retry budget for readers' optimistic HTM attempts.
+    pub reader_retry: RetryPolicy,
+    /// Retry budget for writers.
+    pub writer_retry: RetryPolicy,
+    /// δ slack for writer synchronization.
+    pub delta: DeltaPolicy,
+    /// §3.3: use a versioned SGL so readers cannot starve behind a stream
+    /// of fallback writers (the extension the authors describe but omit).
+    pub versioned_sgl: bool,
+    /// Sample critical-section durations on every thread instead of only
+    /// thread 0 (the paper samples a single thread to cut overhead).
+    pub sample_all_threads: bool,
+    /// §3.4: readers park with a timed wait (using the writer's advertised
+    /// end time) instead of polling the writer's state flag.
+    pub timed_reader_wait: bool,
+    /// Maximum distinct [`sprwl_locks::SectionId`]s the duration estimator
+    /// tracks.
+    pub max_sections: usize,
+}
+
+impl Default for SprwlConfig {
+    fn default() -> Self {
+        Self {
+            scheduling: Scheduling::Full,
+            reader_tracking: ReaderTracking::Flags,
+            readers_try_htm: true,
+            adaptive_reader_htm: true,
+            reader_retry: RetryPolicy::PAPER_DEFAULT,
+            writer_retry: RetryPolicy::PAPER_DEFAULT,
+            delta: DeltaPolicy::HalfWriterDuration,
+            versioned_sgl: false,
+            sample_all_threads: false,
+            timed_reader_wait: false,
+            max_sections: 64,
+        }
+    }
+}
+
+impl SprwlConfig {
+    /// The §3.1 base algorithm (`NoSched` in Fig. 5): no scheduling, no
+    /// optimistic reader HTM.
+    pub fn no_sched() -> Self {
+        Self {
+            scheduling: Scheduling::NoSched,
+            readers_try_htm: false,
+            ..Self::default()
+        }
+    }
+
+    /// The `RWait` ablation variant.
+    pub fn rwait() -> Self {
+        Self {
+            scheduling: Scheduling::RWait,
+            readers_try_htm: false,
+            ..Self::default()
+        }
+    }
+
+    /// The `RSync` ablation variant.
+    pub fn rsync() -> Self {
+        Self {
+            scheduling: Scheduling::RSync,
+            readers_try_htm: false,
+            ..Self::default()
+        }
+    }
+
+    /// The full algorithm (paper default).
+    pub fn full() -> Self {
+        Self::default()
+    }
+
+    /// The full algorithm with SNZI reader tracking.
+    pub fn with_snzi() -> Self {
+        Self {
+            reader_tracking: ReaderTracking::Snzi,
+            ..Self::default()
+        }
+    }
+
+    /// The full algorithm with self-tuning reader tracking (§5 future
+    /// work: automatically enable/disable SNZI).
+    pub fn adaptive() -> Self {
+        Self {
+            reader_tracking: ReaderTracking::Adaptive,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduling_hierarchy() {
+        assert!(!Scheduling::NoSched.readers_wait());
+        assert!(Scheduling::RWait.readers_wait());
+        assert!(!Scheduling::RWait.readers_join());
+        assert!(Scheduling::RSync.readers_join());
+        assert!(!Scheduling::RSync.writers_wait());
+        assert!(Scheduling::Full.writers_wait());
+    }
+
+    #[test]
+    fn delta_resolution() {
+        assert_eq!(DeltaPolicy::HalfWriterDuration.resolve(1000), 500);
+        assert_eq!(DeltaPolicy::Zero.resolve(1000), 0);
+        assert_eq!(DeltaPolicy::FixedNs(42).resolve(1000), 42);
+    }
+
+    #[test]
+    fn variant_constructors_match_ablation_names() {
+        assert_eq!(SprwlConfig::no_sched().scheduling.label(), "NoSched");
+        assert_eq!(SprwlConfig::rwait().scheduling.label(), "RWait");
+        assert_eq!(SprwlConfig::rsync().scheduling.label(), "RSync");
+        assert_eq!(SprwlConfig::full().scheduling.label(), "SpRWL");
+        assert_eq!(
+            SprwlConfig::with_snzi().reader_tracking,
+            ReaderTracking::Snzi
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! Per-section critical-section duration estimation (§3.2 of the paper).
+//!
+//! SpRWL's scheduling schemes need to predict when an active writer (or
+//! reader) will finish. The paper samples execution times on a single
+//! thread (to keep overhead off the hot path of all others), maintains an
+//! exponential moving average per critical-section identifier, and turns
+//! it into an *expected end time* by adding the current timestamp counter.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use htm_sim::clock;
+use sprwl_locks::SectionId;
+
+/// EWMA weight for new samples (numerator over [`ALPHA_DEN`]): ¼, quick to
+/// react to workload shifts yet stable.
+const ALPHA_NUM: u64 = 1;
+const ALPHA_DEN: u64 = 4;
+
+#[derive(Debug)]
+#[repr(align(64))]
+struct Ewma(AtomicU64);
+
+/// Lock-free per-section duration estimator.
+#[derive(Debug)]
+pub struct DurationEstimator {
+    sections: Box<[Ewma]>,
+    sample_all_threads: bool,
+}
+
+impl DurationEstimator {
+    /// Creates an estimator for section ids `0..max_sections`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_sections` is zero.
+    pub fn new(max_sections: usize, sample_all_threads: bool) -> Self {
+        assert!(max_sections > 0, "need at least one section slot");
+        let mut v = Vec::with_capacity(max_sections);
+        v.resize_with(max_sections, || Ewma(AtomicU64::new(0)));
+        Self {
+            sections: v.into_boxed_slice(),
+            sample_all_threads,
+        }
+    }
+
+    /// Whether `tid` is a sampling thread (thread 0 only, unless
+    /// configured otherwise — the paper's single-sampler design).
+    pub fn samples(&self, tid: usize) -> bool {
+        self.sample_all_threads || tid == 0
+    }
+
+    /// Records one observed duration for `sec`, if `tid` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sec` is out of the configured range.
+    pub fn record(&self, tid: usize, sec: SectionId, duration_ns: u64) {
+        if !self.samples(tid) {
+            return;
+        }
+        let slot = &self.sections[sec.index()].0;
+        // Racy read-modify-write is fine: samples are statistical and the
+        // paper's single-sampler design makes races rare by construction.
+        let old = slot.load(Ordering::Relaxed);
+        let new = if old == 0 {
+            duration_ns
+        } else {
+            (ALPHA_NUM * duration_ns + (ALPHA_DEN - ALPHA_NUM) * old) / ALPHA_DEN
+        };
+        slot.store(new.max(1), Ordering::Relaxed);
+    }
+
+    /// The current duration estimate for `sec`, in nanoseconds (0 when no
+    /// sample has been recorded yet).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sec` is out of the configured range.
+    pub fn duration(&self, sec: SectionId) -> u64 {
+        self.sections[sec.index()].0.load(Ordering::Relaxed)
+    }
+
+    /// `estimateEndTime()` of the paper: now + expected duration.
+    pub fn end_time(&self, sec: SectionId) -> u64 {
+        clock::now() + self.duration(sec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_seeds_the_average() {
+        let e = DurationEstimator::new(4, false);
+        assert_eq!(e.duration(SectionId(0)), 0);
+        e.record(0, SectionId(0), 1000);
+        assert_eq!(e.duration(SectionId(0)), 1000);
+    }
+
+    #[test]
+    fn ewma_converges_towards_new_regime() {
+        let e = DurationEstimator::new(4, false);
+        e.record(0, SectionId(1), 1000);
+        for _ in 0..32 {
+            e.record(0, SectionId(1), 3000);
+        }
+        let d = e.duration(SectionId(1));
+        assert!((2800..=3000).contains(&d), "did not converge: {d}");
+    }
+
+    #[test]
+    fn ewma_damps_outliers() {
+        let e = DurationEstimator::new(4, false);
+        for _ in 0..8 {
+            e.record(0, SectionId(0), 1000);
+        }
+        e.record(0, SectionId(0), 100_000);
+        let d = e.duration(SectionId(0));
+        assert!(d < 30_000, "one outlier dominated: {d}");
+        assert!(d > 1000);
+    }
+
+    #[test]
+    fn only_thread_zero_samples_by_default() {
+        let e = DurationEstimator::new(4, false);
+        e.record(3, SectionId(0), 5_000);
+        assert_eq!(e.duration(SectionId(0)), 0);
+        assert!(e.samples(0));
+        assert!(!e.samples(3));
+    }
+
+    #[test]
+    fn sample_all_threads_mode() {
+        let e = DurationEstimator::new(4, true);
+        e.record(3, SectionId(0), 5_000);
+        assert_eq!(e.duration(SectionId(0)), 5_000);
+    }
+
+    #[test]
+    fn sections_are_independent() {
+        let e = DurationEstimator::new(4, false);
+        e.record(0, SectionId(0), 100);
+        e.record(0, SectionId(1), 9_000);
+        assert_eq!(e.duration(SectionId(0)), 100);
+        assert_eq!(e.duration(SectionId(1)), 9_000);
+    }
+
+    #[test]
+    fn end_time_is_in_the_future_by_the_estimate() {
+        let e = DurationEstimator::new(4, false);
+        e.record(0, SectionId(0), 1_000_000);
+        let before = clock::now();
+        let end = e.end_time(SectionId(0));
+        assert!(end >= before + 1_000_000);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_section_panics() {
+        let e = DurationEstimator::new(2, false);
+        e.record(0, SectionId(2), 1);
+    }
+}

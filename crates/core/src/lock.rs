@@ -1,0 +1,337 @@
+//! The SpRWL lock object: shared metadata, fallback-lock plumbing and the
+//! commit-time reader check. The read- and write-path algorithms live in
+//! [`crate::reader`] and [`crate::writer`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use htm_sim::{CellId, Direct, Htm, SimMemory, Tx, TxResult};
+use snzi::Snzi;
+use sprwl_locks::{GlobalLock, LockThread, RwSync, SectionBody, SectionId, VersionedLock, ABORT_READER};
+
+use crate::adaptive::{ReaderReg, MODE_SNZI, MODE_TRANS_TO_SNZI};
+use crate::config::{ReaderTracking, SprwlConfig};
+use crate::estimator::DurationEstimator;
+
+/// `state[i]` values (Alg. 1 of the paper).
+pub(crate) const STATE_EMPTY: u64 = 0;
+pub(crate) const STATE_READER: u64 = 1;
+pub(crate) const STATE_WRITER: u64 = 2;
+
+/// "no thread / no version" sentinel in the scheduling arrays.
+pub(crate) const NONE: u64 = u64::MAX;
+
+#[derive(Debug)]
+#[repr(align(64))]
+pub(crate) struct Slot(pub AtomicU64);
+
+impl Slot {
+    fn new(v: u64) -> Self {
+        Self(AtomicU64::new(v))
+    }
+
+    #[inline]
+    pub(crate) fn load(&self) -> u64 {
+        self.0.load(Ordering::SeqCst)
+    }
+
+    #[inline]
+    pub(crate) fn store(&self, v: u64) {
+        self.0.store(v, Ordering::SeqCst)
+    }
+}
+
+fn slots(n: usize, init: u64) -> Box<[Slot]> {
+    let mut v = Vec::with_capacity(n);
+    v.resize_with(n, || Slot::new(init));
+    v.into_boxed_slice()
+}
+
+/// The single-global-lock fallback, plain or versioned (§3.3 extension).
+#[derive(Debug)]
+pub(crate) enum Fallback {
+    Plain(GlobalLock),
+    Versioned(VersionedLock),
+}
+
+impl Fallback {
+    pub(crate) fn is_locked_peek(&self, mem: &SimMemory) -> bool {
+        match self {
+            Fallback::Plain(gl) => gl.is_locked_peek(mem),
+            Fallback::Versioned(vl) => vl.is_locked_peek(mem),
+        }
+    }
+
+    pub(crate) fn wait_until_free(&self, mem: &SimMemory) {
+        let mut w = htm_sim::clock::SpinWait::new();
+        while self.is_locked_peek(mem) {
+            w.snooze();
+        }
+    }
+
+    /// `(version, locked)`; plain locks report version 0.
+    pub(crate) fn peek(&self, mem: &SimMemory) -> (u64, bool) {
+        match self {
+            Fallback::Plain(gl) => (0, gl.is_locked_peek(mem)),
+            Fallback::Versioned(vl) => vl.peek(mem),
+        }
+    }
+
+    pub(crate) fn subscribe(&self, tx: &mut Tx<'_>) -> TxResult<()> {
+        match self {
+            Fallback::Plain(gl) => gl.subscribe(tx),
+            Fallback::Versioned(vl) => vl.subscribe(tx),
+        }
+    }
+
+    /// Blocking acquire; returns the held version (0 for plain locks).
+    pub(crate) fn acquire(&self, d: &Direct<'_>) -> u64 {
+        match self {
+            Fallback::Plain(gl) => {
+                gl.acquire(d);
+                0
+            }
+            Fallback::Versioned(vl) => vl.acquire(d),
+        }
+    }
+
+    pub(crate) fn release(&self, d: &Direct<'_>) {
+        match self {
+            Fallback::Plain(gl) => gl.release(d),
+            Fallback::Versioned(vl) => vl.release(d),
+        }
+    }
+}
+
+/// Speculative Read-Write Lock (the paper's contribution).
+///
+/// Writers execute as hardware transactions and may only commit when no
+/// reader is active; readers execute **uninstrumented**, outside any
+/// transaction, protected by strong isolation (their state announcement
+/// dooms any in-flight writer that already checked for readers). Two
+/// scheduling schemes — reader synchronization and writer synchronization —
+/// plus the §3.4 optimizations are selected by [`SprwlConfig`].
+///
+/// `SpRwl` implements [`RwSync`], so it is a drop-in replacement for the
+/// baseline read-write locks in `sprwl-locks`.
+#[derive(Debug)]
+pub struct SpRwl {
+    pub(crate) cfg: SprwlConfig,
+    pub(crate) n: usize,
+    pub(crate) fallback: Fallback,
+    /// Per-thread state flags (⊥/READER/WRITER), each on its own simulated
+    /// cache line so writers' commit-time scans conflict only with the
+    /// owner's announcements.
+    pub(crate) state: Vec<CellId>,
+    /// Writers' expected end times (`clock_w`).
+    pub(crate) clock_w: Box<[Slot]>,
+    /// Readers' expected end times (`clock_r`).
+    pub(crate) clock_r: Box<[Slot]>,
+    /// Which writer each waiting reader is waiting for (`waiting_for`).
+    pub(crate) waiting_for: Box<[Slot]>,
+    /// First fallback-lock version each blocked reader observed (§3.3).
+    pub(crate) waiting_version: Box<[Slot]>,
+    pub(crate) snzi: Option<Snzi>,
+    pub(crate) est: DurationEstimator,
+    /// Per-section skip budget for the predictive readers-try-HTM variant
+    /// (§3.4): non-zero means "this section recently overflowed capacity;
+    /// go straight to the uninstrumented path".
+    pub(crate) htm_skip: Box<[Slot]>,
+    /// Adaptive tracking (§5 future work): the mode word, in simulated
+    /// memory so writers subscribe to it. `None` for static tracking.
+    pub(crate) mode_cell: Option<CellId>,
+    /// Global EWMA of read critical-section durations (adaptive policy).
+    pub(crate) avg_read_ns: Slot,
+    /// Global EWMA of write critical-section durations (adaptive policy).
+    pub(crate) avg_write_ns: Slot,
+    /// Timestamp of the last mode switch (hysteresis).
+    pub(crate) last_switch_ns: Slot,
+}
+
+/// How many executions a capacity-doomed section skips its optimistic HTM
+/// attempt before probing hardware again.
+pub(crate) const HTM_PROBE_WINDOW: u64 = 64;
+
+impl SpRwl {
+    /// Creates an SpRWL instance sized for `htm.max_threads()` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulated memory is exhausted.
+    pub fn new(htm: &Htm, cfg: SprwlConfig) -> Self {
+        let n = htm.max_threads();
+        let mem = htm.memory();
+        let fallback = if cfg.versioned_sgl {
+            Fallback::Versioned(VersionedLock::new(mem))
+        } else {
+            Fallback::Plain(GlobalLock::new(mem))
+        };
+        let snzi = match cfg.reader_tracking {
+            ReaderTracking::Flags => None,
+            ReaderTracking::Snzi | ReaderTracking::Adaptive => Some(Snzi::new(mem, n)),
+        };
+        let mode_cell = match cfg.reader_tracking {
+            ReaderTracking::Adaptive => Some(mem.alloc_line_aligned(1).cell(0)),
+            _ => None,
+        };
+        let est = DurationEstimator::new(cfg.max_sections, cfg.sample_all_threads);
+        let htm_skip = slots(cfg.max_sections, 0);
+        Self {
+            n,
+            fallback,
+            state: mem.alloc_padded(n),
+            clock_w: slots(n, 0),
+            clock_r: slots(n, 0),
+            waiting_for: slots(n, NONE),
+            waiting_version: slots(n, NONE),
+            snzi,
+            est,
+            htm_skip,
+            mode_cell,
+            avg_read_ns: Slot::new(0),
+            avg_write_ns: Slot::new(0),
+            last_switch_ns: Slot::new(0),
+            cfg,
+        }
+    }
+
+    /// With the default (paper) configuration.
+    pub fn with_defaults(htm: &Htm) -> Self {
+        Self::new(htm, SprwlConfig::default())
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SprwlConfig {
+        &self.cfg
+    }
+
+    /// The duration estimator (exposed for tests and diagnostics).
+    pub fn estimator(&self) -> &DurationEstimator {
+        &self.est
+    }
+
+    /// The paper's variant label for this configuration (used by the
+    /// Fig. 5 ablation output): `NoSched`/`RWait`/`RSync`/`SpRWL`, with a
+    /// `+SNZI` suffix when SNZI tracking is on.
+    pub fn variant_label(&self) -> &'static str {
+        match (self.cfg.scheduling, self.cfg.reader_tracking) {
+            (s, ReaderTracking::Flags) => s.label(),
+            (crate::config::Scheduling::Full, ReaderTracking::Snzi) => "SNZI",
+            (_, ReaderTracking::Snzi) => "SNZI-variant",
+            (_, ReaderTracking::Adaptive) => "Adaptive",
+        }
+    }
+
+    // ---- shared helpers ----
+
+    /// `check_for_readers()` (Alg. 1): run inside the writer's transaction
+    /// just before commit. Aborts with [`ABORT_READER`] if any concurrent
+    /// reader is active. In `Flags` mode this subscribes every thread's
+    /// state line; in `Snzi` mode, a single line.
+    pub(crate) fn check_for_readers(&self, tx: &mut Tx<'_>, me: usize) -> TxResult<()> {
+        let use_snzi = match self.cfg.reader_tracking {
+            ReaderTracking::Flags => false,
+            ReaderTracking::Snzi => true,
+            ReaderTracking::Adaptive => {
+                // Subscribing the mode word means a concurrent switch dooms
+                // this transaction — it retries under the new mode.
+                let mode = tx.read(self.mode_cell.expect("adaptive"))?;
+                mode == MODE_SNZI
+            }
+        };
+        if use_snzi {
+            if self.snzi.as_ref().expect("snzi tracking").query(tx)? {
+                return tx.abort(ABORT_READER);
+            }
+            return Ok(());
+        }
+        // Flags scan: correct in every mode, since readers always maintain
+        // their state flags.
+        for i in 0..self.n {
+            if i != me && tx.read(self.state[i])? == STATE_READER {
+                return tx.abort(ABORT_READER);
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether any reader other than `me` is currently active (untracked
+    /// probe; used by the fallback path's `wait_for_readers`).
+    pub(crate) fn any_reader_active(&self, d: &Direct<'_>, me: usize) -> bool {
+        match self.cfg.reader_tracking {
+            ReaderTracking::Snzi => self
+                .snzi
+                .as_ref()
+                .expect("snzi tracking")
+                .query_untracked(d),
+            // Flags are maintained in every mode, so the scan is always
+            // correct (and runs outside transactions, so it costs no
+            // footprint).
+            ReaderTracking::Flags | ReaderTracking::Adaptive => (0..self.n)
+                .filter(|&i| i != me)
+                .any(|i| d.htm().memory().peek(self.state[i]) == STATE_READER),
+        }
+    }
+
+    /// `wait_for_readers()` (Alg. 1): the fallback writer, already holding
+    /// the global lock, waits for every active reader to drain.
+    pub(crate) fn wait_for_readers(&self, d: &Direct<'_>, me: usize) {
+        let mut w = htm_sim::clock::SpinWait::new();
+        while self.any_reader_active(d, me) {
+            w.snooze();
+        }
+    }
+
+    /// Announces this thread as an active reader. The untracked store to
+    /// the state line (and/or the SNZI root, on 0→1 transitions) is what
+    /// dooms in-flight writers that already passed their reader check —
+    /// the paper's strong-isolation argument.
+    pub(crate) fn flag_reader(&self, d: &Direct<'_>, tid: usize) -> ReaderReg {
+        // The state flag is always maintained: the scheduling scans (which
+        // run outside transactions) use it to find reader end times, and it
+        // keeps a flags scan correct in every tracking mode — the key to
+        // sound adaptive switching.
+        //
+        // Ordering matters in adaptive mode: the flag is stored *before*
+        // the mode is sampled. In the SeqCst total order, either this store
+        // precedes the transition controller's drain scan (which then waits
+        // for us), or our mode sample follows its mode CAS (and we register
+        // in the SNZI too). Sampling first would open a window where a
+        // reader is visible in neither structure the writers check.
+        d.store(self.state[tid], STATE_READER);
+        let in_snzi = match self.cfg.reader_tracking {
+            ReaderTracking::Flags => false,
+            ReaderTracking::Snzi => true,
+            ReaderTracking::Adaptive => {
+                let mode = self.mode(d.htm().memory());
+                mode == MODE_SNZI || mode == MODE_TRANS_TO_SNZI
+            }
+        };
+        if in_snzi {
+            self.snzi.as_ref().expect("snzi tracking").arrive(d, tid);
+        }
+        ReaderReg { in_snzi }
+    }
+
+    /// Withdraws the reader announcement (balancing whatever `flag_reader`
+    /// registered, even across a mode switch).
+    pub(crate) fn unflag_reader(&self, d: &Direct<'_>, tid: usize, reg: ReaderReg) {
+        d.store(self.state[tid], STATE_EMPTY);
+        if reg.in_snzi {
+            self.snzi.as_ref().expect("snzi tracking").depart(d, tid);
+        }
+    }
+}
+
+impl RwSync for SpRwl {
+    fn name(&self) -> &'static str {
+        "SpRWL"
+    }
+
+    fn read_section(&self, t: &mut LockThread<'_>, sec: SectionId, f: SectionBody<'_>) -> u64 {
+        self.do_read(t, sec, f)
+    }
+
+    fn write_section(&self, t: &mut LockThread<'_>, sec: SectionId, f: SectionBody<'_>) -> u64 {
+        self.do_write(t, sec, f)
+    }
+}

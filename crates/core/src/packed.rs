@@ -1,0 +1,165 @@
+//! The packed 64-bit metadata word of §3.4.
+//!
+//! The paper sketches (but does not implement) an encoding that folds a
+//! thread's four scheduling variables — `state`, `clock_w`/`clock_r` and
+//! `waiting_for` — into a single word: zero means inactive; otherwise the
+//! MSB distinguishes reader/writer, the next `k` bits carry the
+//! `waiting_for` thread id (supporting up to 1024 threads at `k = 10`),
+//! and the remaining 53 bits carry the clock (several days at nanosecond
+//! granularity). We implement the codec and property-test it; the default
+//! lock keeps the four-array layout (like the authors' prototype), and the
+//! codec documents exactly what the single-word variant would store.
+
+/// Number of bits reserved for the `waiting_for` field.
+pub const WAITING_BITS: u32 = 10;
+/// Maximum encodable thread id.
+pub const MAX_TID: u16 = (1 << WAITING_BITS) - 2; // one value reserved for "none"
+/// Number of bits left for the clock.
+pub const CLOCK_BITS: u32 = 63 - WAITING_BITS;
+/// Maximum encodable clock value (~104 days in nanoseconds).
+pub const MAX_CLOCK: u64 = (1 << CLOCK_BITS) - 1;
+
+const WAITING_NONE: u64 = (1 << WAITING_BITS) - 1;
+
+/// A thread's decoded metadata word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PackedMeta {
+    /// The thread is in no critical section (`⊥` everywhere).
+    Inactive,
+    /// The thread is an active reader.
+    Reader {
+        /// Expected end time of its read critical section (`clock_r`).
+        clock: u64,
+        /// Writer thread this reader is waiting for, if any (`waiting_for`).
+        waiting_for: Option<u16>,
+    },
+    /// The thread is an active writer.
+    Writer {
+        /// Expected end time of its write critical section (`clock_w`).
+        clock: u64,
+    },
+}
+
+impl PackedMeta {
+    /// Encodes into the single-word representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clock exceeds [`MAX_CLOCK`] or a `waiting_for` id
+    /// exceeds [`MAX_TID`] — both impossible for realistic inputs (104
+    /// days of uptime, 1023 threads) and therefore programming errors.
+    pub fn encode(self) -> u64 {
+        match self {
+            PackedMeta::Inactive => 0,
+            PackedMeta::Reader { clock, waiting_for } => {
+                assert!(clock <= MAX_CLOCK, "clock overflow");
+                let wf = match waiting_for {
+                    Some(tid) => {
+                        assert!(tid <= MAX_TID, "tid overflow");
+                        tid as u64
+                    }
+                    None => WAITING_NONE,
+                };
+                // Reader: MSB = 0, but the word must be non-zero even for
+                // clock 0 / no waiting — guaranteed because WAITING_NONE
+                // has all waiting bits set.
+                (wf << CLOCK_BITS) | clock
+            }
+            PackedMeta::Writer { clock } => {
+                assert!(clock <= MAX_CLOCK, "clock overflow");
+                (1 << 63) | (WAITING_NONE << CLOCK_BITS) | clock
+            }
+        }
+    }
+
+    /// Decodes the single-word representation.
+    pub fn decode(word: u64) -> PackedMeta {
+        if word == 0 {
+            return PackedMeta::Inactive;
+        }
+        let clock = word & MAX_CLOCK;
+        let wf = (word >> CLOCK_BITS) & WAITING_NONE;
+        if word >> 63 == 1 {
+            PackedMeta::Writer { clock }
+        } else {
+            PackedMeta::Reader {
+                clock,
+                waiting_for: if wf == WAITING_NONE {
+                    None
+                } else {
+                    Some(wf as u16)
+                },
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_is_zero() {
+        assert_eq!(PackedMeta::Inactive.encode(), 0);
+        assert_eq!(PackedMeta::decode(0), PackedMeta::Inactive);
+    }
+
+    #[test]
+    fn reader_with_no_wait_is_nonzero() {
+        let w = PackedMeta::Reader {
+            clock: 0,
+            waiting_for: None,
+        }
+        .encode();
+        assert_ne!(w, 0, "active reader must be distinguishable from ⊥");
+    }
+
+    #[test]
+    fn roundtrip_representatives() {
+        for m in [
+            PackedMeta::Inactive,
+            PackedMeta::Reader {
+                clock: 12345,
+                waiting_for: None,
+            },
+            PackedMeta::Reader {
+                clock: MAX_CLOCK,
+                waiting_for: Some(0),
+            },
+            PackedMeta::Reader {
+                clock: 0,
+                waiting_for: Some(MAX_TID),
+            },
+            PackedMeta::Writer { clock: 0 },
+            PackedMeta::Writer { clock: MAX_CLOCK },
+        ] {
+            assert_eq!(PackedMeta::decode(m.encode()), m, "roundtrip of {m:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "clock overflow")]
+    fn oversized_clock_panics() {
+        let _ = PackedMeta::Writer {
+            clock: MAX_CLOCK + 1,
+        }
+        .encode();
+    }
+
+    #[test]
+    #[should_panic(expected = "tid overflow")]
+    fn oversized_tid_panics() {
+        let _ = PackedMeta::Reader {
+            clock: 0,
+            waiting_for: Some(MAX_TID + 1),
+        }
+        .encode();
+    }
+
+    #[test]
+    fn capacity_supports_1023_threads_and_days_of_clock() {
+        const { assert!(MAX_TID >= 1022) };
+        let days = MAX_CLOCK / 1_000_000_000 / 86_400;
+        assert!(days >= 100, "clock range too small: {days} days");
+    }
+}

@@ -1,0 +1,218 @@
+//! The SpRWL read path: optimistic HTM attempt (§3.4), reader
+//! synchronization (§3.2.1, Alg. 2), and the uninstrumented fast path with
+//! the fallback-lock handshake (§3.1, Alg. 1).
+
+use htm_sim::clock;
+use htm_sim::TxKind;
+use sprwl_locks::{AbortCause, CommitMode, LockThread, Role, SectionBody, SectionId};
+
+use crate::lock::{SpRwl, NONE, STATE_WRITER};
+
+impl SpRwl {
+    pub(crate) fn do_read(&self, t: &mut LockThread<'_>, sec: SectionId, f: SectionBody<'_>) -> u64 {
+        let start = clock::now();
+        let tid = t.tid();
+        let mem = t.ctx.htm().memory();
+
+        // §3.4 optimization: attempt the read section speculatively first.
+        // Readers that fit in HTM commit like TLE would; capacity aborts
+        // switch to the uninstrumented path immediately. Under the
+        // predictive refinement, a section whose last probe overflowed
+        // capacity skips hardware for a window of executions.
+        if self.cfg.readers_try_htm && self.reader_htm_worth_probing(sec) {
+            let mut attempts = 0u32;
+            loop {
+                self.fallback.wait_until_free(mem);
+                attempts += 1;
+                match t.ctx.txn(TxKind::Htm, |tx| {
+                    self.fallback.subscribe(tx)?;
+                    let t0 = clock::now();
+                    let r = f(tx)?;
+                    Ok((r, clock::now() - t0))
+                }) {
+                    Ok((r, dur)) => {
+                        self.est.record(tid, sec, dur);
+                        t.stats
+                            .record_commit(Role::Reader, CommitMode::Htm, clock::now() - start);
+                        return r;
+                    }
+                    Err(abort) => {
+                        t.stats
+                            .record_abort(AbortCause::classify(abort, TxKind::Htm));
+                        if abort.is_capacity() && self.cfg.adaptive_reader_htm {
+                            self.htm_skip[sec.index()].store(crate::lock::HTM_PROBE_WINDOW);
+                        }
+                        if !self.cfg.reader_retry.should_retry(attempts, abort) {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        // §3.2.1: synchronize with active writers before announcing.
+        if self.cfg.scheduling.readers_wait() {
+            self.readers_wait(tid, mem);
+        }
+        // §3.2.2: advertise our expected end time so aborted writers can
+        // time their retry.
+        if self.cfg.scheduling.writers_wait() {
+            self.clock_r[tid].store(self.est.end_time(sec));
+        }
+
+        // Alg. 1: announce, then defer to a fallback-lock holder if any
+        // (withdrawing the announcement first — this ordering is what makes
+        // reader/fallback-writer deadlock impossible, §3.3).
+        let d = t.ctx.direct();
+        let reg = loop {
+            let reg = self.flag_reader(&d, tid);
+            if self.reader_may_proceed(tid, mem) {
+                break reg;
+            }
+            self.unflag_reader(&d, tid, reg);
+            self.reader_wait_for_gl(tid, mem);
+        };
+
+        let t0 = clock::now();
+        let mut acc = t.ctx.direct();
+        let r = f(&mut acc).expect("uninstrumented read sections cannot abort");
+        let dur = clock::now() - t0;
+
+        self.unflag_reader(&d, tid, reg);
+        if self.cfg.scheduling.writers_wait() {
+            self.clock_r[tid].store(0);
+        }
+        self.est.record(tid, sec, dur);
+        self.adapt_after_section(t, true, dur);
+        t.stats
+            .record_commit(Role::Reader, CommitMode::Unins, clock::now() - start);
+        r
+    }
+
+    /// Predictive readers-try-HTM (§3.4): `true` when the section should
+    /// probe hardware. Capacity-doomed sections decrement a skip budget;
+    /// when it drains, one probe is allowed (re-arming on another capacity
+    /// abort). Racy decrements are fine — this is a statistical policy.
+    fn reader_htm_worth_probing(&self, sec: sprwl_locks::SectionId) -> bool {
+        if !self.cfg.adaptive_reader_htm {
+            return true;
+        }
+        let slot = &self.htm_skip[sec.index()];
+        let remaining = slot.load();
+        if remaining == 0 {
+            return true;
+        }
+        slot.store(remaining - 1);
+        false
+    }
+
+    /// `Readers_Wait()` (Alg. 2): wait for the active writer expected to
+    /// finish last — or join a reader already waiting, aligning reader
+    /// start times (the `RSync` refinement over `RWait`).
+    fn readers_wait(&self, tid: usize, mem: &htm_sim::SimMemory) {
+        let mut wait_for: Option<usize> = None;
+        let mut max_end = 0u64;
+        for i in 0..self.n {
+            if i == tid {
+                continue;
+            }
+            if mem.peek(self.state[i]) == STATE_WRITER {
+                let end = self.clock_w[i].load();
+                if end >= max_end {
+                    max_end = end;
+                    wait_for = Some(i);
+                }
+            } else if self.cfg.scheduling.readers_join() {
+                let wf = self.waiting_for[i].load();
+                if wf != NONE {
+                    // Join the waiting reader: start as soon as it does.
+                    wait_for = Some(wf as usize);
+                    break;
+                }
+            }
+        }
+        let Some(w) = wait_for else { return };
+        self.waiting_for[tid].store(w as u64);
+        // Bound the wait by the writer's advertised end time plus one
+        // refresh (it may start one more section before we sample the flag
+        // down). Safety never depends on this wait — it only trades reader
+        // latency against writer aborts — and an unbounded poll can starve
+        // readers on hosts whose schedulers sample the flag too coarsely
+        // to catch the brief flag-down window between back-to-back writes.
+        let start = clock::now();
+        let advertised_end = self.clock_w[w].load().max(start);
+        let section_est = advertised_end - start;
+        let deadline = advertised_end + section_est + 10_000;
+        if self.cfg.timed_reader_wait {
+            // §3.4: park until the writer's advertised end time instead of
+            // hammering its state line.
+            clock::spin_until(advertised_end.min(deadline));
+        }
+        let mut spin = clock::SpinWait::new();
+        while mem.peek(self.state[w]) == STATE_WRITER && clock::now() < deadline {
+            spin.snooze();
+        }
+        self.waiting_for[tid].store(NONE);
+    }
+
+    /// Alg. 1 line 29 (plus the §3.3 versioned extension): may an announced
+    /// reader enter, or must it defer to a fallback-lock writer?
+    fn reader_may_proceed(&self, tid: usize, mem: &htm_sim::SimMemory) -> bool {
+        let (version, locked) = self.fallback.peek(mem);
+        if !locked {
+            self.waiting_version[tid].store(NONE);
+            return true;
+        }
+        if !self.cfg.versioned_sgl {
+            return false;
+        }
+        // Versioned SGL: remember the first version we observed; once the
+        // version has advanced past it, we have waited through a full
+        // writer turn and may enter — the current holder defers to us (it
+        // waits for registered versions smaller than its own before
+        // executing, and for our state flag afterwards).
+        let registered = self.waiting_version[tid].load();
+        if registered == NONE {
+            self.waiting_version[tid].store(version);
+            false
+        } else if version > registered {
+            self.waiting_version[tid].store(NONE);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Wait until the fallback lock frees (or, versioned, until its version
+    /// advances past our registration so we may bypass).
+    fn reader_wait_for_gl(&self, tid: usize, mem: &htm_sim::SimMemory) {
+        let mut spin = clock::SpinWait::new();
+        loop {
+            let (version, locked) = self.fallback.peek(mem);
+            if !locked {
+                return;
+            }
+            if self.cfg.versioned_sgl {
+                let registered = self.waiting_version[tid].load();
+                if registered != NONE && version > registered {
+                    return;
+                }
+            }
+            spin.snooze();
+        }
+    }
+
+    /// Test hook: whether this lock's scheduling would make a reader wait
+    /// right now (used by scheduling unit tests).
+    #[doc(hidden)]
+    pub fn would_reader_wait(&self, tid: usize, mem: &htm_sim::SimMemory) -> bool {
+        if !self.cfg.scheduling.readers_wait() {
+            return false;
+        }
+        (0..self.n).any(|i| {
+            i != tid
+                && (mem.peek(self.state[i]) == STATE_WRITER
+                    || (self.cfg.scheduling.readers_join() && self.waiting_for[i].load() != NONE))
+        })
+    }
+}

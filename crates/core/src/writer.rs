@@ -1,0 +1,144 @@
+//! The SpRWL write path: speculative execution with the commit-time reader
+//! check (§3.1, Alg. 1), writer advertisement for reader synchronization
+//! (§3.2.1, Alg. 2) and the timed retry of writer synchronization
+//! (§3.2.2, Alg. 3).
+
+use htm_sim::clock;
+use htm_sim::{Abort, TxKind};
+use sprwl_locks::{AbortCause, CommitMode, LockThread, Role, SectionBody, SectionId, ABORT_READER};
+
+use crate::lock::{SpRwl, NONE, STATE_EMPTY, STATE_READER, STATE_WRITER};
+
+impl SpRwl {
+    pub(crate) fn do_write(&self, t: &mut LockThread<'_>, sec: SectionId, f: SectionBody<'_>) -> u64 {
+        let start = clock::now();
+        let tid = t.tid();
+        let mem = t.ctx.htm().memory();
+
+        // Alg. 2: advertise ourselves so newly arriving readers defer to us
+        // (fairness: they cannot abort an already-active writer). The flag
+        // stays up across retries and the fallback — the paper calls this
+        // out explicitly — and is cleared once the section commits.
+        let advertise = self.cfg.scheduling.readers_wait();
+        if advertise {
+            self.clock_w[tid].store(self.est.end_time(sec));
+            t.ctx.direct().store(self.state[tid], STATE_WRITER);
+        }
+
+        let mut attempts = 0u32;
+        let committed = loop {
+            self.fallback.wait_until_free(mem);
+            attempts += 1;
+            match t.ctx.txn(TxKind::Htm, |tx| {
+                self.fallback.subscribe(tx)?;
+                let t0 = clock::now();
+                let r = f(tx)?;
+                let dur = clock::now() - t0;
+                // W-checkR: commit only in the absence of active readers.
+                self.check_for_readers(tx, tid)?;
+                Ok((r, dur))
+            }) {
+                Ok((r, dur)) => {
+                    self.est.record(tid, sec, dur);
+                    self.adapt_after_section(t, false, dur);
+                    break Some(r);
+                }
+                Err(abort) => {
+                    t.stats
+                        .record_abort(AbortCause::classify(abort, TxKind::Htm));
+                    if !self.cfg.writer_retry.should_retry(attempts, abort) {
+                        break None;
+                    }
+                    // Alg. 3: after a reader-induced abort, delay the retry
+                    // so the re-execution finishes δ after the last reader.
+                    if self.cfg.scheduling.writers_wait() && abort == Abort::Explicit(ABORT_READER)
+                    {
+                        self.writer_wait(tid, sec, mem);
+                        if advertise {
+                            // Refresh the advertised end time after the delay.
+                            self.clock_w[tid].store(self.est.end_time(sec));
+                        }
+                    }
+                }
+            }
+        };
+
+        if let Some(r) = committed {
+            if advertise {
+                t.ctx.direct().store(self.state[tid], STATE_EMPTY);
+            }
+            t.stats
+                .record_commit(Role::Writer, CommitMode::Htm, clock::now() - start);
+            return r;
+        }
+
+        // Fallback: acquire the global lock (dooming subscribed
+        // transactions), defer to bypassing readers (§3.3, versioned mode),
+        // wait for active readers, then run uninstrumented.
+        let d = t.ctx.direct();
+        let version = self.fallback.acquire(&d);
+        if self.cfg.versioned_sgl {
+            self.wait_for_bypassing_readers(version);
+        }
+        self.wait_for_readers(&d, tid);
+        let t0 = clock::now();
+        let mut acc = t.ctx.direct();
+        let r = f(&mut acc).expect("fallback write sections cannot abort");
+        let dur = clock::now() - t0;
+        self.est.record(tid, sec, dur);
+        self.adapt_after_section(t, false, dur);
+        self.fallback.release(&t.ctx.direct());
+        if advertise {
+            t.ctx.direct().store(self.state[tid], STATE_EMPTY);
+        }
+        t.stats
+            .record_commit(Role::Writer, CommitMode::Gl, clock::now() - start);
+        r
+    }
+
+    /// `writer_wait()` (Alg. 3): find the last active reader's advertised
+    /// end time and stall so that our re-execution ends δ after it —
+    /// maximizing overlap with readers while still committing clean.
+    fn writer_wait(&self, tid: usize, sec: SectionId, mem: &htm_sim::SimMemory) {
+        let mut last_reader_end = 0u64;
+        for i in 0..self.n {
+            if i == tid {
+                continue;
+            }
+            if mem.peek(self.state[i]) == STATE_READER {
+                last_reader_end = last_reader_end.max(self.clock_r[i].load());
+            }
+        }
+        if last_reader_end == 0 {
+            return;
+        }
+        let my_duration = self.est.duration(sec);
+        let delta = self.cfg.delta.resolve(my_duration);
+        // Start so that (start + my_duration) == last_reader_end + delta.
+        let start_at = (last_reader_end + delta).saturating_sub(my_duration);
+        clock::spin_until(start_at);
+    }
+
+    /// §3.3 versioned-SGL writer side: before executing under the lock,
+    /// defer to readers that registered while an *earlier* holder was in —
+    /// they are entitled to bypass us.
+    fn wait_for_bypassing_readers(&self, my_version: u64) {
+        let mut spin = clock::SpinWait::new();
+        loop {
+            let any_senior = (0..self.n).any(|i| {
+                let v = self.waiting_version[i].load();
+                v != NONE && v < my_version
+            });
+            if !any_senior {
+                return;
+            }
+            spin.snooze();
+        }
+    }
+
+    /// Test hook: the commit-time reader check exposed for white-box tests.
+    #[doc(hidden)]
+    pub fn any_reader_flag_set(&self, mem: &htm_sim::SimMemory, me: usize) -> bool {
+        (0..self.n).any(|i| i != me && mem.peek(self.state[i]) == STATE_READER)
+    }
+}

@@ -1,0 +1,187 @@
+//! Tests for the self-tuning reader tracking (§5 future work): mode
+//! switching policy and safety across switches.
+
+use htm_sim::{CapacityProfile, Htm, HtmConfig};
+use sprwl::{SpRwl, SprwlConfig};
+use sprwl_locks::{LockThread, RwSync, SectionId};
+
+fn htm(threads: usize) -> Htm {
+    Htm::new(
+        HtmConfig {
+            max_threads: threads,
+            capacity: CapacityProfile::POWER8_SIM,
+            ..HtmConfig::default()
+        },
+        64 * 1024,
+    )
+}
+
+const SEC_R: SectionId = SectionId(0);
+const SEC_W: SectionId = SectionId(1);
+
+#[test]
+fn adaptive_starts_with_flags() {
+    let h = htm(2);
+    let lock = SpRwl::new(&h, SprwlConfig::adaptive());
+    assert!(!lock.snzi_engaged(h.memory()));
+    assert_eq!(lock.variant_label(), "Adaptive");
+}
+
+#[test]
+fn long_readers_engage_the_snzi() {
+    let h = htm(2);
+    let lock = SpRwl::new(
+        &h,
+        SprwlConfig {
+            readers_try_htm: false, // keep readers on the uninstrumented path
+            ..SprwlConfig::adaptive()
+        },
+    );
+    let big = h.memory().alloc_line_aligned(8 * 300);
+    let cell = h.memory().alloc(1).cell(0);
+    let mut t = LockThread::new(h.thread(0));
+    // Long reads, short writes: the duration ratio must cross the
+    // switching threshold. Run past the cooldown (5 ms).
+    let deadline = std::time::Instant::now() + std::time::Duration::from_millis(300);
+    while std::time::Instant::now() < deadline && !lock.snzi_engaged(h.memory()) {
+        lock.read_section(&mut t, SEC_R, &mut |a| {
+            let mut s = 0;
+            for i in 0..300 {
+                s += a.read(big.cell(i * 8))?;
+            }
+            Ok(s)
+        });
+        lock.write_section(&mut t, SEC_W, &mut |a| {
+            let v = a.read(cell)?;
+            a.write(cell, v + 1)
+                .map(|_| v)
+        });
+    }
+    assert!(
+        lock.snzi_engaged(h.memory()),
+        "long readers should have engaged the SNZI"
+    );
+}
+
+#[test]
+fn short_readers_disengage_the_snzi_again() {
+    let h = htm(2);
+    let lock = SpRwl::new(
+        &h,
+        SprwlConfig {
+            readers_try_htm: false,
+            ..SprwlConfig::adaptive()
+        },
+    );
+    let big = h.memory().alloc_line_aligned(8 * 300);
+    let cell = h.memory().alloc(1).cell(0);
+    let mut t = LockThread::new(h.thread(0));
+
+    // Phase 1: engage.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_millis(300);
+    while std::time::Instant::now() < deadline && !lock.snzi_engaged(h.memory()) {
+        lock.read_section(&mut t, SEC_R, &mut |a| {
+            let mut s = 0;
+            for i in 0..300 {
+                s += a.read(big.cell(i * 8))?;
+            }
+            Ok(s)
+        });
+        lock.write_section(&mut t, SEC_W, &mut |a| {
+            let v = a.read(cell)?;
+            a.write(cell, v + 1).map(|_| v)
+        });
+    }
+    assert!(lock.snzi_engaged(h.memory()), "precondition: engaged");
+
+    // Phase 2: short reads, heavier writes — ratio collapses, tracker
+    // reverts to flags after the cooldown.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_millis(500);
+    while std::time::Instant::now() < deadline && lock.snzi_engaged(h.memory()) {
+        lock.read_section(&mut t, SEC_R, &mut |a| a.read(cell));
+        lock.write_section(&mut t, SEC_W, &mut |a| {
+            let mut v = 0;
+            for i in 0..40 {
+                v = a.read(big.cell(i * 8))?;
+                a.write(big.cell(i * 8), v + 1)?;
+            }
+            Ok(v)
+        });
+    }
+    assert!(
+        !lock.snzi_engaged(h.memory()),
+        "short readers should have disengaged the SNZI"
+    );
+}
+
+#[test]
+fn audits_stay_consistent_across_mode_switches() {
+    // Concurrent bank audit while the workload's reader size oscillates,
+    // forcing tracker switches mid-flight.
+    const THREADS: usize = 4;
+    const SLOTS: usize = 16;
+    let h = htm(THREADS);
+    let lock = SpRwl::new(
+        &h,
+        SprwlConfig {
+            readers_try_htm: false,
+            ..SprwlConfig::adaptive()
+        },
+    );
+    let slots = h.memory().alloc_line_aligned(SLOTS * 8);
+    for i in 0..SLOTS {
+        h.memory().init_store(slots.cell(i * 8), 64);
+    }
+    let pad = h.memory().alloc_line_aligned(8 * 256);
+    std::thread::scope(|s| {
+        for tid in 0..THREADS {
+            let (h, lock, slots, pad) = (&h, &lock, &slots, &pad);
+            s.spawn(move || {
+                let mut t = LockThread::new(h.thread(tid));
+                let mut x = (tid as u64 + 7) | 1;
+                let mut rnd = move || {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    x
+                };
+                for op in 0..400usize {
+                    // Oscillate reader length in phases to force switches.
+                    let long_phase = (op / 100) % 2 == 0;
+                    if op % 4 == 0 {
+                        let from = (rnd() as usize) % SLOTS;
+                        let to = (rnd() as usize) % SLOTS;
+                        lock.write_section(&mut t, SEC_W, &mut |a| {
+                            let f = a.read(slots.cell(from * 8))?;
+                            if f == 0 || from == to {
+                                return Ok(0);
+                            }
+                            let v = a.read(slots.cell(to * 8))?;
+                            a.write(slots.cell(from * 8), f - 1)?;
+                            a.write(slots.cell(to * 8), v + 1)?;
+                            Ok(1)
+                        });
+                    } else {
+                        let sum = lock.read_section(&mut t, SEC_R, &mut |a| {
+                            let mut sum = 0;
+                            for i in 0..SLOTS {
+                                sum += a.read(slots.cell(i * 8))?;
+                            }
+                            if long_phase {
+                                for i in 0..256 {
+                                    let _ = a.read(pad.cell(i * 8))?;
+                                }
+                            }
+                            Ok(sum)
+                        });
+                        assert_eq!(sum, SLOTS as u64 * 64, "torn snapshot across mode switch");
+                    }
+                }
+            });
+        }
+    });
+    let total: u64 = (0..SLOTS)
+        .map(|i| h.direct(0).load(slots.cell(i * 8)))
+        .sum();
+    assert_eq!(total, SLOTS as u64 * 64);
+}

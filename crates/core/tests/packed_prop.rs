@@ -1,0 +1,53 @@
+//! Property tests for the §3.4 packed metadata word codec.
+
+use proptest::prelude::*;
+use sprwl::packed::{PackedMeta, MAX_CLOCK, MAX_TID};
+
+fn meta_strategy() -> impl Strategy<Value = PackedMeta> {
+    prop_oneof![
+        Just(PackedMeta::Inactive),
+        (0..=MAX_CLOCK, proptest::option::of(0..=MAX_TID)).prop_map(|(clock, waiting_for)| {
+            PackedMeta::Reader { clock, waiting_for }
+        }),
+        (0..=MAX_CLOCK).prop_map(|clock| PackedMeta::Writer { clock }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// encode ∘ decode = id over the whole domain.
+    #[test]
+    fn roundtrip(meta in meta_strategy()) {
+        prop_assert_eq!(PackedMeta::decode(meta.encode()), meta);
+    }
+
+    /// Zero means inactive and *only* inactive: every active encoding is
+    /// non-zero (the algorithm tests `state != ⊥` with one comparison).
+    #[test]
+    fn only_inactive_encodes_to_zero(meta in meta_strategy()) {
+        if meta == PackedMeta::Inactive {
+            prop_assert_eq!(meta.encode(), 0);
+        } else {
+            prop_assert_ne!(meta.encode(), 0);
+        }
+    }
+
+    /// The MSB distinguishes writers from everything else, so a writer
+    /// check is a single sign test.
+    #[test]
+    fn writer_bit_is_the_msb(meta in meta_strategy()) {
+        let encoded = meta.encode();
+        let is_writer = matches!(meta, PackedMeta::Writer { .. });
+        prop_assert_eq!(encoded >> 63 == 1, is_writer);
+    }
+
+    /// Distinct metadata encode to distinct words (injectivity), so CAS on
+    /// the packed word can never confuse two logical states.
+    #[test]
+    fn encoding_is_injective(a in meta_strategy(), b in meta_strategy()) {
+        if a != b {
+            prop_assert_ne!(a.encode(), b.encode());
+        }
+    }
+}

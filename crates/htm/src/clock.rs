@@ -1,0 +1,114 @@
+//! A cheap process-wide monotonic clock, standing in for `rdtsc`.
+//!
+//! SpRWL uses the hardware timestamp counter to (a) estimate critical
+//! section durations with an exponential moving average and (b) spin until
+//! a target instant. Nanoseconds from a process-global [`std::time::Instant`]
+//! provide the same monotonic, low-overhead contract here.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static START: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds elapsed since the first call in this process.
+///
+/// Monotonic and cheap; granularity is whatever the OS clock offers, which
+/// is ample for duration estimation.
+///
+/// ```
+/// let a = htm_sim::clock::now();
+/// let b = htm_sim::clock::now();
+/// assert!(b >= a);
+/// ```
+#[inline]
+pub fn now() -> u64 {
+    START.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Spins (with escalating politeness) until [`now`] reaches `deadline_ns`.
+///
+/// This mirrors SpRWL’s `wait until rdtsc() >= wait`: a timed wait that
+/// avoids hammering shared memory. On oversubscribed hosts the loop yields
+/// to the OS scheduler so other simulated threads can make progress.
+pub fn spin_until(deadline_ns: u64) {
+    let mut spins = 0u32;
+    while now() < deadline_ns {
+        spins += 1;
+        if spins < 32 {
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// A polite spin helper for condition waits: busy-spins briefly, then yields.
+///
+/// Use in loops of the form `while !cond { wait.snooze() }`.
+#[derive(Debug, Default)]
+pub struct SpinWait {
+    spins: u32,
+}
+
+impl SpinWait {
+    /// Creates a fresh spin helper.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// One wait step: cheap CPU pause at first, an OS yield once the wait
+    /// has lasted more than a few iterations (essential on hosts with fewer
+    /// cores than simulated threads).
+    #[inline]
+    pub fn snooze(&mut self) {
+        self.spins = self.spins.saturating_add(1);
+        if self.spins < 16 {
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Resets the escalation counter (call after the condition made progress).
+    pub fn reset(&mut self) {
+        self.spins = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn now_is_monotonic() {
+        let mut last = now();
+        for _ in 0..1000 {
+            let t = now();
+            assert!(t >= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn spin_until_waits_at_least_the_requested_time() {
+        let start = now();
+        spin_until(start + 200_000); // 0.2 ms
+        assert!(now() - start >= 200_000);
+    }
+
+    #[test]
+    fn spin_until_past_deadline_returns_immediately() {
+        let t = now();
+        spin_until(t.saturating_sub(1));
+    }
+
+    #[test]
+    fn spin_wait_escalates_without_panic() {
+        let mut w = SpinWait::new();
+        for _ in 0..64 {
+            w.snooze();
+        }
+        w.reset();
+        w.snooze();
+    }
+}

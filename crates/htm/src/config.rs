@@ -1,0 +1,199 @@
+//! Configuration of the simulated HTM: capacity profiles, conflict policy,
+//! failure injection.
+
+/// Read/write-set capacity limits, in cache lines.
+///
+/// Real HTMs track transactional footprints in cache structures of very
+/// different shapes: Intel Broadwell tolerates roughly 4 MB of reads but
+/// only ~22 KB of writes, while POWER8 caps both at 8 KB. The simulated
+/// profiles keep that *asymmetry* (Broadwell: reads ≫ writes; POWER8:
+/// small and symmetric) while scaling absolute numbers down ×64 so that
+/// the paper’s workloads overflow/fit at laptop-scale populations. The
+/// workload sizes in `sprwl-workloads` are chosen against these profiles;
+/// see DESIGN.md §2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CapacityProfile {
+    /// Human-readable profile name (used in benchmark output).
+    pub name: &'static str,
+    /// Maximum distinct cache lines a hardware transaction may read.
+    pub read_lines: usize,
+    /// Maximum distinct cache lines a hardware transaction may write.
+    pub write_lines: usize,
+    /// Maximum distinct lines a rollback-only transaction (ROT) may write.
+    /// ROTs do not track reads at all, which is exactly why RW-LE uses them.
+    pub rot_write_lines: usize,
+}
+
+impl CapacityProfile {
+    /// Intel Broadwell-like: large read capacity, much smaller write capacity.
+    pub const BROADWELL_SIM: CapacityProfile = CapacityProfile {
+        name: "broadwell-sim",
+        read_lines: 512,
+        write_lines: 64,
+        rot_write_lines: 64,
+    };
+
+    /// IBM POWER8-like: small, symmetric 8 KB-equivalent capacity.
+    pub const POWER8_SIM: CapacityProfile = CapacityProfile {
+        name: "power8-sim",
+        read_lines: 128,
+        write_lines: 128,
+        rot_write_lines: 128,
+    };
+
+    /// Effectively unbounded — for tests that must not hit capacity.
+    pub const UNBOUNDED: CapacityProfile = CapacityProfile {
+        name: "unbounded",
+        read_lines: usize::MAX,
+        write_lines: usize::MAX,
+        rot_write_lines: usize::MAX,
+    };
+
+    /// A deliberately tiny profile for capacity-abort unit tests.
+    pub const TINY: CapacityProfile = CapacityProfile {
+        name: "tiny",
+        read_lines: 4,
+        write_lines: 2,
+        rot_write_lines: 2,
+    };
+
+    /// Whether this profile supports rollback-only transactions and
+    /// suspend/resume (the POWER8-only features RW-LE needs).
+    ///
+    /// Only the POWER8-like profile reports `true`, mirroring the paper’s
+    /// point that RW-LE cannot run on Intel machines at all.
+    pub fn supports_rot(&self) -> bool {
+        self.name == "power8-sim" || self.name == "unbounded" || self.name == "tiny"
+    }
+}
+
+/// What happens when a transactional access conflicts with another *active*
+/// transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ConflictPolicy {
+    /// The requesting access wins and the current holder is doomed — the
+    /// behaviour of coherence-based HTMs (Intel, POWER8), and the policy
+    /// SpRWL’s correctness argument assumes. Default.
+    #[default]
+    RequesterWins,
+    /// The requesting transaction aborts itself instead; kept for the
+    /// conflict-policy ablation benchmark.
+    ResponderWins,
+}
+
+/// Full configuration for an [`crate::Htm`] instance.
+#[derive(Debug, Clone)]
+pub struct HtmConfig {
+    /// Number of simulated hardware threads (size of the transaction table).
+    pub max_threads: usize,
+    /// 64-bit cells per simulated cache line (8 ⇒ 64-byte lines).
+    pub cells_per_line: u32,
+    /// Capacity limits.
+    pub capacity: CapacityProfile,
+    /// Transaction-vs-transaction conflict resolution.
+    pub conflict_policy: ConflictPolicy,
+    /// Probability that any single transactional access triggers a
+    /// spurious “timer interrupt” abort (context-switch/IRQ model).
+    /// `0.0` disables injection.
+    pub interrupt_prob: f64,
+    /// Whether *untracked reads* of a line speculatively written by an
+    /// active transaction doom that transaction (true on real hardware;
+    /// disabling it is an ablation knob).
+    pub reads_doom_writers: bool,
+    /// Seed for the per-thread injection PRNGs (deterministic tests).
+    pub seed: u64,
+}
+
+impl Default for HtmConfig {
+    fn default() -> Self {
+        Self {
+            max_threads: 64,
+            cells_per_line: 8,
+            capacity: CapacityProfile::BROADWELL_SIM,
+            conflict_policy: ConflictPolicy::RequesterWins,
+            interrupt_prob: 0.0,
+            reads_doom_writers: true,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl HtmConfig {
+    /// Convenience constructor: default config with the given capacity
+    /// profile.
+    pub fn with_capacity(capacity: CapacityProfile) -> Self {
+        Self {
+            capacity,
+            ..Self::default()
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field: zero threads, zero
+    /// cells per line, or an out-of-range interrupt probability.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_threads == 0 {
+            return Err("max_threads must be at least 1".into());
+        }
+        if self.max_threads > u32::MAX as usize / 8 {
+            return Err("max_threads is unreasonably large".into());
+        }
+        if self.cells_per_line == 0 {
+            return Err("cells_per_line must be at least 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.interrupt_prob) {
+            return Err("interrupt_prob must be within [0, 1]".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        HtmConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn zero_threads_is_rejected() {
+        let cfg = HtmConfig {
+            max_threads: 0,
+            ..HtmConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn bad_probability_is_rejected() {
+        let cfg = HtmConfig {
+            interrupt_prob: 1.5,
+            ..HtmConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn zero_cells_per_line_is_rejected() {
+        let cfg = HtmConfig {
+            cells_per_line: 0,
+            ..HtmConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn profiles_mirror_platform_asymmetry() {
+        let b = CapacityProfile::BROADWELL_SIM;
+        let p = CapacityProfile::POWER8_SIM;
+        assert!(b.read_lines > b.write_lines, "Broadwell reads >> writes");
+        assert_eq!(p.read_lines, p.write_lines, "POWER8 symmetric");
+        assert!(!b.supports_rot(), "no ROTs on Intel");
+        assert!(p.supports_rot(), "ROTs on POWER8");
+    }
+}

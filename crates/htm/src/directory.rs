@@ -1,0 +1,502 @@
+//! The conflict directory: a sharded map from cache line to the set of
+//! transactions currently holding it.
+//!
+//! This plays the role of the cache-coherence protocol extensions real HTMs
+//! use for conflict detection. Each line entry records at most one
+//! transactional *writer* and any number of transactional *readers*.
+//! Accesses resolve conflicts eagerly:
+//!
+//! * transactional accesses under [`ConflictPolicy::RequesterWins`] doom the
+//!   current holder(s) (coherence requests always win in hardware);
+//! * **untracked** stores doom every transaction holding the line — this is
+//!   the strong-isolation property SpRWL's uninstrumented readers depend on;
+//! * untracked accesses that find the holder mid-commit spin until the
+//!   write-buffer flush finishes, which makes single-cell untracked accesses
+//!   atomic with respect to commits.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::config::ConflictPolicy;
+use crate::memory::LineId;
+use crate::slots::{DoomOutcome, Owner, TxTable};
+use crate::tx::Abort;
+
+#[derive(Debug, Default)]
+struct LineEntry {
+    writer: Option<Owner>,
+    readers: Vec<Owner>,
+}
+
+impl LineEntry {
+    fn is_empty(&self) -> bool {
+        self.writer.is_none() && self.readers.is_empty()
+    }
+}
+
+const SHARD_COUNT: usize = 64;
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: Mutex<HashMap<u32, LineEntry>>,
+    /// Number of live entries, maintained under the mutex. Lets untracked
+    /// *reads* skip the lock entirely when no transaction holds any line
+    /// of the shard — mirroring real hardware, where uninstrumented loads
+    /// are free while transactional tracking costs.
+    occupancy: std::sync::atomic::AtomicUsize,
+}
+
+#[derive(Debug)]
+pub(crate) struct Directory {
+    shards: Box<[Shard]>,
+}
+
+struct ShardGuard<'a> {
+    map: parking_lot::MutexGuard<'a, HashMap<u32, LineEntry>>,
+    occupancy: &'a std::sync::atomic::AtomicUsize,
+}
+
+impl Drop for ShardGuard<'_> {
+    fn drop(&mut self) {
+        self.occupancy
+            .store(self.map.len(), std::sync::atomic::Ordering::SeqCst);
+    }
+}
+
+impl std::ops::Deref for ShardGuard<'_> {
+    type Target = HashMap<u32, LineEntry>;
+
+    fn deref(&self) -> &Self::Target {
+        &self.map
+    }
+}
+
+impl std::ops::DerefMut for ShardGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        &mut self.map
+    }
+}
+
+/// How an untracked (non-transactional) access behaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum UntrackedKind {
+    Read,
+    Write,
+}
+
+impl Directory {
+    pub(crate) fn new() -> Self {
+        let mut shards = Vec::with_capacity(SHARD_COUNT);
+        shards.resize_with(SHARD_COUNT, Shard::default);
+        Self {
+            shards: shards.into_boxed_slice(),
+        }
+    }
+
+    #[inline]
+    fn shard(&self, line: LineId) -> &Shard {
+        // Lines are allocated sequentially; a multiplicative hash spreads
+        // neighbouring lines across shards.
+        let h = (line.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(h >> 58) as usize % SHARD_COUNT]
+    }
+
+    /// Locks a shard; the guard refreshes the occupancy counter on drop.
+    #[inline]
+    fn lock_shard(&self, line: LineId) -> ShardGuard<'_> {
+        let shard = self.shard(line);
+        ShardGuard {
+            map: shard.map.lock(),
+            occupancy: &shard.occupancy,
+        }
+    }
+
+    /// Resolves a conflict between `me` and the holder `other`, per policy.
+    /// Returns `Ok(())` once the holder is out of the way (doomed, stale or
+    /// drained), `Err` if `me` must self-abort.
+    fn resolve_tx_conflict(
+        table: &TxTable,
+        policy: ConflictPolicy,
+        other: Owner,
+    ) -> Result<(), Abort> {
+        match table.doom_or_classify(other, policy) {
+            Ok(DoomOutcome::Dead) | Ok(DoomOutcome::Stale) => Ok(()),
+            Ok(DoomOutcome::Committing) => {
+                table.wait_while_committing(other);
+                Ok(())
+            }
+            Ok(DoomOutcome::Live) => unreachable!("resolved conflicts never stay live"),
+            Err(()) => Err(Abort::Conflict),
+        }
+    }
+
+    /// Registers `me` as a transactional reader of `line`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`Abort::Conflict`] under `ResponderWins` when a live
+    /// writer holds the line.
+    pub(crate) fn acquire_read(
+        &self,
+        line: LineId,
+        me: Owner,
+        table: &TxTable,
+        policy: ConflictPolicy,
+    ) -> Result<(), Abort> {
+        let mut shard = self.lock_shard(line);
+        let entry = shard.entry(line.0).or_default();
+        if let Some(other) = entry.writer {
+            if other != me {
+                Self::resolve_tx_conflict(table, policy, other)?;
+                entry.writer = None;
+            }
+        }
+        debug_assert!(!entry.readers.contains(&me));
+        entry.readers.push(me);
+        Ok(())
+    }
+
+    /// Registers `me` as the transactional writer of `line`, dooming (or
+    /// deferring to, per policy) any other holder.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`Abort::Conflict`] under `ResponderWins` when another
+    /// live transaction holds the line.
+    pub(crate) fn acquire_write(
+        &self,
+        line: LineId,
+        me: Owner,
+        table: &TxTable,
+        policy: ConflictPolicy,
+    ) -> Result<(), Abort> {
+        let mut shard = self.lock_shard(line);
+        let entry = shard.entry(line.0).or_default();
+        if let Some(other) = entry.writer {
+            if other != me {
+                Self::resolve_tx_conflict(table, policy, other)?;
+                entry.writer = None;
+            }
+        }
+        // Doom / defer to readers other than me.
+        let mut i = 0;
+        while i < entry.readers.len() {
+            let r = entry.readers[i];
+            if r == me {
+                i += 1;
+                continue;
+            }
+            Self::resolve_tx_conflict(table, policy, r)?;
+            entry.readers.swap_remove(i);
+        }
+        entry.writer = Some(me);
+        Ok(())
+    }
+
+    /// Performs an untracked access to `line`: resolves conflicts with
+    /// transactional holders, then runs `op` (the raw memory operation)
+    /// **while still holding the line's shard lock**, so the operation is
+    /// linearized against transactional acquisitions of the same line.
+    ///
+    /// Untracked writes doom every holder; untracked reads doom a live
+    /// transactional writer iff `reads_doom` (strong isolation); both wait
+    /// out an in-flight commit so the raw operation happens after the flush.
+    pub(crate) fn untracked_op<R>(
+        &self,
+        line: LineId,
+        kind: UntrackedKind,
+        reads_doom: bool,
+        table: &TxTable,
+        op: impl FnOnce() -> R,
+    ) -> R {
+        // Fast path: an untracked READ of a line in a shard with no live
+        // entries cannot conflict with anything — it linearizes before any
+        // in-flight registration — so it skips the lock entirely. Stores
+        // must always take the slow path: their doom of registered holders
+        // has to be serialized with registration.
+        if kind == UntrackedKind::Read
+            && self
+                .shard(line)
+                .occupancy
+                .load(std::sync::atomic::Ordering::SeqCst)
+                == 0
+        {
+            return op();
+        }
+        let mut shard = self.lock_shard(line);
+        if let Some(entry) = shard.get_mut(&line.0) {
+            if let Some(other) = entry.writer {
+                let doom_it = kind == UntrackedKind::Write || reads_doom;
+                match if doom_it {
+                    table.doom(other)
+                } else {
+                    table.classify(other)
+                } {
+                    DoomOutcome::Dead | DoomOutcome::Stale => {
+                        if doom_it {
+                            entry.writer = None;
+                        }
+                    }
+                    DoomOutcome::Committing => {
+                        table.wait_while_committing(other);
+                        entry.writer = None;
+                    }
+                    // reads_doom disabled: the writer stays speculative and
+                    // the untracked read observes the pre-transaction value,
+                    // which is exactly what buffered writes imply.
+                    DoomOutcome::Live => {}
+                }
+            }
+            if kind == UntrackedKind::Write {
+                for r in entry.readers.drain(..) {
+                    let _ = table.doom(r);
+                }
+            }
+            if entry.is_empty() {
+                shard.remove(&line.0);
+            }
+        }
+        op()
+    }
+
+    /// Conflict-resolution-only variant of [`Self::untracked_op`].
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn untracked_access(
+        &self,
+        line: LineId,
+        kind: UntrackedKind,
+        reads_doom: bool,
+        table: &TxTable,
+    ) {
+        self.untracked_op(line, kind, reads_doom, table, || ());
+    }
+
+    /// Removes `me`'s registrations for the given lines (commit or abort
+    /// cleanup). Idempotent: entries already cleared by conflicting accesses
+    /// are skipped.
+    pub(crate) fn release<'a>(
+        &self,
+        me: Owner,
+        read_lines: impl Iterator<Item = &'a LineId>,
+        write_lines: impl Iterator<Item = &'a LineId>,
+    ) {
+        for &line in read_lines {
+            let mut shard = self.lock_shard(line);
+            if let Some(entry) = shard.get_mut(&line.0) {
+                entry.readers.retain(|&r| r != me);
+                if entry.is_empty() {
+                    shard.remove(&line.0);
+                }
+            }
+        }
+        for &line in write_lines {
+            let mut shard = self.lock_shard(line);
+            if let Some(entry) = shard.get_mut(&line.0) {
+                if entry.writer == Some(me) {
+                    entry.writer = None;
+                }
+                if entry.is_empty() {
+                    shard.remove(&line.0);
+                }
+            }
+        }
+    }
+
+    /// Number of lines with live entries (test/debug aid).
+    #[cfg(test)]
+    pub(crate) fn live_lines(&self) -> usize {
+        self.shards.iter().map(|s| s.map.lock().len()).sum()
+    }
+}
+
+impl TxTable {
+    /// Policy-dispatching doom: under `RequesterWins` dooms the holder;
+    /// under `ResponderWins` reports `Err(())` if the holder is live (the
+    /// requester must abort itself), and classifies otherwise.
+    fn doom_or_classify(
+        &self,
+        other: Owner,
+        policy: ConflictPolicy,
+    ) -> Result<DoomOutcome, ()> {
+        match policy {
+            ConflictPolicy::RequesterWins => Ok(self.doom(other)),
+            ConflictPolicy::ResponderWins => match self.classify(other) {
+                DoomOutcome::Live => Err(()),
+                other_state => Ok(other_state),
+            },
+        }
+    }
+
+    /// Non-destructive classification of `other`'s state.
+    pub(crate) fn classify(&self, other: Owner) -> DoomOutcome {
+        use crate::slots::{epoch_of, state_of, ST_ACTIVE, ST_COMMITTING, ST_DOOMED, ST_SUSPENDED};
+        let w = self.load(other.tid);
+        if epoch_of(w) != other.epoch {
+            return DoomOutcome::Stale;
+        }
+        match state_of(w) {
+            ST_COMMITTING => DoomOutcome::Committing,
+            ST_DOOMED => DoomOutcome::Dead,
+            ST_ACTIVE | ST_SUSPENDED => DoomOutcome::Live,
+            _ => DoomOutcome::Stale,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn owner(tid: u32, epoch: u64) -> Owner {
+        Owner { tid, epoch }
+    }
+
+    #[test]
+    fn read_read_sharing_is_conflict_free() {
+        let dir = Directory::new();
+        let table = TxTable::new(4);
+        let line = LineId(7);
+        table.begin(0, 1);
+        table.begin(1, 1);
+        dir.acquire_read(line, owner(0, 1), &table, ConflictPolicy::RequesterWins)
+            .unwrap();
+        dir.acquire_read(line, owner(1, 1), &table, ConflictPolicy::RequesterWins)
+            .unwrap();
+        assert!(!table.is_doomed(owner(0, 1)));
+        assert!(!table.is_doomed(owner(1, 1)));
+    }
+
+    #[test]
+    fn write_dooms_readers_under_requester_wins() {
+        let dir = Directory::new();
+        let table = TxTable::new(4);
+        let line = LineId(3);
+        table.begin(0, 1);
+        table.begin(1, 1);
+        dir.acquire_read(line, owner(0, 1), &table, ConflictPolicy::RequesterWins)
+            .unwrap();
+        dir.acquire_write(line, owner(1, 1), &table, ConflictPolicy::RequesterWins)
+            .unwrap();
+        assert!(table.is_doomed(owner(0, 1)));
+        assert!(!table.is_doomed(owner(1, 1)));
+    }
+
+    #[test]
+    fn write_self_aborts_under_responder_wins() {
+        let dir = Directory::new();
+        let table = TxTable::new(4);
+        let line = LineId(3);
+        table.begin(0, 1);
+        table.begin(1, 1);
+        dir.acquire_read(line, owner(0, 1), &table, ConflictPolicy::ResponderWins)
+            .unwrap();
+        let res = dir.acquire_write(line, owner(1, 1), &table, ConflictPolicy::ResponderWins);
+        assert_eq!(res, Err(Abort::Conflict));
+        assert!(!table.is_doomed(owner(0, 1)), "holder survives");
+    }
+
+    #[test]
+    fn untracked_write_dooms_readers_and_writer() {
+        let dir = Directory::new();
+        let table = TxTable::new(4);
+        let line = LineId(9);
+        table.begin(0, 1);
+        table.begin(1, 1);
+        dir.acquire_read(line, owner(0, 1), &table, ConflictPolicy::RequesterWins)
+            .unwrap();
+        dir.acquire_write(line, owner(1, 1), &table, ConflictPolicy::RequesterWins)
+            .unwrap();
+        dir.untracked_access(line, UntrackedKind::Write, true, &table);
+        assert!(table.is_doomed(owner(0, 1)));
+        assert!(table.is_doomed(owner(1, 1)));
+    }
+
+    #[test]
+    fn untracked_read_dooms_writer_only_when_enabled() {
+        let dir = Directory::new();
+        let table = TxTable::new(4);
+        let line = LineId(2);
+        table.begin(0, 1);
+        dir.acquire_write(line, owner(0, 1), &table, ConflictPolicy::RequesterWins)
+            .unwrap();
+        dir.untracked_access(line, UntrackedKind::Read, false, &table);
+        assert!(!table.is_doomed(owner(0, 1)), "reads_doom disabled");
+        dir.untracked_access(line, UntrackedKind::Read, true, &table);
+        assert!(table.is_doomed(owner(0, 1)), "strong isolation dooms");
+    }
+
+    #[test]
+    fn untracked_read_never_dooms_plain_readers() {
+        let dir = Directory::new();
+        let table = TxTable::new(4);
+        let line = LineId(4);
+        table.begin(0, 1);
+        dir.acquire_read(line, owner(0, 1), &table, ConflictPolicy::RequesterWins)
+            .unwrap();
+        dir.untracked_access(line, UntrackedKind::Read, true, &table);
+        assert!(!table.is_doomed(owner(0, 1)));
+    }
+
+    #[test]
+    fn release_clears_entries() {
+        let dir = Directory::new();
+        let table = TxTable::new(4);
+        let r_line = LineId(1);
+        let w_line = LineId(2);
+        table.begin(0, 1);
+        dir.acquire_read(r_line, owner(0, 1), &table, ConflictPolicy::RequesterWins)
+            .unwrap();
+        dir.acquire_write(w_line, owner(0, 1), &table, ConflictPolicy::RequesterWins)
+            .unwrap();
+        assert_eq!(dir.live_lines(), 2);
+        dir.release(owner(0, 1), [r_line].iter(), [w_line].iter());
+        assert_eq!(dir.live_lines(), 0);
+    }
+
+    #[test]
+    fn stale_epoch_entries_are_ignored() {
+        let dir = Directory::new();
+        let table = TxTable::new(4);
+        let line = LineId(5);
+        table.begin(0, 1);
+        dir.acquire_write(line, owner(0, 1), &table, ConflictPolicy::RequesterWins)
+            .unwrap();
+        // Thread 0 moves on to epoch 2 without cleanup (simulating a lost
+        // race: cleanup happens later).
+        table.begin(0, 2);
+        table.begin(1, 1);
+        dir.acquire_write(line, owner(1, 1), &table, ConflictPolicy::RequesterWins)
+            .unwrap();
+        assert!(!table.is_doomed(owner(0, 2)), "new epoch untouched");
+    }
+
+    #[test]
+    fn reacquiring_own_write_line_is_idempotent() {
+        let dir = Directory::new();
+        let table = TxTable::new(4);
+        let line = LineId(6);
+        table.begin(0, 1);
+        let me = owner(0, 1);
+        dir.acquire_write(line, me, &table, ConflictPolicy::RequesterWins)
+            .unwrap();
+        dir.acquire_write(line, me, &table, ConflictPolicy::RequesterWins)
+            .unwrap();
+        assert!(!table.is_doomed(me));
+        assert_eq!(dir.live_lines(), 1);
+    }
+
+    #[test]
+    fn reader_then_writer_upgrade_by_same_tx() {
+        let dir = Directory::new();
+        let table = TxTable::new(4);
+        let line = LineId(8);
+        table.begin(0, 1);
+        let me = owner(0, 1);
+        dir.acquire_read(line, me, &table, ConflictPolicy::RequesterWins)
+            .unwrap();
+        dir.acquire_write(line, me, &table, ConflictPolicy::RequesterWins)
+            .unwrap();
+        assert!(!table.is_doomed(me), "upgrading own line never self-conflicts");
+    }
+}

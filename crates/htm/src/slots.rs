@@ -1,0 +1,246 @@
+//! The per-thread transaction status table.
+//!
+//! Every simulated hardware thread owns one slot whose word packs
+//! `(epoch << 3) | state`. The epoch increments at each transaction begin,
+//! so a stale directory entry can never doom a *later* transaction from the
+//! same thread (ABA protection). All cross-thread transitions go through
+//! CAS; the owning thread's transitions race only with dooming.
+//!
+//! State machine (self = owning thread, any = any thread):
+//!
+//! ```text
+//!  Inactive --self--> Active --self CAS--> Committing --self--> Committed --self--> Inactive
+//!                      |  ^ \--self CAS--> Suspended --self CAS--> Active
+//!                      |  |                    |
+//!                      +--any CAS--> Doomed <--+ (any CAS)
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::util::Pad;
+
+pub(crate) const ST_INACTIVE: u64 = 0;
+pub(crate) const ST_ACTIVE: u64 = 1;
+pub(crate) const ST_SUSPENDED: u64 = 2;
+pub(crate) const ST_COMMITTING: u64 = 3;
+pub(crate) const ST_COMMITTED: u64 = 4;
+pub(crate) const ST_DOOMED: u64 = 5;
+
+const STATE_MASK: u64 = 0b111;
+
+#[inline]
+pub(crate) fn pack(epoch: u64, state: u64) -> u64 {
+    (epoch << 3) | state
+}
+
+#[inline]
+pub(crate) fn state_of(word: u64) -> u64 {
+    word & STATE_MASK
+}
+
+#[inline]
+pub(crate) fn epoch_of(word: u64) -> u64 {
+    word >> 3
+}
+
+/// Identity of one transaction instance: which thread, which epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct Owner {
+    pub tid: u32,
+    pub epoch: u64,
+}
+
+/// Result of a doom attempt (or non-destructive classification) of an owner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DoomOutcome {
+    /// The victim is now (or already was) `Doomed`.
+    Dead,
+    /// The owner already passed its commit point; the caller must wait for
+    /// the flush to complete before touching the line.
+    Committing,
+    /// The slot now belongs to a different epoch or is inactive/committed —
+    /// the directory entry was stale; treat the line as unowned.
+    Stale,
+    /// The owner is live (`Active`/`Suspended`). Only returned by
+    /// [`TxTable::classify`]; `doom` always resolves live owners to `Dead`.
+    Live,
+}
+
+#[derive(Debug)]
+pub(crate) struct TxTable {
+    slots: Box<[Pad<AtomicU64>]>,
+}
+
+impl TxTable {
+    pub(crate) fn new(n: usize) -> Self {
+        let mut v = Vec::with_capacity(n);
+        v.resize_with(n, || Pad(AtomicU64::new(pack(0, ST_INACTIVE))));
+        Self {
+            slots: v.into_boxed_slice(),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    #[inline]
+    fn slot(&self, tid: u32) -> &AtomicU64 {
+        &self.slots[tid as usize].0
+    }
+
+    #[inline]
+    pub(crate) fn load(&self, tid: u32) -> u64 {
+        self.slot(tid).load(Ordering::SeqCst)
+    }
+
+    /// Owning thread: begin a new transaction at `epoch`.
+    pub(crate) fn begin(&self, tid: u32, epoch: u64) {
+        self.slot(tid).store(pack(epoch, ST_ACTIVE), Ordering::SeqCst);
+    }
+
+    /// Owning thread: unconditional transition (used for
+    /// Committing→Committed→Inactive and the abort path, where no other
+    /// thread may legally CAS the word any more except redundant dooming).
+    pub(crate) fn set(&self, tid: u32, epoch: u64, state: u64) {
+        self.slot(tid).store(pack(epoch, state), Ordering::SeqCst);
+    }
+
+    /// Owning thread: CAS `from`→`to` at `epoch`; `false` means a doomer won.
+    pub(crate) fn try_transition(&self, tid: u32, epoch: u64, from: u64, to: u64) -> bool {
+        self.slot(tid)
+            .compare_exchange(
+                pack(epoch, from),
+                pack(epoch, to),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_ok()
+    }
+
+    /// Whether the owning thread's current transaction has been doomed.
+    #[inline]
+    pub(crate) fn is_doomed(&self, owner: Owner) -> bool {
+        let w = self.load(owner.tid);
+        epoch_of(w) == owner.epoch && state_of(w) == ST_DOOMED
+    }
+
+    /// Any thread: try to doom `victim`. See [`DoomOutcome`].
+    pub(crate) fn doom(&self, victim: Owner) -> DoomOutcome {
+        let slot = self.slot(victim.tid);
+        loop {
+            let w = slot.load(Ordering::SeqCst);
+            if epoch_of(w) != victim.epoch {
+                return DoomOutcome::Stale;
+            }
+            match state_of(w) {
+                ST_ACTIVE | ST_SUSPENDED => {
+                    if slot
+                        .compare_exchange(
+                            w,
+                            pack(victim.epoch, ST_DOOMED),
+                            Ordering::SeqCst,
+                            Ordering::SeqCst,
+                        )
+                        .is_ok()
+                    {
+                        return DoomOutcome::Dead;
+                    }
+                    // Lost a race; re-read and decide again.
+                }
+                ST_DOOMED => return DoomOutcome::Dead,
+                ST_COMMITTING => return DoomOutcome::Committing,
+                _ => return DoomOutcome::Stale,
+            }
+        }
+    }
+
+    /// Spin until `owner` is no longer in the `Committing` state (i.e. its
+    /// write-buffer flush finished or the epoch moved on). Used by untracked
+    /// accesses to give single-cell reads commit atomicity.
+    pub(crate) fn wait_while_committing(&self, owner: Owner) {
+        let mut wait = crate::clock::SpinWait::new();
+        loop {
+            let w = self.load(owner.tid);
+            if epoch_of(w) != owner.epoch || state_of(w) != ST_COMMITTING {
+                return;
+            }
+            wait.snooze();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_roundtrip() {
+        for epoch in [0u64, 1, 77, 1 << 40] {
+            for st in [ST_INACTIVE, ST_ACTIVE, ST_DOOMED] {
+                let w = pack(epoch, st);
+                assert_eq!(epoch_of(w), epoch);
+                assert_eq!(state_of(w), st);
+            }
+        }
+    }
+
+    #[test]
+    fn doom_active_succeeds() {
+        let t = TxTable::new(2);
+        t.begin(0, 7);
+        let o = Owner { tid: 0, epoch: 7 };
+        assert_eq!(t.doom(o), DoomOutcome::Dead);
+        assert!(t.is_doomed(o));
+    }
+
+    #[test]
+    fn doom_stale_epoch_is_noop() {
+        let t = TxTable::new(2);
+        t.begin(0, 8);
+        let o = Owner { tid: 0, epoch: 7 };
+        assert_eq!(t.doom(o), DoomOutcome::Stale);
+        assert!(!t.is_doomed(Owner { tid: 0, epoch: 8 }));
+    }
+
+    #[test]
+    fn doom_committing_reports_committing() {
+        let t = TxTable::new(1);
+        t.begin(0, 3);
+        assert!(t.try_transition(0, 3, ST_ACTIVE, ST_COMMITTING));
+        assert_eq!(t.doom(Owner { tid: 0, epoch: 3 }), DoomOutcome::Committing);
+    }
+
+    #[test]
+    fn commit_cas_fails_after_doom() {
+        let t = TxTable::new(1);
+        t.begin(0, 3);
+        assert_eq!(t.doom(Owner { tid: 0, epoch: 3 }), DoomOutcome::Dead);
+        assert!(!t.try_transition(0, 3, ST_ACTIVE, ST_COMMITTING));
+    }
+
+    #[test]
+    fn suspended_can_be_doomed() {
+        let t = TxTable::new(1);
+        t.begin(0, 1);
+        assert!(t.try_transition(0, 1, ST_ACTIVE, ST_SUSPENDED));
+        assert_eq!(t.doom(Owner { tid: 0, epoch: 1 }), DoomOutcome::Dead);
+        // resume must now fail
+        assert!(!t.try_transition(0, 1, ST_SUSPENDED, ST_ACTIVE));
+    }
+
+    #[test]
+    fn wait_while_committing_returns_when_committed() {
+        let t = std::sync::Arc::new(TxTable::new(1));
+        t.begin(0, 2);
+        assert!(t.try_transition(0, 2, ST_ACTIVE, ST_COMMITTING));
+        let t2 = t.clone();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            t2.set(0, 2, ST_COMMITTED);
+        });
+        t.wait_while_committing(Owner { tid: 0, epoch: 2 });
+        assert_eq!(state_of(t.load(0)), ST_COMMITTED);
+        h.join().unwrap();
+    }
+}

@@ -1,0 +1,145 @@
+//! Per-thread transaction statistics.
+//!
+//! The lock layer (`sprwl-locks`, `sprwl`) keeps its own richer breakdowns
+//! (commit modes, reader-induced aborts, latencies); these counters cover
+//! the raw HTM substrate and are cheap enough to keep always-on.
+
+use crate::tx::{Abort, TxKind};
+
+/// Counters for one simulated hardware thread.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ThreadStats {
+    /// Transactions started in plain HTM mode.
+    pub begins_htm: u64,
+    /// Transactions started as rollback-only transactions.
+    pub begins_rot: u64,
+    /// Successful HTM commits.
+    pub commits_htm: u64,
+    /// Successful ROT commits.
+    pub commits_rot: u64,
+    /// Aborts due to data conflicts (including being doomed by untracked
+    /// accesses — indistinguishable on real hardware too).
+    pub aborts_conflict: u64,
+    /// Aborts due to read-set capacity overflow.
+    pub aborts_capacity_read: u64,
+    /// Aborts due to write-set capacity overflow.
+    pub aborts_capacity_write: u64,
+    /// Explicit (`xabort`-style) aborts requested by the program.
+    pub aborts_explicit: u64,
+    /// Injected timer-interrupt aborts.
+    pub aborts_interrupt: u64,
+}
+
+impl ThreadStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn on_begin(&mut self, kind: TxKind) {
+        match kind {
+            TxKind::Htm => self.begins_htm += 1,
+            TxKind::Rot => self.begins_rot += 1,
+        }
+    }
+
+    pub(crate) fn on_commit(&mut self, kind: TxKind) {
+        match kind {
+            TxKind::Htm => self.commits_htm += 1,
+            TxKind::Rot => self.commits_rot += 1,
+        }
+    }
+
+    pub(crate) fn on_abort(&mut self, cause: Abort) {
+        match cause {
+            Abort::Conflict => self.aborts_conflict += 1,
+            Abort::CapacityRead => self.aborts_capacity_read += 1,
+            Abort::CapacityWrite => self.aborts_capacity_write += 1,
+            Abort::Explicit(_) => self.aborts_explicit += 1,
+            Abort::Interrupt => self.aborts_interrupt += 1,
+        }
+    }
+
+    /// Total transactions started.
+    pub fn begins(&self) -> u64 {
+        self.begins_htm + self.begins_rot
+    }
+
+    /// Total successful commits.
+    pub fn commits(&self) -> u64 {
+        self.commits_htm + self.commits_rot
+    }
+
+    /// Total aborts of any cause.
+    pub fn aborts(&self) -> u64 {
+        self.aborts_conflict
+            + self.aborts_capacity_read
+            + self.aborts_capacity_write
+            + self.aborts_explicit
+            + self.aborts_interrupt
+    }
+
+    /// Adds `other`'s counters into `self` (cross-thread aggregation).
+    pub fn merge(&mut self, other: &ThreadStats) {
+        self.begins_htm += other.begins_htm;
+        self.begins_rot += other.begins_rot;
+        self.commits_htm += other.commits_htm;
+        self.commits_rot += other.commits_rot;
+        self.aborts_conflict += other.aborts_conflict;
+        self.aborts_capacity_read += other.aborts_capacity_read;
+        self.aborts_capacity_write += other.aborts_capacity_write;
+        self.aborts_explicit += other.aborts_explicit;
+        self.aborts_interrupt += other.aborts_interrupt;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn begins_commits_aborts_balance() {
+        let mut s = ThreadStats::new();
+        s.on_begin(TxKind::Htm);
+        s.on_begin(TxKind::Htm);
+        s.on_commit(TxKind::Htm);
+        s.on_abort(Abort::Conflict);
+        assert_eq!(s.begins(), 2);
+        assert_eq!(s.commits(), 1);
+        assert_eq!(s.aborts(), 1);
+    }
+
+    #[test]
+    fn each_abort_cause_has_its_own_counter() {
+        let mut s = ThreadStats::new();
+        for a in [
+            Abort::Conflict,
+            Abort::CapacityRead,
+            Abort::CapacityWrite,
+            Abort::Explicit(3),
+            Abort::Interrupt,
+        ] {
+            s.on_abort(a);
+        }
+        assert_eq!(s.aborts_conflict, 1);
+        assert_eq!(s.aborts_capacity_read, 1);
+        assert_eq!(s.aborts_capacity_write, 1);
+        assert_eq!(s.aborts_explicit, 1);
+        assert_eq!(s.aborts_interrupt, 1);
+        assert_eq!(s.aborts(), 5);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = ThreadStats::new();
+        a.on_begin(TxKind::Rot);
+        a.on_commit(TxKind::Rot);
+        let mut b = ThreadStats::new();
+        b.on_begin(TxKind::Htm);
+        b.on_abort(Abort::Interrupt);
+        a.merge(&b);
+        assert_eq!(a.begins(), 2);
+        assert_eq!(a.commits_rot, 1);
+        assert_eq!(a.aborts_interrupt, 1);
+    }
+}

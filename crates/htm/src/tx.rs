@@ -1,0 +1,458 @@
+//! The transaction engine: [`Htm`] runtime, per-thread contexts and the
+//! [`Tx`] handle passed to transactional closures.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::access::{Direct, Suspended};
+use crate::config::{CapacityProfile, ConflictPolicy, HtmConfig};
+use crate::directory::Directory;
+use crate::memory::{CellId, LineId, SimMemory};
+use crate::slots::{Owner, TxTable, ST_ACTIVE, ST_COMMITTED, ST_COMMITTING, ST_DOOMED, ST_INACTIVE, ST_SUSPENDED};
+use crate::stats::ThreadStats;
+use crate::util::XorShift64;
+
+/// Why a transaction attempt failed.
+///
+/// Mirrors the abort classes of real best-effort HTMs. The lock layer maps
+/// [`Abort::Explicit`] codes onto algorithm-level causes (e.g. SpRWL's
+/// "writer found an active reader at commit").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Abort {
+    /// Data conflict with a concurrent thread (transactional or untracked).
+    Conflict,
+    /// The read-set exceeded the capacity profile.
+    CapacityRead,
+    /// The write-set exceeded the capacity profile.
+    CapacityWrite,
+    /// The program requested an abort (`xabort`-style) with a user code.
+    Explicit(u32),
+    /// An injected timer interrupt / context switch hit the transaction.
+    Interrupt,
+}
+
+impl Abort {
+    /// Whether this abort is a capacity overflow (read or write side).
+    /// Typical retry policies fall back to the lock immediately on capacity
+    /// aborts because retrying cannot help.
+    pub fn is_capacity(self) -> bool {
+        matches!(self, Abort::CapacityRead | Abort::CapacityWrite)
+    }
+}
+
+impl std::fmt::Display for Abort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Abort::Conflict => write!(f, "data conflict"),
+            Abort::CapacityRead => write!(f, "read-set capacity exceeded"),
+            Abort::CapacityWrite => write!(f, "write-set capacity exceeded"),
+            Abort::Explicit(code) => write!(f, "explicit abort (code {code})"),
+            Abort::Interrupt => write!(f, "interrupt"),
+        }
+    }
+}
+
+impl std::error::Error for Abort {}
+
+/// Result type threaded through transactional closures; `Err` aborts the
+/// attempt.
+pub type TxResult<T> = Result<T, Abort>;
+
+/// Which flavour of hardware transaction to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TxKind {
+    /// A plain best-effort hardware transaction (reads and writes tracked).
+    Htm,
+    /// A POWER8-style rollback-only transaction: writes are buffered and
+    /// tracked, reads are *not* tracked (they behave like untracked reads).
+    /// Only available on capacity profiles with
+    /// [`CapacityProfile::supports_rot`].
+    Rot,
+}
+
+/// The simulated HTM runtime: memory, conflict directory and transaction
+/// table. One instance per experiment; share by reference (scoped threads)
+/// or `Arc`.
+#[derive(Debug)]
+pub struct Htm {
+    mem: SimMemory,
+    dir: Directory,
+    table: TxTable,
+    cfg: HtmConfig,
+    registered: Box<[AtomicBool]>,
+}
+
+impl Htm {
+    /// Creates a runtime with `memory_cells` cells of simulated memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`HtmConfig::validate`]).
+    pub fn new(cfg: HtmConfig, memory_cells: usize) -> Self {
+        cfg.validate().expect("invalid HtmConfig");
+        let mut registered = Vec::with_capacity(cfg.max_threads);
+        registered.resize_with(cfg.max_threads, || AtomicBool::new(false));
+        Self {
+            mem: SimMemory::new(memory_cells, cfg.cells_per_line),
+            dir: Directory::new(),
+            table: TxTable::new(cfg.max_threads),
+            cfg,
+            registered: registered.into_boxed_slice(),
+        }
+    }
+
+    /// The simulated memory (for allocation and `peek`).
+    pub fn memory(&self) -> &SimMemory {
+        &self.mem
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &HtmConfig {
+        &self.cfg
+    }
+
+    /// Claims the per-thread context for hardware thread `tid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range or already claimed (contexts are
+    /// exclusive; they release their slot on drop).
+    pub fn thread(&self, tid: usize) -> ThreadCtx<'_> {
+        assert!(
+            tid < self.cfg.max_threads,
+            "tid {tid} out of range (max_threads = {})",
+            self.cfg.max_threads
+        );
+        let was = self.registered[tid].swap(true, Ordering::SeqCst);
+        assert!(!was, "thread context {tid} is already claimed");
+        ThreadCtx {
+            htm: self,
+            tid: tid as u32,
+            epoch: 0,
+            rng: XorShift64::new(self.cfg.seed ^ ((tid as u64 + 1) << 17)),
+            stats: ThreadStats::new(),
+        }
+    }
+
+    /// An untracked (non-transactional) accessor for thread `tid`.
+    ///
+    /// Unlike [`Htm::thread`], this does not claim exclusivity — untracked
+    /// accessors carry no state — but the `tid` should match the calling
+    /// thread so self-conflicts resolve sensibly.
+    pub fn direct(&self, tid: usize) -> Direct<'_> {
+        Direct::new(self, tid as u32)
+    }
+
+    pub(crate) fn mem_ref(&self) -> &SimMemory {
+        &self.mem
+    }
+
+    pub(crate) fn dir_ref(&self) -> &Directory {
+        &self.dir
+    }
+
+    pub(crate) fn table_ref(&self) -> &TxTable {
+        &self.table
+    }
+
+    /// Number of thread slots.
+    pub fn max_threads(&self) -> usize {
+        self.table.len()
+    }
+}
+
+/// Per-thread handle for running transactions. Claim one per OS thread via
+/// [`Htm::thread`].
+#[derive(Debug)]
+pub struct ThreadCtx<'h> {
+    htm: &'h Htm,
+    tid: u32,
+    epoch: u64,
+    rng: XorShift64,
+    /// Raw substrate statistics for this thread.
+    pub stats: ThreadStats,
+}
+
+impl Drop for ThreadCtx<'_> {
+    fn drop(&mut self) {
+        self.htm.registered[self.tid as usize].store(false, Ordering::SeqCst);
+    }
+}
+
+impl<'h> ThreadCtx<'h> {
+    /// This context's hardware thread id.
+    pub fn tid(&self) -> usize {
+        self.tid as usize
+    }
+
+    /// The owning runtime.
+    pub fn htm(&self) -> &'h Htm {
+        self.htm
+    }
+
+    /// An untracked accessor bound to this thread id.
+    pub fn direct(&self) -> Direct<'h> {
+        Direct::new(self.htm, self.tid)
+    }
+
+    /// Runs **one attempt** of a hardware transaction. Retry policies live
+    /// a layer above (see `sprwl-locks`); call `txn` again to retry.
+    ///
+    /// The closure receives a [`Tx`] for transactional reads/writes and
+    /// must propagate its `Err`s (aborts) outward. On `Ok`, the engine
+    /// attempts to commit; the commit itself can still fail with
+    /// [`Abort::Conflict`] if the transaction was doomed in flight.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Abort`]: conflict, capacity, explicit or injected interrupt.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is [`TxKind::Rot`] on a capacity profile without
+    /// ROT support (programming error — RW-LE must only be instantiated on
+    /// POWER8-like profiles, exactly as in the paper).
+    pub fn txn<R>(
+        &mut self,
+        kind: TxKind,
+        f: impl FnOnce(&mut Tx<'_>) -> TxResult<R>,
+    ) -> Result<R, Abort> {
+        if kind == TxKind::Rot {
+            assert!(
+                self.htm.cfg.capacity.supports_rot(),
+                "rollback-only transactions are a POWER8-only feature; \
+                 profile `{}` does not support them",
+                self.htm.cfg.capacity.name
+            );
+        }
+        self.epoch += 1;
+        let me = Owner {
+            tid: self.tid,
+            epoch: self.epoch,
+        };
+        self.htm.table.begin(me.tid, me.epoch);
+        self.stats.on_begin(kind);
+
+        let mut tx = Tx {
+            htm: self.htm,
+            me,
+            kind,
+            read_lines: HashSet::new(),
+            write_lines: HashSet::new(),
+            write_buf: HashMap::new(),
+            rng: &mut self.rng,
+        };
+        let result = f(&mut tx);
+        let Tx {
+            read_lines,
+            write_lines,
+            write_buf,
+            ..
+        } = tx;
+
+        let table = &self.htm.table;
+        let outcome = match result {
+            Ok(value) => {
+                if table.try_transition(me.tid, me.epoch, ST_ACTIVE, ST_COMMITTING) {
+                    // Commit point passed: flush buffered writes, then
+                    // advertise `Committed` so untracked accesses waiting on
+                    // the flush can proceed, then clean the directory.
+                    for (&cell, &val) in &write_buf {
+                        self.htm.mem.raw_store(CellId(cell), val);
+                    }
+                    table.set(me.tid, me.epoch, ST_COMMITTED);
+                    self.htm.dir.release(me, read_lines.iter(), write_lines.iter());
+                    table.set(me.tid, me.epoch, ST_INACTIVE);
+                    self.stats.on_commit(kind);
+                    return Ok(value);
+                }
+                Err(Abort::Conflict)
+            }
+            Err(cause) => Err(cause),
+        };
+
+        // Abort path: mark dead (idempotent wrt concurrent dooming), clean
+        // the directory, release the slot.
+        table.set(me.tid, me.epoch, ST_DOOMED);
+        self.htm.dir.release(me, read_lines.iter(), write_lines.iter());
+        table.set(me.tid, me.epoch, ST_INACTIVE);
+        let cause = outcome.as_ref().err().copied().expect("abort path");
+        self.stats.on_abort(cause);
+        outcome
+    }
+}
+
+/// Handle for transactional memory accesses, passed to the closure of
+/// [`ThreadCtx::txn`]. All methods return [`TxResult`]; propagate errors
+/// with `?` so aborts unwind the attempt.
+#[derive(Debug)]
+pub struct Tx<'a> {
+    htm: &'a Htm,
+    me: Owner,
+    kind: TxKind,
+    read_lines: HashSet<LineId>,
+    write_lines: HashSet<LineId>,
+    write_buf: HashMap<u32, u64>,
+    rng: &'a mut XorShift64,
+}
+
+impl Tx<'_> {
+    #[inline]
+    fn check_alive(&mut self) -> TxResult<()> {
+        if self.htm.table.is_doomed(self.me) {
+            return Err(Abort::Conflict);
+        }
+        if self.rng.hit(self.htm.cfg.interrupt_prob) {
+            return Err(Abort::Interrupt);
+        }
+        Ok(())
+    }
+
+    fn capacity(&self) -> &CapacityProfile {
+        &self.htm.cfg.capacity
+    }
+
+    fn policy(&self) -> ConflictPolicy {
+        self.htm.cfg.conflict_policy
+    }
+
+    /// The transaction flavour this handle runs under.
+    pub fn kind(&self) -> TxKind {
+        self.kind
+    }
+
+    /// Distinct cache lines currently in the read-set (ROTs always report 0).
+    pub fn read_footprint(&self) -> usize {
+        self.read_lines.len()
+    }
+
+    /// Distinct cache lines currently in the write-set.
+    pub fn write_footprint(&self) -> usize {
+        self.write_lines.len()
+    }
+
+    /// Transactionally reads a cell.
+    ///
+    /// Reads-own-writes: returns the buffered value if this transaction
+    /// already wrote the cell. In [`TxKind::Rot`] mode the read is
+    /// untracked (no read-set entry, no capacity cost) exactly like POWER8
+    /// rollback-only transactions.
+    ///
+    /// # Errors
+    ///
+    /// [`Abort::Conflict`] if doomed or (under `ResponderWins`) conflicting;
+    /// [`Abort::CapacityRead`] on footprint overflow; [`Abort::Interrupt`]
+    /// under failure injection.
+    pub fn read(&mut self, cell: CellId) -> TxResult<u64> {
+        self.check_alive()?;
+        if let Some(&v) = self.write_buf.get(&cell.0) {
+            return Ok(v);
+        }
+        let line = self.htm.mem.line_of(cell);
+        match self.kind {
+            TxKind::Htm => {
+                if !self.read_lines.contains(&line) && !self.write_lines.contains(&line) {
+                    self.htm
+                        .dir
+                        .acquire_read(line, self.me, &self.htm.table, self.policy())?;
+                    self.read_lines.insert(line);
+                    if self.read_lines.len() > self.capacity().read_lines {
+                        return Err(Abort::CapacityRead);
+                    }
+                }
+                Ok(self.htm.mem.raw_load(cell))
+            }
+            TxKind::Rot => {
+                // POWER8 ROT reads are untracked; they still participate in
+                // coherence, so they conflict with other transactions'
+                // speculative writes.
+                if self.write_lines.contains(&line) {
+                    return Ok(self.htm.mem.raw_load(cell));
+                }
+                let htm = self.htm;
+                Ok(htm.dir.untracked_op(
+                    line,
+                    crate::directory::UntrackedKind::Read,
+                    true,
+                    &htm.table,
+                    || htm.mem.raw_load(cell),
+                ))
+            }
+        }
+    }
+
+    /// Transactionally writes a cell (buffered until commit).
+    ///
+    /// # Errors
+    ///
+    /// [`Abort::Conflict`], [`Abort::CapacityWrite`] or [`Abort::Interrupt`]
+    /// as for [`Tx::read`].
+    pub fn write(&mut self, cell: CellId, val: u64) -> TxResult<()> {
+        self.check_alive()?;
+        let line = self.htm.mem.line_of(cell);
+        if !self.write_lines.contains(&line) {
+            self.htm
+                .dir
+                .acquire_write(line, self.me, &self.htm.table, self.policy())?;
+            self.write_lines.insert(line);
+            let cap = match self.kind {
+                TxKind::Htm => self.capacity().write_lines,
+                TxKind::Rot => self.capacity().rot_write_lines,
+            };
+            if self.write_lines.len() > cap {
+                return Err(Abort::CapacityWrite);
+            }
+        }
+        self.write_buf.insert(cell.0, val);
+        Ok(())
+    }
+
+    /// Explicitly aborts the transaction with `code` (like `xabort imm8`).
+    ///
+    /// # Errors
+    ///
+    /// Always returns `Err(Abort::Explicit(code))` — written as a `Result`
+    /// so call sites can `return tx.abort(code)`.
+    pub fn abort<T>(&self, code: u32) -> TxResult<T> {
+        Err(Abort::Explicit(code))
+    }
+
+    /// POWER8-style suspend/resume: runs `f` *outside* the transaction
+    /// (accesses inside `f` are non-transactional), then resumes. A
+    /// conflict that dooms the suspended transaction surfaces at resume,
+    /// exactly like the hardware. Mirroring POWER8's L1-resident
+    /// speculative state, suspended loads of lines this transaction wrote
+    /// *do* observe the buffered values, and suspended stores that touch
+    /// the transaction's own footprint doom it.
+    ///
+    /// # Errors
+    ///
+    /// [`Abort::Conflict`] if the transaction was doomed before suspension
+    /// or while suspended.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity profile lacks POWER8's suspend/resume.
+    pub fn suspend<R>(&mut self, f: impl FnOnce(&Suspended<'_>) -> R) -> TxResult<R> {
+        assert!(
+            self.htm.cfg.capacity.supports_rot(),
+            "suspend/resume is a POWER8-only feature; profile `{}` lacks it",
+            self.htm.cfg.capacity.name
+        );
+        let table = &self.htm.table;
+        if !table.try_transition(self.me.tid, self.me.epoch, ST_ACTIVE, ST_SUSPENDED) {
+            return Err(Abort::Conflict);
+        }
+        let s = Suspended {
+            htm: self.htm,
+            me: self.me,
+            write_lines: &self.write_lines,
+            write_buf: &self.write_buf,
+        };
+        let r = f(&s);
+        if !table.try_transition(self.me.tid, self.me.epoch, ST_SUSPENDED, ST_ACTIVE) {
+            return Err(Abort::Conflict);
+        }
+        Ok(r)
+    }
+}

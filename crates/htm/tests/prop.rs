@@ -1,0 +1,147 @@
+//! Property-based tests for the HTM substrate.
+
+use htm_sim::{Abort, CapacityProfile, Htm, HtmConfig, TxKind};
+use proptest::prelude::*;
+
+/// One operation inside a generated transaction.
+#[derive(Debug, Clone)]
+enum Op {
+    Read(usize),
+    Write(usize, u64),
+}
+
+fn op_strategy(cells: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..cells).prop_map(Op::Read),
+        ((0..cells), any::<u64>()).prop_map(|(c, v)| Op::Write(c, v)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sequentially executed transactions behave exactly like a flat array:
+    /// committed writes persist, aborted ones do not, reads see the model.
+    #[test]
+    fn committed_txs_match_model(
+        txs in proptest::collection::vec(
+            (proptest::collection::vec(op_strategy(16), 1..12), any::<bool>()),
+            1..20,
+        )
+    ) {
+        let htm = Htm::new(
+            HtmConfig {
+                capacity: CapacityProfile::UNBOUNDED,
+                max_threads: 1,
+                ..HtmConfig::default()
+            },
+            64,
+        );
+        let region = htm.memory().alloc(16);
+        let mut model = [0u64; 16];
+        let mut ctx = htm.thread(0);
+
+        for (ops, should_abort) in txs {
+            let mut shadow = model;
+            let result = ctx.txn(TxKind::Htm, |tx| {
+                for op in &ops {
+                    match *op {
+                        Op::Read(c) => {
+                            let v = tx.read(region.cell(c))?;
+                            // plain assert: the closure's Err type is Abort
+                            assert_eq!(v, shadow[c], "tx read diverged from model");
+                        }
+                        Op::Write(c, v) => {
+                            tx.write(region.cell(c), v)?;
+                            shadow[c] = v;
+                        }
+                    }
+                }
+                if should_abort {
+                    return tx.abort(1);
+                }
+                Ok(())
+            });
+            match result {
+                Ok(()) => {
+                    prop_assert!(!should_abort);
+                    model = shadow;
+                }
+                Err(Abort::Explicit(1)) => prop_assert!(should_abort),
+                Err(other) => prop_assert!(false, "unexpected abort {other:?}"),
+            }
+            // Memory must equal the model after every transaction.
+            let d = htm.direct(0);
+            for (c, &expected) in model.iter().enumerate() {
+                prop_assert_eq!(d.load(region.cell(c)), expected);
+            }
+        }
+    }
+
+    /// Capacity accounting: a transaction touching exactly `k` distinct
+    /// lines commits iff `k` is within the profile limit.
+    #[test]
+    fn capacity_boundary_is_exact(k in 1usize..12) {
+        let profile = CapacityProfile {
+            name: "boundary",
+            read_lines: 6,
+            write_lines: 6,
+            rot_write_lines: 6,
+        };
+        let htm = Htm::new(
+            HtmConfig {
+                capacity: profile,
+                max_threads: 1,
+                ..HtmConfig::default()
+            },
+            16 * 8,
+        );
+        let r = htm.memory().alloc_line_aligned(12 * 8);
+        let mut ctx = htm.thread(0);
+        let res = ctx.txn(TxKind::Htm, |tx| {
+            for i in 0..k {
+                let _ = tx.read(r.cell(i * 8))?;
+            }
+            Ok(())
+        });
+        if k <= 6 {
+            prop_assert!(res.is_ok());
+        } else {
+            prop_assert_eq!(res.unwrap_err(), Abort::CapacityRead);
+        }
+    }
+
+    /// Untracked stores always persist, whatever transactions race them —
+    /// and a doomed transaction's buffer never leaks.
+    #[test]
+    fn untracked_stores_persist(vals in proptest::collection::vec(any::<u64>(), 1..32)) {
+        let htm = Htm::new(
+            HtmConfig {
+                capacity: CapacityProfile::UNBOUNDED,
+                max_threads: 2,
+                ..HtmConfig::default()
+            },
+            64,
+        );
+        let c = htm.memory().alloc(1).cell(0);
+        let d = htm.direct(1);
+        let mut ctx = htm.thread(0);
+        for (i, v) in vals.iter().enumerate() {
+            if i % 2 == 0 {
+                d.store(c, *v);
+                prop_assert_eq!(d.load(c), *v);
+            } else {
+                // Transaction that writes then gets doomed by an untracked
+                // store: the tx buffer must vanish.
+                let res = ctx.txn(TxKind::Htm, |tx| {
+                    tx.write(c, v.wrapping_add(1))?;
+                    d.store(c, *v);
+                    tx.read(c)?; // observe doom
+                    Ok(())
+                });
+                prop_assert_eq!(res.unwrap_err(), Abort::Conflict);
+                prop_assert_eq!(d.load(c), *v);
+            }
+        }
+    }
+}

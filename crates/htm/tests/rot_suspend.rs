@@ -1,0 +1,170 @@
+//! Focused tests for the POWER8-only features (rollback-only transactions
+//! and suspend/resume) under concurrency — the substrate RW-LE stands on.
+
+use htm_sim::{Abort, CapacityProfile, Htm, HtmConfig, TxKind};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+fn htm(threads: usize) -> Htm {
+    Htm::new(
+        HtmConfig {
+            max_threads: threads,
+            capacity: CapacityProfile::POWER8_SIM,
+            ..HtmConfig::default()
+        },
+        32 * 1024,
+    )
+}
+
+#[test]
+fn rot_commits_are_atomic_to_untracked_readers() {
+    // A ROT writes two cells; an untracked reader polling both must never
+    // see exactly one of them updated *while the ROT is active* (buffered)
+    // — after commit both appear. Single-cell reads are atomic; the pair
+    // flips together because the flush completes before `Committed`.
+    let h = htm(2);
+    let r = h.memory().alloc_line_aligned(16);
+    let (a, b) = (r.cell(0), r.cell(8));
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let (h0, stopr) = (&h, &stop);
+        s.spawn(move || {
+            let mut ctx = h0.thread(0);
+            for i in 1..=500u64 {
+                loop {
+                    let res = ctx.txn(TxKind::Rot, |tx| {
+                        tx.write(a, i)?;
+                        tx.write(b, i)?;
+                        Ok(())
+                    });
+                    if res.is_ok() {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            }
+            stopr.store(true, Ordering::SeqCst);
+        });
+        let (h1, stopr) = (&h, &stop);
+        s.spawn(move || {
+            let d = h1.direct(1);
+            while !stopr.load(Ordering::SeqCst) {
+                // Read b first, then a: since the writer writes a-then-b
+                // within one atomic commit, observing b > a would mean a
+                // torn commit. (b read first can lag a, never lead it.)
+                let vb = d.load(b);
+                let va = d.load(a);
+                assert!(vb <= va, "torn ROT commit: a={va}, b={vb}");
+            }
+        });
+    });
+    let d = h.direct(0);
+    assert_eq!(d.load(a), 500);
+    assert_eq!(d.load(b), 500);
+}
+
+#[test]
+fn suspended_wait_does_not_block_other_transactions() {
+    // A suspended transaction parks; an independent transaction on another
+    // thread must commit meanwhile (suspend leaves the HTM free).
+    let h = htm(2);
+    let r = h.memory().alloc_line_aligned(16);
+    let parked = AtomicBool::new(false);
+    let observed = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let (h0, parkedr, observedr) = (&h, &parked, &observed);
+        s.spawn(move || {
+            let mut ctx = h0.thread(0);
+            ctx.txn(TxKind::Rot, |tx| {
+                tx.write(r.cell(0), 1)?;
+                tx.suspend(|_d| {
+                    parkedr.store(true, Ordering::SeqCst);
+                    while !observedr.load(Ordering::SeqCst) {
+                        std::thread::yield_now();
+                    }
+                })?;
+                Ok(())
+            })
+            .unwrap();
+        });
+        let (h1, parkedr, observedr) = (&h, &parked, &observed);
+        s.spawn(move || {
+            while !parkedr.load(Ordering::SeqCst) {
+                std::thread::yield_now();
+            }
+            let mut ctx = h1.thread(1);
+            // Disjoint line: commits freely while thread 0 is suspended.
+            ctx.txn(TxKind::Htm, |tx| tx.write(r.cell(8), 7)).unwrap();
+            observedr.store(true, Ordering::SeqCst);
+        });
+    });
+    let d = h.direct(0);
+    assert_eq!(d.load(r.cell(0)), 1, "suspended tx resumed and committed");
+    assert_eq!(d.load(r.cell(8)), 7);
+}
+
+#[test]
+fn rot_write_conflicts_still_abort() {
+    // ROTs skip read tracking but their writes conflict normally.
+    let h = htm(2);
+    let cell = h.memory().alloc(1).cell(0);
+    let mut c0 = h.thread(0);
+    let mut c1 = h.thread(1);
+    let err = c0
+        .txn(TxKind::Rot, |tx| {
+            tx.write(cell, 1)?;
+            // A second ROT writes the same line mid-flight (requester wins).
+            c1.txn(TxKind::Rot, |tx1| tx1.write(cell, 2)).unwrap();
+            tx.write(cell, 3)?; // doomed
+            Ok(())
+        })
+        .unwrap_err();
+    assert_eq!(err, Abort::Conflict);
+    assert_eq!(h.direct(0).load(cell), 2, "the second ROT won");
+}
+
+#[test]
+fn untracked_read_of_rot_written_line_dooms_the_rot() {
+    // The strong-isolation property RW-LE's quiescence relies on.
+    let h = htm(2);
+    let cell = h.memory().alloc(1).cell(0);
+    let mut ctx = h.thread(0);
+    let err = ctx
+        .txn(TxKind::Rot, |tx| {
+            tx.write(cell, 5)?;
+            let seen = h.direct(1).load(cell);
+            assert_eq!(seen, 0, "ROT buffer leaked");
+            tx.write(cell, 6)?; // detect doom
+            Ok(())
+        })
+        .unwrap_err();
+    assert_eq!(err, Abort::Conflict);
+    assert_eq!(h.direct(0).load(cell), 0);
+}
+
+#[test]
+fn interrupt_injection_hits_rots_too() {
+    let h = Htm::new(
+        HtmConfig {
+            max_threads: 1,
+            capacity: CapacityProfile::POWER8_SIM,
+            interrupt_prob: 0.5,
+            ..HtmConfig::default()
+        },
+        1024,
+    );
+    let cell = h.memory().alloc(1).cell(0);
+    let mut ctx = h.thread(0);
+    let mut interrupted = false;
+    for _ in 0..64 {
+        if let Err(Abort::Interrupt) = ctx.txn(TxKind::Rot, |tx| {
+            for _ in 0..8 {
+                tx.write(cell, 1)?;
+            }
+            Ok(())
+        }) {
+            interrupted = true;
+            break;
+        }
+    }
+    assert!(interrupted);
+}

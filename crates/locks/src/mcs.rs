@@ -1,0 +1,396 @@
+//! A queue-based fair read-write lock in the style of Mellor-Crummey &
+//! Scott (PPoPP '91) — the classic algorithm the paper's related-work
+//! section contrasts with counter-based RWLocks: arrivals enqueue and wait
+//! on their *predecessor's* progress instead of a shared counter, so
+//! handoff is FIFO-fair. Consecutive readers overlap; writers wait for
+//! every earlier holder.
+//!
+//! This implementation uses safe Rust: nodes live in a fixed per-thread
+//! arena and every polled word carries a **round counter**, which closes
+//! the classic node-reuse hazard — if a successor samples its predecessor
+//! after that predecessor finished and re-enqueued, the changed round reads
+//! as "that round is over", never as a fresh wait.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use htm_sim::clock::{self, SpinWait};
+
+use crate::api::{run_untracked, LockThread, RwSync, SectionBody, SectionId};
+use crate::stats::{CommitMode, Role};
+
+const KIND_READER: u64 = 0;
+const KIND_WRITER: u64 = 1;
+
+/// Node word states (low 2 bits; the round lives above them).
+const ST_WAITING: u64 = 0;
+const ST_ACTIVE: u64 = 1;
+const ST_RELEASED: u64 = 2;
+
+#[inline]
+fn word(round: u64, state: u64) -> u64 {
+    (round << 2) | state
+}
+
+/// Tail encoding: `(round << 12) | (kind << 9) | (node + 1)`; 0 = empty.
+#[inline]
+fn tail_entry(round: u64, kind: u64, node: usize) -> u64 {
+    (round << 12) | (kind << 9) | (node as u64 + 1)
+}
+
+#[inline]
+fn tail_node(t: u64) -> usize {
+    ((t & 0x1FF) - 1) as usize
+}
+
+#[inline]
+fn tail_kind(t: u64) -> u64 {
+    (t >> 9) & 0x7
+}
+
+#[inline]
+fn tail_round(t: u64) -> u64 {
+    t >> 12
+}
+
+#[derive(Debug)]
+#[repr(align(64))]
+struct Node {
+    /// `(round << 2) | state` — written by the owner, polled by successors.
+    word: AtomicU64,
+    /// The owner's current round (owner-private, bumped per acquisition).
+    round: AtomicU64,
+}
+
+impl Default for Node {
+    fn default() -> Self {
+        Self {
+            word: AtomicU64::new(word(0, ST_RELEASED)),
+            round: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Queue-based fair read-write lock for a fixed set of threads.
+///
+/// Each thread may hold at most one acquisition at a time (no recursion) —
+/// the standard MCS restriction, matching how the `RwSync` harness uses
+/// locks.
+#[derive(Debug)]
+pub struct McsRwLock {
+    /// Queue tail: see [`tail_entry`]; 0 = empty.
+    tail: AtomicU64,
+    /// Readers currently inside (lets a writer drain the reader group
+    /// admitted before it).
+    active_readers: AtomicU64,
+    nodes: Box<[Node]>,
+}
+
+impl McsRwLock {
+    /// Creates a lock for `n_threads` participants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_threads` is zero or above the 511-thread tail-encoding
+    /// limit.
+    pub fn new(n_threads: usize) -> Self {
+        assert!(n_threads > 0, "McsRwLock needs at least one thread");
+        assert!(n_threads < 511, "tail encoding supports up to 510 threads");
+        let mut nodes = Vec::with_capacity(n_threads);
+        nodes.resize_with(n_threads, Node::default);
+        Self {
+            tail: AtomicU64::new(0),
+            active_readers: AtomicU64::new(0),
+            nodes: nodes.into_boxed_slice(),
+        }
+    }
+
+    /// Number of thread slots.
+    pub fn threads(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Enqueues and returns the displaced tail entry (0 = was empty) plus
+    /// this acquisition's round.
+    fn enqueue(&self, tid: usize, kind: u64) -> (u64, u64) {
+        let me = &self.nodes[tid];
+        let round = me.round.load(Ordering::Relaxed) + 1;
+        me.round.store(round, Ordering::Relaxed);
+        me.word.store(word(round, ST_WAITING), Ordering::SeqCst);
+        let prev = self.tail.swap(tail_entry(round, kind, tid), Ordering::SeqCst);
+        (prev, round)
+    }
+
+    /// Waits until the predecessor encoded in `prev` leaves `blocking`
+    /// states *for its recorded round*; a changed round means that round
+    /// completed long ago.
+    fn await_predecessor(&self, prev: u64, pass_on_active: bool) {
+        let p = &self.nodes[tail_node(prev)];
+        let p_round = tail_round(prev);
+        let mut spin = SpinWait::new();
+        loop {
+            let w = p.word.load(Ordering::SeqCst);
+            if w >> 2 != p_round {
+                return; // stale round: it finished and moved on
+            }
+            match w & 0b11 {
+                ST_RELEASED => return,
+                ST_ACTIVE if pass_on_active => return,
+                _ => spin.snooze(),
+            }
+        }
+    }
+
+    /// Shared acquisition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range.
+    pub fn read_lock(&self, tid: usize) {
+        let (prev, round) = self.enqueue(tid, KIND_READER);
+        if prev != 0 {
+            // Reader predecessor: enter as soon as it is active (readers
+            // overlap); writer predecessor: wait for its release.
+            let overlap = tail_kind(prev) == KIND_READER;
+            self.await_predecessor(prev, overlap);
+        }
+        // Count ourselves before publishing ACTIVE: a successor reader may
+        // pass on our ACTIVE word, and any writer behind it must then see
+        // a non-zero reader count.
+        self.active_readers.fetch_add(1, Ordering::SeqCst);
+        self.nodes[tid]
+            .word
+            .store(word(round, ST_ACTIVE), Ordering::SeqCst);
+    }
+
+    /// Shared release.
+    pub fn read_unlock(&self, tid: usize) {
+        let round = self.nodes[tid].round.load(Ordering::Relaxed);
+        self.nodes[tid]
+            .word
+            .store(word(round, ST_RELEASED), Ordering::SeqCst);
+        let prev = self.active_readers.fetch_sub(1, Ordering::SeqCst);
+        debug_assert!(prev > 0, "read_unlock without read_lock");
+        self.try_reset_tail(tid, round, KIND_READER);
+    }
+
+    /// Exclusive acquisition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range.
+    pub fn write_lock(&self, tid: usize) {
+        let (prev, round) = self.enqueue(tid, KIND_WRITER);
+        if prev != 0 {
+            self.await_predecessor(prev, false);
+        }
+        // Drain the reader group admitted before us. Readers behind us
+        // cannot inflate the counter: they wait for our release first.
+        let mut spin = SpinWait::new();
+        while self.active_readers.load(Ordering::SeqCst) > 0 {
+            spin.snooze();
+        }
+        self.nodes[tid]
+            .word
+            .store(word(round, ST_ACTIVE), Ordering::SeqCst);
+    }
+
+    /// Exclusive release.
+    pub fn write_unlock(&self, tid: usize) {
+        let round = self.nodes[tid].round.load(Ordering::Relaxed);
+        self.nodes[tid]
+            .word
+            .store(word(round, ST_RELEASED), Ordering::SeqCst);
+        self.try_reset_tail(tid, round, KIND_WRITER);
+    }
+
+    /// If we are still the queue tail (same node, same round), reset the
+    /// queue to empty; the round in the tail entry makes this ABA-safe.
+    fn try_reset_tail(&self, tid: usize, round: u64, kind: u64) {
+        let _ = self.tail.compare_exchange(
+            tail_entry(round, kind, tid),
+            0,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
+    }
+}
+
+impl RwSync for McsRwLock {
+    fn name(&self) -> &'static str {
+        "MCS-RWL"
+    }
+
+    fn read_section(&self, t: &mut LockThread<'_>, _sec: SectionId, f: SectionBody<'_>) -> u64 {
+        let start = clock::now();
+        self.read_lock(t.tid());
+        let r = run_untracked(t, f);
+        self.read_unlock(t.tid());
+        t.stats
+            .record_commit(Role::Reader, CommitMode::Gl, clock::now() - start);
+        r
+    }
+
+    fn write_section(&self, t: &mut LockThread<'_>, _sec: SectionId, f: SectionBody<'_>) -> u64 {
+        let start = clock::now();
+        self.write_lock(t.tid());
+        let r = run_untracked(t, f);
+        self.write_unlock(t.tid());
+        t.stats
+            .record_commit(Role::Writer, CommitMode::Gl, clock::now() - start);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as Counter;
+    use std::sync::Arc;
+
+    #[test]
+    fn uncontended_roundtrips() {
+        let l = McsRwLock::new(2);
+        l.read_lock(0);
+        l.read_unlock(0);
+        l.write_lock(0);
+        l.write_unlock(0);
+        l.read_lock(1);
+        l.read_unlock(1);
+    }
+
+    #[test]
+    fn repeated_rounds_by_one_thread_are_reuse_safe() {
+        let l = McsRwLock::new(2);
+        for _ in 0..1000 {
+            l.read_lock(0);
+            l.read_unlock(0);
+            l.write_lock(0);
+            l.write_unlock(0);
+        }
+    }
+
+    #[test]
+    fn consecutive_readers_overlap() {
+        let l = McsRwLock::new(3);
+        l.read_lock(0);
+        l.read_lock(1); // must not block behind reader 0
+        l.read_unlock(0);
+        l.read_unlock(1);
+    }
+
+    #[test]
+    fn writer_excludes_everyone() {
+        let l = Arc::new(McsRwLock::new(4));
+        let inside = Arc::new(Counter::new(0));
+        let violations = Arc::new(Counter::new(0));
+        let mut handles = Vec::new();
+        for tid in 0..2 {
+            let (l, inside, violations) = (l.clone(), inside.clone(), violations.clone());
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..400 {
+                    l.write_lock(tid);
+                    if inside.fetch_add(1 << 32, Ordering::SeqCst) != 0 {
+                        violations.fetch_add(1, Ordering::SeqCst);
+                    }
+                    inside.fetch_sub(1 << 32, Ordering::SeqCst);
+                    l.write_unlock(tid);
+                }
+            }));
+        }
+        for tid in 2..4 {
+            let (l, inside, violations) = (l.clone(), inside.clone(), violations.clone());
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..400 {
+                    l.read_lock(tid);
+                    if inside.fetch_add(1, Ordering::SeqCst) >> 32 != 0 {
+                        violations.fetch_add(1, Ordering::SeqCst);
+                    }
+                    inside.fetch_sub(1, Ordering::SeqCst);
+                    l.read_unlock(tid);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(violations.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn no_lost_updates_under_write_contention() {
+        let l = Arc::new(McsRwLock::new(4));
+        let data = Arc::new(Counter::new(0));
+        let mut handles = Vec::new();
+        for tid in 0..4 {
+            let (l, data) = (l.clone(), data.clone());
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..300 {
+                    l.write_lock(tid);
+                    let v = data.load(Ordering::Relaxed);
+                    data.store(v + 1, Ordering::Relaxed);
+                    l.write_unlock(tid);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(data.load(Ordering::Relaxed), 1200);
+    }
+
+    #[test]
+    fn heavy_mixed_churn_terminates() {
+        // The regression test for the node-reuse hazard: rapid re-rounds
+        // under mixed load used to deadlock a polling successor.
+        let l = Arc::new(McsRwLock::new(4));
+        let mut handles = Vec::new();
+        for tid in 0..4 {
+            let l = l.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..2000 {
+                    if (tid + i) % 3 == 0 {
+                        l.write_lock(tid);
+                        l.write_unlock(tid);
+                    } else {
+                        l.read_lock(tid);
+                        l.read_unlock(tid);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn fifo_fairness_writer_not_starved() {
+        // A writer enqueued behind the current reader group must get in
+        // before readers that arrive after it.
+        let l = Arc::new(McsRwLock::new(3));
+        l.read_lock(0);
+        let order = Arc::new(Counter::new(0));
+        let w = {
+            let (l, order) = (l.clone(), order.clone());
+            std::thread::spawn(move || {
+                l.write_lock(1);
+                let _ = order.compare_exchange(0, 1, Ordering::SeqCst, Ordering::SeqCst);
+                l.write_unlock(1);
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let r = {
+            let (l, order) = (l.clone(), order.clone());
+            std::thread::spawn(move || {
+                l.read_lock(2); // must queue behind the writer
+                let _ = order.compare_exchange(0, 2, Ordering::SeqCst, Ordering::SeqCst);
+                l.read_unlock(2);
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        l.read_unlock(0); // release the initial reader; the queue drains
+        w.join().unwrap();
+        r.join().unwrap();
+        assert_eq!(order.load(Ordering::SeqCst), 1, "late reader overtook the writer");
+    }
+}

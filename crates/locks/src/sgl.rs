@@ -1,0 +1,288 @@
+//! The single-global-lock fallback used by every HTM elision scheme, plus
+//! the versioned variant SpRWL's anti-starvation extension needs.
+//!
+//! The lock word lives in simulated memory so hardware transactions can
+//! *subscribe* to it: the transaction reads the word right after it begins
+//! (adding the line to its read-set) and aborts explicitly if the lock is
+//! taken. If the lock is acquired later, the untracked CAS dooms every
+//! subscribed transaction — the standard eager-subscription SGL pattern.
+
+use htm_sim::{CellId, Direct, SimMemory, Tx, TxResult};
+use htm_sim::clock::SpinWait;
+
+/// Explicit-abort code: transaction observed the fallback lock taken.
+pub const ABORT_LOCKED: u32 = 1;
+/// Explicit-abort code: SpRWL writer found an active reader at commit.
+pub const ABORT_READER: u32 = 2;
+
+/// A plain test-and-set global lock in simulated memory.
+#[derive(Debug, Clone, Copy)]
+pub struct GlobalLock {
+    cell: CellId,
+}
+
+impl GlobalLock {
+    /// Allocates the lock word on its own cache line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulated memory is exhausted.
+    pub fn new(mem: &SimMemory) -> Self {
+        Self {
+            cell: mem.alloc_line_aligned(1).cell(0),
+        }
+    }
+
+    /// The lock word's cell (for footprint accounting in tests).
+    pub fn cell(&self) -> CellId {
+        self.cell
+    }
+
+    /// Cheap lock-state probe for spin loops (no conflict side effects —
+    /// safe because the word is only ever written untracked).
+    pub fn is_locked_peek(&self, mem: &SimMemory) -> bool {
+        mem.peek(self.cell) != 0
+    }
+
+    /// Spins until the lock is observed free.
+    pub fn wait_until_free(&self, mem: &SimMemory) {
+        let mut w = SpinWait::new();
+        while self.is_locked_peek(mem) {
+            w.snooze();
+        }
+    }
+
+    /// Single acquisition attempt (untracked CAS; dooms subscribers on
+    /// success).
+    pub fn try_acquire(&self, d: &Direct<'_>) -> bool {
+        d.compare_exchange(self.cell, 0, 1).is_ok()
+    }
+
+    /// Blocking acquisition.
+    pub fn acquire(&self, d: &Direct<'_>) {
+        let mut w = SpinWait::new();
+        loop {
+            if !self.is_locked_peek(d.htm().memory()) && self.try_acquire(d) {
+                return;
+            }
+            w.snooze();
+        }
+    }
+
+    /// Releases the lock.
+    pub fn release(&self, d: &Direct<'_>) {
+        d.store(self.cell, 0);
+    }
+
+    /// Subscribes the running transaction to the lock: reads the word into
+    /// the transaction's read-set and aborts explicitly if taken.
+    ///
+    /// # Errors
+    ///
+    /// `Abort::Explicit(ABORT_LOCKED)` when the lock is held; any
+    /// transactional abort from the read itself.
+    pub fn subscribe(&self, tx: &mut Tx<'_>) -> TxResult<()> {
+        if tx.read(self.cell)? != 0 {
+            return tx.abort(ABORT_LOCKED);
+        }
+        Ok(())
+    }
+}
+
+/// A versioned global lock: the word holds `2·version + locked_bit`.
+///
+/// Each acquisition increments the version, so waiters can implement
+/// bounded-bypass fairness — SpRWL §3.3 sketches (and omits) this to stop
+/// readers starving behind a stream of fallback writers; we implement it.
+#[derive(Debug, Clone, Copy)]
+pub struct VersionedLock {
+    cell: CellId,
+}
+
+impl VersionedLock {
+    /// Allocates the lock word on its own cache line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulated memory is exhausted.
+    pub fn new(mem: &SimMemory) -> Self {
+        Self {
+            cell: mem.alloc_line_aligned(1).cell(0),
+        }
+    }
+
+    /// The lock word's cell.
+    pub fn cell(&self) -> CellId {
+        self.cell
+    }
+
+    #[inline]
+    fn decode(word: u64) -> (u64, bool) {
+        (word >> 1, word & 1 == 1)
+    }
+
+    /// Current `(version, locked)` snapshot via a cheap probe.
+    pub fn peek(&self, mem: &SimMemory) -> (u64, bool) {
+        Self::decode(mem.peek(self.cell))
+    }
+
+    /// Whether the lock is currently held (probe).
+    pub fn is_locked_peek(&self, mem: &SimMemory) -> bool {
+        self.peek(mem).1
+    }
+
+    /// Single acquisition attempt; on success the version advances.
+    pub fn try_acquire(&self, d: &Direct<'_>) -> bool {
+        let word = d.htm().memory().peek(self.cell);
+        if word & 1 == 1 {
+            return false;
+        }
+        d.compare_exchange(self.cell, word, word + 1).is_ok()
+    }
+
+    /// Blocking acquisition; returns the version this acquisition holds.
+    pub fn acquire(&self, d: &Direct<'_>) -> u64 {
+        let mut w = SpinWait::new();
+        loop {
+            let word = d.htm().memory().peek(self.cell);
+            if word & 1 == 0 && d.compare_exchange(self.cell, word, word + 1).is_ok() {
+                return (word + 1) >> 1;
+            }
+            w.snooze();
+        }
+    }
+
+    /// Releases the lock (version moves to the next even state).
+    pub fn release(&self, d: &Direct<'_>) {
+        let word = d.htm().memory().peek(self.cell);
+        debug_assert_eq!(word & 1, 1, "release of free versioned lock");
+        d.store(self.cell, word + 1);
+    }
+
+    /// Subscribes the running transaction; aborts if locked.
+    ///
+    /// # Errors
+    ///
+    /// `Abort::Explicit(ABORT_LOCKED)` when held; transactional aborts from
+    /// the read.
+    pub fn subscribe(&self, tx: &mut Tx<'_>) -> TxResult<()> {
+        if tx.read(self.cell)? & 1 == 1 {
+            return tx.abort(ABORT_LOCKED);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htm_sim::{Abort, Htm, HtmConfig, TxKind};
+
+    fn setup() -> Htm {
+        Htm::new(HtmConfig::default(), 256)
+    }
+
+    #[test]
+    fn global_lock_acquire_release() {
+        let htm = setup();
+        let gl = GlobalLock::new(htm.memory());
+        let d = htm.direct(0);
+        assert!(!gl.is_locked_peek(htm.memory()));
+        assert!(gl.try_acquire(&d));
+        assert!(gl.is_locked_peek(htm.memory()));
+        assert!(!gl.try_acquire(&d));
+        gl.release(&d);
+        assert!(!gl.is_locked_peek(htm.memory()));
+    }
+
+    #[test]
+    fn subscription_aborts_when_locked() {
+        let htm = setup();
+        let gl = GlobalLock::new(htm.memory());
+        gl.acquire(&htm.direct(1));
+        let mut ctx = htm.thread(0);
+        let err = ctx
+            .txn(TxKind::Htm, |tx| gl.subscribe(tx).map(|_| 0))
+            .unwrap_err();
+        assert_eq!(err, Abort::Explicit(ABORT_LOCKED));
+    }
+
+    #[test]
+    fn acquisition_dooms_subscribed_transactions() {
+        let htm = setup();
+        let gl = GlobalLock::new(htm.memory());
+        let mut ctx = htm.thread(0);
+        let err = ctx
+            .txn(TxKind::Htm, |tx| {
+                gl.subscribe(tx)?;
+                // Fallback writer arrives mid-flight.
+                assert!(gl.try_acquire(&htm.direct(1)));
+                tx.read(gl.cell())?; // observe the doom
+                Ok(0)
+            })
+            .unwrap_err();
+        assert_eq!(err, Abort::Conflict);
+        gl.release(&htm.direct(1));
+    }
+
+    #[test]
+    fn versioned_lock_tracks_versions() {
+        let htm = setup();
+        let vl = VersionedLock::new(htm.memory());
+        let d = htm.direct(0);
+        assert_eq!(vl.peek(htm.memory()), (0, false));
+        let v1 = vl.acquire(&d);
+        assert_eq!(vl.peek(htm.memory()), (v1, true));
+        vl.release(&d);
+        let (v_after, locked) = vl.peek(htm.memory());
+        assert!(!locked);
+        assert!(v_after > v1, "version advances past the held acquisition");
+        let v2 = vl.acquire(&d);
+        assert!(v2 > v1, "each acquisition observes a larger version");
+        vl.release(&d);
+    }
+
+    #[test]
+    fn versioned_subscribe_aborts_when_locked() {
+        let htm = setup();
+        let vl = VersionedLock::new(htm.memory());
+        vl.acquire(&htm.direct(1));
+        let mut ctx = htm.thread(0);
+        let err = ctx
+            .txn(TxKind::Htm, |tx| vl.subscribe(tx).map(|_| 0))
+            .unwrap_err();
+        assert_eq!(err, Abort::Explicit(ABORT_LOCKED));
+        vl.release(&htm.direct(1));
+        ctx.txn(TxKind::Htm, |tx| vl.subscribe(tx).map(|_| 0))
+            .unwrap();
+    }
+
+    #[test]
+    fn contended_global_lock_is_exclusive() {
+        let htm = Htm::new(
+            HtmConfig {
+                max_threads: 4,
+                ..HtmConfig::default()
+            },
+            256,
+        );
+        let gl = GlobalLock::new(htm.memory());
+        let counter = htm.memory().alloc(1).cell(0);
+        std::thread::scope(|s| {
+            for tid in 0..4 {
+                let htm = &htm;
+                let gl = &gl;
+                s.spawn(move || {
+                    let d = htm.direct(tid);
+                    for _ in 0..250 {
+                        gl.acquire(&d);
+                        let v = d.load(counter);
+                        d.store(counter, v + 1);
+                        gl.release(&d);
+                    }
+                });
+            }
+        });
+        assert_eq!(htm.direct(0).load(counter), 1000);
+    }
+}

@@ -1,0 +1,100 @@
+//! A minimal spin mutex with explicit `lock`/`unlock` (no guards), used by
+//! lock algorithms that acquire many locks in patterns RAII guards cannot
+//! express conveniently (e.g. BRLock's "writer takes every per-thread
+//! lock").
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use htm_sim::clock::SpinWait;
+
+/// A test-and-test-and-set spin lock that yields under contention.
+#[derive(Debug, Default)]
+pub struct SpinMutex {
+    locked: AtomicBool,
+}
+
+impl SpinMutex {
+    /// Creates an unlocked mutex.
+    pub const fn new() -> Self {
+        Self {
+            locked: AtomicBool::new(false),
+        }
+    }
+
+    /// Acquires the lock, spinning (with OS yields) until available.
+    pub fn lock(&self) {
+        let mut wait = SpinWait::new();
+        loop {
+            if !self.locked.load(Ordering::Relaxed)
+                && self
+                    .locked
+                    .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                return;
+            }
+            wait.snooze();
+        }
+    }
+
+    /// Attempts to acquire without blocking.
+    pub fn try_lock(&self) -> bool {
+        !self.locked.load(Ordering::Relaxed)
+            && self
+                .locked
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+    }
+
+    /// Releases the lock.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts the lock was held; releasing an unheld `SpinMutex` is
+    /// a logic error in the calling algorithm.
+    pub fn unlock(&self) {
+        debug_assert!(self.locked.load(Ordering::Relaxed), "unlock of free mutex");
+        self.locked.store(false, Ordering::Release);
+    }
+
+    /// Whether the lock is currently held (racy; for diagnostics/tests).
+    pub fn is_locked(&self) -> bool {
+        self.locked.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_unlock_roundtrip() {
+        let m = SpinMutex::new();
+        assert!(!m.is_locked());
+        m.lock();
+        assert!(m.is_locked());
+        assert!(!m.try_lock());
+        m.unlock();
+        assert!(m.try_lock());
+        m.unlock();
+    }
+
+    #[test]
+    fn mutual_exclusion_under_contention() {
+        let m = SpinMutex::new();
+        let counter = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        m.lock();
+                        let v = counter.load(Ordering::Relaxed);
+                        counter.store(v + 1, Ordering::Relaxed);
+                        m.unlock();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 4000);
+    }
+}

@@ -1,0 +1,237 @@
+//! A slab allocator over simulated memory.
+//!
+//! Dynamic structures (hashmap chains) need nodes allocated and freed from
+//! inside critical sections. The allocator state lives in simulated memory
+//! cells, so allocation is part of the transactional footprint — exactly as
+//! on real hardware. Free lists are per-thread to avoid manufacturing
+//! contention the paper's workloads (which use per-thread `malloc` arenas)
+//! would not have.
+
+use htm_sim::{CellId, MemAccess, Region, SimMemory, TxResult};
+
+/// A handle to one slab node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeRef(u32);
+
+impl NodeRef {
+    /// Encoded form for storing in cells: index + 1, so 0 means "null".
+    pub fn encode(self) -> u64 {
+        self.0 as u64 + 1
+    }
+
+    /// Decodes a cell value; 0 is `None`.
+    pub fn decode(word: u64) -> Option<NodeRef> {
+        if word == 0 {
+            None
+        } else {
+            Some(NodeRef((word - 1) as u32))
+        }
+    }
+}
+
+/// Fixed-size-node slab with per-thread free lists, all in simulated memory.
+#[derive(Debug)]
+pub struct Slab {
+    nodes: Region,
+    node_cells: u32,
+    capacity: u32,
+    /// Per-thread free-list heads, each on its own line.
+    heads: Vec<CellId>,
+}
+
+impl Slab {
+    /// Creates a slab of `capacity` nodes of `node_cells` cells each, with
+    /// free lists for `n_threads` threads, and links every node onto the
+    /// free lists round-robin.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero sizes or if the simulated memory is exhausted.
+    pub fn new(mem: &SimMemory, node_cells: u32, capacity: u32, n_threads: usize) -> Self {
+        assert!(node_cells >= 1, "nodes need at least one cell");
+        assert!(capacity >= 1, "capacity must be positive");
+        assert!(n_threads >= 1, "need at least one thread");
+        let nodes = mem.alloc_line_aligned(capacity as usize * node_cells as usize);
+        let heads = mem.alloc_padded(n_threads);
+        let slab = Self {
+            nodes,
+            node_cells,
+            capacity,
+            heads,
+        };
+        // Build the free lists with raw initialization stores (pre-sharing).
+        let mut list_heads = vec![0u64; n_threads];
+        for i in (0..capacity).rev() {
+            let t = (i as usize) % n_threads;
+            let node = NodeRef(i);
+            // The next pointer lives in the node's first cell while free.
+            mem.init_store(slab.next_cell(node), list_heads[t]);
+            list_heads[t] = node.encode();
+        }
+        for (t, &h) in list_heads.iter().enumerate() {
+            mem.init_store(slab.heads[t], h);
+        }
+        slab
+    }
+
+    /// Total node capacity.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// The `field`-th cell of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `field >= node_cells`.
+    pub fn cell(&self, node: NodeRef, field: u32) -> CellId {
+        assert!(field < self.node_cells, "field {field} out of node");
+        self.nodes
+            .cell(node.0 as usize * self.node_cells as usize + field as usize)
+    }
+
+    fn next_cell(&self, node: NodeRef) -> CellId {
+        self.cell(node, 0)
+    }
+
+    /// Allocates a node from `tid`'s free list, stealing from other lists
+    /// when empty. Returns `None` only when the whole slab is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn alloc(
+        &self,
+        a: &mut dyn MemAccess,
+        tid: usize,
+        n_threads: usize,
+    ) -> TxResult<Option<NodeRef>> {
+        for k in 0..n_threads {
+            let head = self.heads[(tid + k) % n_threads];
+            let h = a.read(head)?;
+            if let Some(node) = NodeRef::decode(h) {
+                let next = a.read(self.next_cell(node))?;
+                a.write(head, next)?;
+                return Ok(Some(node));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Returns `node` to `tid`'s free list.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn free(&self, a: &mut dyn MemAccess, tid: usize, node: NodeRef) -> TxResult<()> {
+        let head = self.heads[tid % self.heads.len()];
+        let h = a.read(head)?;
+        a.write(self.next_cell(node), h)?;
+        a.write(head, node.encode())?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htm_sim::{Htm, HtmConfig, TxKind};
+
+    fn setup(capacity: u32, threads: usize) -> (Htm, Slab) {
+        let htm = Htm::new(
+            HtmConfig {
+                max_threads: threads.max(2),
+                capacity: htm_sim::CapacityProfile::UNBOUNDED,
+                ..HtmConfig::default()
+            },
+            256 * 1024,
+        );
+        let slab = Slab::new(htm.memory(), 3, capacity, threads);
+        (htm, slab)
+    }
+
+    #[test]
+    fn noderef_encoding_roundtrips() {
+        assert_eq!(NodeRef::decode(0), None);
+        let n = NodeRef(7);
+        assert_eq!(NodeRef::decode(n.encode()), Some(n));
+    }
+
+    #[test]
+    fn alloc_free_roundtrip_restores_capacity() {
+        let (htm, slab) = setup(8, 2);
+        let mut d = htm.direct(0);
+        let mut nodes = Vec::new();
+        for _ in 0..8 {
+            nodes.push(slab.alloc(&mut d, 0, 2).unwrap().expect("capacity left"));
+        }
+        assert_eq!(slab.alloc(&mut d, 0, 2).unwrap(), None, "exhausted");
+        for n in nodes {
+            slab.free(&mut d, 0, n).unwrap();
+        }
+        // All capacity available again.
+        for _ in 0..8 {
+            assert!(slab.alloc(&mut d, 0, 2).unwrap().is_some());
+        }
+    }
+
+    #[test]
+    fn allocations_are_distinct() {
+        let (htm, slab) = setup(16, 4);
+        let mut d = htm.direct(0);
+        let mut seen = std::collections::HashSet::new();
+        while let Some(n) = slab.alloc(&mut d, 0, 4).unwrap() {
+            assert!(seen.insert(n), "double allocation of {n:?}");
+        }
+        assert_eq!(seen.len(), 16);
+    }
+
+    #[test]
+    fn node_fields_are_disjoint_cells() {
+        let (_htm, slab) = setup(4, 1);
+        let a = NodeRef(0);
+        let b = NodeRef(1);
+        let mut cells = std::collections::HashSet::new();
+        for f in 0..3 {
+            assert!(cells.insert(slab.cell(a, f)));
+            assert!(cells.insert(slab.cell(b, f)));
+        }
+    }
+
+    #[test]
+    fn transactional_alloc_rolls_back_on_abort() {
+        let (htm, slab) = setup(4, 1);
+        let mut ctx = htm.thread(0);
+        let err = ctx
+            .txn(TxKind::Htm, |tx| {
+                let n = slab.alloc(tx, 0, 1)?.unwrap();
+                let _ = n;
+                tx.abort::<()>(9)
+            })
+            .unwrap_err();
+        assert_eq!(err, htm_sim::Abort::Explicit(9));
+        // The node is still free: we can allocate all 4.
+        let mut d = htm.direct(0);
+        for _ in 0..4 {
+            assert!(slab.alloc(&mut d, 0, 1).unwrap().is_some());
+        }
+    }
+
+    #[test]
+    fn stealing_crosses_thread_lists() {
+        let (htm, slab) = setup(4, 4); // one node per thread list
+        let mut d = htm.direct(0);
+        // Thread 0 can allocate all 4 nodes by stealing.
+        for _ in 0..4 {
+            assert!(slab.alloc(&mut d, 0, 4).unwrap().is_some());
+        }
+        assert_eq!(slab.alloc(&mut d, 0, 4).unwrap(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of node")]
+    fn field_bounds_are_checked() {
+        let (_htm, slab) = setup(2, 1);
+        let _ = slab.cell(NodeRef(0), 3);
+    }
+}

@@ -1,0 +1,301 @@
+//! The concurrent-hashmap micro-benchmark of the paper's sensitivity
+//! analysis (§4.1): a bucketed, chained hashmap protected by one read-write
+//! lock, with `lookup` / `insert` / `delete` operations. Read critical
+//! sections execute 1 or 10 lookups; write critical sections one
+//! insert-or-delete.
+//!
+//! Everything — bucket heads, chain nodes, the node allocator — lives in
+//! simulated memory so that transactional footprints (and therefore HTM
+//! capacity aborts) scale with chain length exactly as the real benchmark's
+//! footprints scale with table population.
+
+use htm_sim::{MemAccess, Region, SimMemory, TxResult};
+
+use crate::alloc::{NodeRef, Slab};
+
+/// Node layout: `[next, key, value]`.
+const F_NEXT: u32 = 0;
+const F_KEY: u32 = 1;
+const F_VALUE: u32 = 2;
+const NODE_CELLS: u32 = 3;
+
+/// A chained hashmap in simulated memory.
+#[derive(Debug)]
+pub struct SimHashMap {
+    buckets: Region,
+    n_buckets: u64,
+    slab: Slab,
+    n_threads: usize,
+}
+
+impl SimHashMap {
+    /// Creates a map with `n_buckets` chains and room for `capacity` items,
+    /// shared by `n_threads` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero sizes or if the simulated memory is exhausted.
+    pub fn new(mem: &SimMemory, n_buckets: usize, capacity: u32, n_threads: usize) -> Self {
+        assert!(n_buckets > 0, "need at least one bucket");
+        let buckets = mem.alloc_line_aligned(n_buckets);
+        for c in buckets.iter() {
+            mem.init_store(c, 0);
+        }
+        Self {
+            buckets,
+            n_buckets: n_buckets as u64,
+            slab: Slab::new(mem, NODE_CELLS, capacity, n_threads),
+            n_threads,
+        }
+    }
+
+    /// Cells needed for a map of the given shape (for sizing `SimMemory`).
+    pub fn cells_needed(n_buckets: usize, capacity: u32, n_threads: usize) -> usize {
+        // buckets (line aligned) + nodes + free-list heads (padded) + slack
+        n_buckets + 8 + capacity as usize * NODE_CELLS as usize + 8 + n_threads * 8 + 64
+    }
+
+    #[inline]
+    fn bucket_of(&self, key: u64) -> usize {
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) % self.n_buckets) as usize
+    }
+
+    /// Looks up `key`; `Ok(Some(value))` when present.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn lookup(&self, a: &mut dyn MemAccess, key: u64) -> TxResult<Option<u64>> {
+        let mut cur = NodeRef::decode(a.read(self.buckets.cell(self.bucket_of(key)))?);
+        while let Some(node) = cur {
+            if a.read(self.slab.cell(node, F_KEY))? == key {
+                return Ok(Some(a.read(self.slab.cell(node, F_VALUE))?));
+            }
+            cur = NodeRef::decode(a.read(self.slab.cell(node, F_NEXT))?);
+        }
+        Ok(None)
+    }
+
+    /// Inserts `key → value`; updates in place when present. Returns `true`
+    /// when a new node was added, `false` on update or when the slab is
+    /// exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn insert(&self, a: &mut dyn MemAccess, tid: usize, key: u64, value: u64) -> TxResult<bool> {
+        let head = self.buckets.cell(self.bucket_of(key));
+        // Update in place if present.
+        let mut cur = NodeRef::decode(a.read(head)?);
+        while let Some(node) = cur {
+            if a.read(self.slab.cell(node, F_KEY))? == key {
+                a.write(self.slab.cell(node, F_VALUE), value)?;
+                return Ok(false);
+            }
+            cur = NodeRef::decode(a.read(self.slab.cell(node, F_NEXT))?);
+        }
+        // Head insertion.
+        let Some(node) = self.slab.alloc(a, tid, self.n_threads)? else {
+            return Ok(false);
+        };
+        let old_head = a.read(head)?;
+        a.write(self.slab.cell(node, F_KEY), key)?;
+        a.write(self.slab.cell(node, F_VALUE), value)?;
+        a.write(self.slab.cell(node, F_NEXT), old_head)?;
+        a.write(head, node.encode())?;
+        Ok(true)
+    }
+
+    /// Removes `key`; returns `true` when it was present.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn delete(&self, a: &mut dyn MemAccess, tid: usize, key: u64) -> TxResult<bool> {
+        let head = self.buckets.cell(self.bucket_of(key));
+        let mut prev: Option<NodeRef> = None;
+        let mut cur = NodeRef::decode(a.read(head)?);
+        while let Some(node) = cur {
+            let next = a.read(self.slab.cell(node, F_NEXT))?;
+            if a.read(self.slab.cell(node, F_KEY))? == key {
+                match prev {
+                    None => a.write(head, next)?,
+                    Some(p) => a.write(self.slab.cell(p, F_NEXT), next)?,
+                }
+                self.slab.free(a, tid, node)?;
+                return Ok(true);
+            }
+            prev = Some(node);
+            cur = NodeRef::decode(next);
+        }
+        Ok(false)
+    }
+
+    /// Pre-populates the map (single-threaded, untracked via `a`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates aborts if `a` is transactional (use an untracked
+    /// accessor during setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slab cannot hold `keys`.
+    pub fn populate(&self, a: &mut dyn MemAccess, keys: impl Iterator<Item = u64>) -> TxResult<()> {
+        for key in keys {
+            let added = self.insert(a, 0, key, key ^ 0xABCD)?;
+            assert!(added, "slab exhausted during population");
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htm_sim::{CapacityProfile, Htm, HtmConfig, TxKind};
+
+    fn setup(buckets: usize, cap: u32) -> (Htm, SimHashMap) {
+        let cells = SimHashMap::cells_needed(buckets, cap, 4) + 1024;
+        let htm = Htm::new(
+            HtmConfig {
+                max_threads: 4,
+                capacity: CapacityProfile::UNBOUNDED,
+                ..HtmConfig::default()
+            },
+            cells,
+        );
+        let map = SimHashMap::new(htm.memory(), buckets, cap, 4);
+        (htm, map)
+    }
+
+    #[test]
+    fn insert_lookup_delete_roundtrip() {
+        let (htm, map) = setup(8, 64);
+        let mut d = htm.direct(0);
+        assert_eq!(map.lookup(&mut d, 5).unwrap(), None);
+        assert!(map.insert(&mut d, 0, 5, 500).unwrap());
+        assert_eq!(map.lookup(&mut d, 5).unwrap(), Some(500));
+        assert!(!map.insert(&mut d, 0, 5, 501).unwrap(), "update in place");
+        assert_eq!(map.lookup(&mut d, 5).unwrap(), Some(501));
+        assert!(map.delete(&mut d, 0, 5).unwrap());
+        assert_eq!(map.lookup(&mut d, 5).unwrap(), None);
+        assert!(!map.delete(&mut d, 0, 5).unwrap());
+    }
+
+    #[test]
+    fn colliding_keys_chain_correctly() {
+        let (htm, map) = setup(1, 64); // everything collides
+        let mut d = htm.direct(0);
+        for k in 0..20u64 {
+            assert!(map.insert(&mut d, 0, k, k * 10).unwrap());
+        }
+        for k in 0..20u64 {
+            assert_eq!(map.lookup(&mut d, k).unwrap(), Some(k * 10));
+        }
+        // Delete middle, head-chain and tail-chain entries.
+        for k in [10u64, 19, 0] {
+            assert!(map.delete(&mut d, 0, k).unwrap());
+            assert_eq!(map.lookup(&mut d, k).unwrap(), None);
+        }
+        for k in (1..19u64).filter(|k| *k != 10) {
+            assert_eq!(map.lookup(&mut d, k).unwrap(), Some(k * 10), "key {k}");
+        }
+    }
+
+    #[test]
+    fn matches_std_hashmap_model() {
+        let (htm, map) = setup(16, 256);
+        let mut d = htm.direct(0);
+        let mut model = std::collections::HashMap::new();
+        let mut seed = 0xDEADBEEFu64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..2000 {
+            let k = next() % 64;
+            match next() % 3 {
+                0 => {
+                    let v = next();
+                    map.insert(&mut d, 0, k, v).unwrap();
+                    model.insert(k, v);
+                }
+                1 => {
+                    assert_eq!(map.delete(&mut d, 0, k).unwrap(), model.remove(&k).is_some());
+                }
+                _ => {
+                    assert_eq!(map.lookup(&mut d, k).unwrap(), model.get(&k).copied());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn population_seeds_expected_values() {
+        let (htm, map) = setup(32, 128);
+        let mut d = htm.direct(0);
+        map.populate(&mut d, 0..100).unwrap();
+        for k in 0..100u64 {
+            assert_eq!(map.lookup(&mut d, k).unwrap(), Some(k ^ 0xABCD));
+        }
+    }
+
+    #[test]
+    fn aborted_insert_leaves_no_trace() {
+        let (htm, map) = setup(8, 16);
+        let mut ctx = htm.thread(0);
+        let _ = ctx.txn(TxKind::Htm, |tx| {
+            map.insert(tx, 0, 7, 70)?;
+            tx.abort::<()>(1)
+        });
+        let mut d = htm.direct(0);
+        assert_eq!(map.lookup(&mut d, 7).unwrap(), None);
+        // Slab capacity intact.
+        let mut added = 0;
+        for k in 0..16 {
+            if map.insert(&mut d, 0, k, 0).unwrap() {
+                added += 1;
+            }
+        }
+        assert_eq!(added, 16);
+    }
+
+    #[test]
+    fn concurrent_transactional_updates_keep_model_consistency() {
+        const THREADS: usize = 4;
+        let (htm, map) = setup(16, 4096);
+        // Each thread owns a disjoint key range; at the end all its keys
+        // must be present with its value.
+        std::thread::scope(|s| {
+            for tid in 0..THREADS {
+                let (htm, map) = (&htm, &map);
+                s.spawn(move || {
+                    let mut ctx = htm.thread(tid);
+                    for k in 0..100u64 {
+                        let key = (tid as u64) << 32 | k;
+                        loop {
+                            let done = ctx.txn(TxKind::Htm, |tx| {
+                                map.insert(tx, tid, key, tid as u64)?;
+                                Ok(())
+                            });
+                            if done.is_ok() {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+        });
+        let mut d = htm.direct(0);
+        for tid in 0..THREADS {
+            for k in 0..100u64 {
+                let key = (tid as u64) << 32 | k;
+                assert_eq!(map.lookup(&mut d, key).unwrap(), Some(tid as u64));
+            }
+        }
+    }
+}

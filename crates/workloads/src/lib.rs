@@ -1,0 +1,32 @@
+//! # sprwl-workloads — benchmarks the SpRWL paper evaluates on
+//!
+//! Two workloads, both built from scratch over [`htm_sim`]'s simulated
+//! memory so that transactional footprints behave like the originals:
+//!
+//! * [`hashmap::SimHashMap`] — the §4.1 sensitivity-analysis
+//!   micro-benchmark: a chained hashmap under one read-write lock, with
+//!   configurable reader size (1 or 10 lookups per read critical section)
+//!   and update percentage.
+//! * [`sortedlist::SortedList`] — a sorted linked list with range queries,
+//!   the purest form of the "long traversals" the paper's introduction
+//!   motivates SpRWL with.
+//! * [`tpcc`] — an in-memory TPC-C port (§4.2): all nine tables, all five
+//!   transaction profiles, the standard mix, adapted — exactly as the
+//!   paper did — to run each transaction under a single global read-write
+//!   lock (read-only Stock-Level/Order-Status as read critical sections).
+//!
+//! Plus the [`alloc::Slab`] node allocator both build on, and the
+//! [`spec`] module describing workload mixes for the benchmark harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod alloc;
+pub mod hashmap;
+pub mod sortedlist;
+pub mod spec;
+pub mod tpcc;
+
+pub use hashmap::SimHashMap;
+pub use sortedlist::SortedList;
+pub use spec::{HashmapSpec, Mix};

@@ -1,0 +1,271 @@
+//! Workload specifications: the knobs §4 of the paper sweeps, scaled to
+//! the simulated capacity profiles.
+
+use htm_sim::{CapacityProfile, MemAccess, TxResult};
+
+use crate::hashmap::SimHashMap;
+
+/// Shape of the hashmap micro-benchmark.
+///
+/// The paper populates 5000-bucket tables with 8 M (Broadwell) / 3 M
+/// (POWER8) items so that 10-lookup readers overflow HTM capacity while
+/// 1-lookup readers fit. Our populations are scaled ×~128 down together
+/// with the capacity profiles (DESIGN.md §2), preserving the same
+/// fits/overflows relations:
+///
+/// * long readers (10 lookups): footprint > read capacity on both profiles;
+/// * short readers (1 lookup): footprint < read capacity on both profiles;
+/// * writers (1 insert/delete): always fit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashmapSpec {
+    /// Bucket count (paper: 5000; scaled: 512).
+    pub buckets: usize,
+    /// Initial items (half of `key_space`, the random-walk equilibrium).
+    pub population: u64,
+    /// Keys are drawn uniformly from `0..key_space`.
+    pub key_space: u64,
+    /// Lookups per read critical section (paper: 1 or 10).
+    pub lookups_per_read: usize,
+    /// Percentage of write critical sections (paper: 10/50/90).
+    pub update_pct: u32,
+}
+
+impl HashmapSpec {
+    /// The paper's configuration for a given capacity profile and reader
+    /// size.
+    pub fn paper(profile: &CapacityProfile, long_readers: bool, update_pct: u32) -> Self {
+        let buckets = 512;
+        // Average chain length ≈ population / buckets; chosen per profile
+        // so 10-lookup readers overflow and 1-lookup readers fit.
+        let population: u64 = match profile.name {
+            "power8-sim" => 24 * 1024,
+            _ => 64 * 1024,
+        };
+        Self {
+            buckets,
+            population,
+            key_space: population * 2,
+            lookups_per_read: if long_readers { 10 } else { 1 },
+            update_pct,
+        }
+    }
+
+    /// Slab capacity with drift headroom.
+    pub fn slab_capacity(&self) -> u32 {
+        (self.key_space + self.key_space / 8) as u32
+    }
+
+    /// Simulated-memory cells this workload needs (plus harness slack).
+    pub fn cells_needed(&self, n_threads: usize) -> usize {
+        SimHashMap::cells_needed(self.buckets, self.slab_capacity(), n_threads) + 4096
+    }
+
+    /// Builds and populates the map (call before spawning threads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulated memory is exhausted.
+    pub fn build(&self, mem: &htm_sim::SimMemory, n_threads: usize) -> SimHashMap {
+        let map = SimHashMap::new(mem, self.buckets, self.slab_capacity(), n_threads);
+        // Populate even keys: exactly `population` present, spread across
+        // the key space so lookups hit ~50%.
+        let mut setup = InitAccess { mem };
+        map.populate(&mut setup, (0..self.population).map(|k| k * 2))
+            .expect("untracked population cannot abort");
+        map
+    }
+}
+
+/// Setup-time accessor: raw init stores, raw peeks (single-threaded only).
+struct InitAccess<'m> {
+    mem: &'m htm_sim::SimMemory,
+}
+
+impl MemAccess for InitAccess<'_> {
+    fn read(&mut self, cell: htm_sim::CellId) -> TxResult<u64> {
+        Ok(self.mem.peek(cell))
+    }
+
+    fn write(&mut self, cell: htm_sim::CellId, val: u64) -> TxResult<()> {
+        self.mem.init_store(cell, val);
+        Ok(())
+    }
+
+    fn mode(&self) -> htm_sim::AccessMode {
+        htm_sim::AccessMode::Untracked
+    }
+}
+
+/// Executes one read critical section: look up each key, return hit count.
+///
+/// # Errors
+///
+/// Propagates transactional aborts.
+pub fn hashmap_read_cs(map: &SimHashMap, a: &mut dyn MemAccess, keys: &[u64]) -> TxResult<u64> {
+    let mut hits = 0;
+    for &k in keys {
+        if map.lookup(a, k)?.is_some() {
+            hits += 1;
+        }
+    }
+    Ok(hits)
+}
+
+/// Executes one write critical section: insert or delete `key`.
+///
+/// # Errors
+///
+/// Propagates transactional aborts.
+pub fn hashmap_write_cs(
+    map: &SimHashMap,
+    a: &mut dyn MemAccess,
+    tid: usize,
+    key: u64,
+    insert: bool,
+) -> TxResult<u64> {
+    Ok(if insert {
+        map.insert(a, tid, key, key ^ 0xF00D)? as u64
+    } else {
+        map.delete(a, tid, key)? as u64
+    })
+}
+
+/// The TPC-C transaction mix the paper uses (percent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mix {
+    /// Stock-Level (read-only, long).
+    pub stock_level: u32,
+    /// Delivery (update).
+    pub delivery: u32,
+    /// Order-Status (read-only).
+    pub order_status: u32,
+    /// Payment (update, short).
+    pub payment: u32,
+    /// New-Order (update, long-ish).
+    pub new_order: u32,
+}
+
+impl Mix {
+    /// The paper's mix: Stock-Level 31 %, Delivery 4 %, Order-Status 4 %,
+    /// Payment 43 %, New-Order 18 % (≈35 % read-only).
+    pub const PAPER: Mix = Mix {
+        stock_level: 31,
+        delivery: 4,
+        order_status: 4,
+        payment: 43,
+        new_order: 18,
+    };
+
+    /// Sum of the shares (must be 100).
+    pub fn total(&self) -> u32 {
+        self.stock_level + self.delivery + self.order_status + self.payment + self.new_order
+    }
+
+    /// Picks a transaction type from a uniform draw in `0..100`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mix does not sum to 100 or `roll >= 100`.
+    pub fn pick(&self, roll: u32) -> TpccTxKind {
+        assert_eq!(self.total(), 100, "mix must sum to 100");
+        assert!(roll < 100);
+        let mut r = roll;
+        for (share, kind) in [
+            (self.stock_level, TpccTxKind::StockLevel),
+            (self.delivery, TpccTxKind::Delivery),
+            (self.order_status, TpccTxKind::OrderStatus),
+            (self.payment, TpccTxKind::Payment),
+            (self.new_order, TpccTxKind::NewOrder),
+        ] {
+            if r < share {
+                return kind;
+            }
+            r -= share;
+        }
+        unreachable!("mix sums to 100")
+    }
+}
+
+/// The five TPC-C transaction profiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TpccTxKind {
+    /// Warehouse-wide stock scan below a threshold (read-only, long).
+    StockLevel,
+    /// Deliver the oldest undelivered orders of every district (update).
+    Delivery,
+    /// A customer's latest order and its lines (read-only).
+    OrderStatus,
+    /// Record a customer payment (update, short).
+    Payment,
+    /// Place a 5–15-line order (update).
+    NewOrder,
+}
+
+impl TpccTxKind {
+    /// Whether this profile is read-only (runs as a read critical section).
+    pub fn is_read_only(self) -> bool {
+        matches!(self, TpccTxKind::StockLevel | TpccTxKind::OrderStatus)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_mix_sums_to_100() {
+        assert_eq!(Mix::PAPER.total(), 100);
+    }
+
+    #[test]
+    fn mix_pick_boundaries() {
+        let m = Mix::PAPER;
+        assert_eq!(m.pick(0), TpccTxKind::StockLevel);
+        assert_eq!(m.pick(30), TpccTxKind::StockLevel);
+        assert_eq!(m.pick(31), TpccTxKind::Delivery);
+        assert_eq!(m.pick(34), TpccTxKind::Delivery);
+        assert_eq!(m.pick(35), TpccTxKind::OrderStatus);
+        assert_eq!(m.pick(38), TpccTxKind::OrderStatus);
+        assert_eq!(m.pick(39), TpccTxKind::Payment);
+        assert_eq!(m.pick(81), TpccTxKind::Payment);
+        assert_eq!(m.pick(82), TpccTxKind::NewOrder);
+        assert_eq!(m.pick(99), TpccTxKind::NewOrder);
+    }
+
+    #[test]
+    fn read_only_classification() {
+        assert!(TpccTxKind::StockLevel.is_read_only());
+        assert!(TpccTxKind::OrderStatus.is_read_only());
+        assert!(!TpccTxKind::Payment.is_read_only());
+        assert!(!TpccTxKind::NewOrder.is_read_only());
+        assert!(!TpccTxKind::Delivery.is_read_only());
+    }
+
+    #[test]
+    fn hashmap_spec_scales_with_profile() {
+        let b = HashmapSpec::paper(&CapacityProfile::BROADWELL_SIM, true, 10);
+        let p = HashmapSpec::paper(&CapacityProfile::POWER8_SIM, true, 10);
+        assert!(b.population > p.population, "Broadwell holds more items");
+        assert_eq!(b.lookups_per_read, 10);
+        assert_eq!(
+            HashmapSpec::paper(&CapacityProfile::BROADWELL_SIM, false, 10).lookups_per_read,
+            1
+        );
+    }
+
+    #[test]
+    fn build_populates_even_keys() {
+        let spec = HashmapSpec {
+            buckets: 16,
+            population: 100,
+            key_space: 200,
+            lookups_per_read: 1,
+            update_pct: 10,
+        };
+        let htm = htm_sim::Htm::new(htm_sim::HtmConfig::default(), spec.cells_needed(4));
+        let map = spec.build(htm.memory(), 4);
+        let mut d = htm.direct(0);
+        assert!(map.lookup(&mut d, 2).unwrap().is_some());
+        assert!(map.lookup(&mut d, 3).unwrap().is_none());
+    }
+}

@@ -1,0 +1,297 @@
+//! TPC-C input generation: the non-uniform random (NURand) distribution
+//! and per-transaction input records, generated *outside* critical
+//! sections so retried transactions replay identical inputs.
+
+use rand::Rng;
+
+use super::TpccScale;
+
+/// TPC-C NURand(A, x, y): non-uniform random over `[x, y]`.
+///
+/// `A` follows the spec's rule of thumb (a power-of-two-ish constant about
+/// a quarter of the range); `c` is the per-run constant.
+pub fn nurand(rng: &mut impl Rng, a: u64, c: u64, x: u64, y: u64) -> u64 {
+    let r1 = rng.gen_range(0..=a);
+    let r2 = rng.gen_range(x..=y);
+    (((r1 | r2) + c) % (y - x + 1)) + x
+}
+
+fn nurand_a_for(range: u64) -> u64 {
+    // Spec uses A=1023 for 3000 customers and A=8191 for 100k items —
+    // roughly range/3 rounded to 2^k - 1.
+    let mut a = 1u64;
+    while a * 3 < range {
+        a = a * 2 + 1;
+    }
+    a
+}
+
+/// Picks a customer id (1-based) with the spec's skew.
+pub fn pick_customer(rng: &mut impl Rng, scale: &TpccScale) -> u32 {
+    let n = scale.customers_per_district as u64;
+    nurand(rng, nurand_a_for(n), 7, 1, n) as u32
+}
+
+/// Picks an item id (1-based) with the spec's skew.
+pub fn pick_item(rng: &mut impl Rng, scale: &TpccScale) -> u32 {
+    let n = scale.items as u64;
+    nurand(rng, nurand_a_for(n), 11, 1, n) as u32
+}
+
+/// One order line request of a New-Order transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrderLineInput {
+    /// Requested item (1-based).
+    pub item: u32,
+    /// Supplying warehouse (1 % remote, per spec).
+    pub supply_w: u32,
+    /// Quantity 1–10.
+    pub quantity: u32,
+}
+
+/// Inputs of one New-Order transaction.
+#[derive(Debug, Clone)]
+pub struct NewOrderInput {
+    /// Home warehouse (0-based).
+    pub w: u32,
+    /// District (0-based).
+    pub d: u32,
+    /// Customer (1-based).
+    pub c: u32,
+    /// 5–15 order lines.
+    pub lines: Vec<OrderLineInput>,
+    /// Entry timestamp.
+    pub entry_d: u64,
+    /// Spec: 1 % of New-Orders carry an invalid item and roll back.
+    pub rollback: bool,
+}
+
+/// How a transaction names its customer (spec: 60 % by last name).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CustomerSelect {
+    /// Direct customer id (1-based).
+    ById(u32),
+    /// Last-name code; resolved to the median matching customer.
+    ByLastName(u32),
+}
+
+/// Inputs of one Payment transaction.
+#[derive(Debug, Clone, Copy)]
+pub struct PaymentInput {
+    /// Warehouse whose district receives the payment (0-based).
+    pub w: u32,
+    /// District (0-based).
+    pub d: u32,
+    /// Customer's warehouse (15 % remote, per spec).
+    pub c_w: u32,
+    /// Customer's district.
+    pub c_d: u32,
+    /// Customer selection (60 % by last name, per spec).
+    pub select: CustomerSelect,
+    /// Amount in cents (100–500000).
+    pub amount: u64,
+}
+
+/// Inputs of one Order-Status transaction.
+#[derive(Debug, Clone, Copy)]
+pub struct OrderStatusInput {
+    /// Warehouse (0-based).
+    pub w: u32,
+    /// District (0-based).
+    pub d: u32,
+    /// Customer selection (60 % by last name, per spec).
+    pub select: CustomerSelect,
+}
+
+/// Inputs of one Delivery transaction.
+#[derive(Debug, Clone, Copy)]
+pub struct DeliveryInput {
+    /// Warehouse (0-based).
+    pub w: u32,
+    /// Carrier id 1–10.
+    pub carrier: u32,
+    /// Delivery timestamp.
+    pub delivery_d: u64,
+}
+
+/// Inputs of one Stock-Level transaction.
+#[derive(Debug, Clone, Copy)]
+pub struct StockLevelInput {
+    /// Warehouse (0-based).
+    pub w: u32,
+    /// District (0-based).
+    pub d: u32,
+    /// Stock threshold 10–20.
+    pub threshold: u64,
+}
+
+/// Generates New-Order inputs per the spec's distributions.
+pub fn gen_new_order(rng: &mut impl Rng, scale: &TpccScale, home_w: u32, now: u64) -> NewOrderInput {
+    let n_lines = rng.gen_range(5..=15);
+    let lines = (0..n_lines)
+        .map(|_| OrderLineInput {
+            item: pick_item(rng, scale),
+            supply_w: if scale.warehouses > 1 && rng.gen_range(0..100) == 0 {
+                let mut w = rng.gen_range(0..scale.warehouses);
+                if w == home_w {
+                    w = (w + 1) % scale.warehouses;
+                }
+                w
+            } else {
+                home_w
+            },
+            quantity: rng.gen_range(1..=10),
+        })
+        .collect();
+    NewOrderInput {
+        w: home_w,
+        d: rng.gen_range(0..scale.districts),
+        c: pick_customer(rng, scale),
+        lines,
+        entry_d: now,
+        rollback: rng.gen_range(0..100) == 0,
+    }
+}
+
+/// Generates Payment inputs (15 % remote customers, per spec).
+pub fn gen_payment(rng: &mut impl Rng, scale: &TpccScale, home_w: u32) -> PaymentInput {
+    let d = rng.gen_range(0..scale.districts);
+    let (c_w, c_d) = if scale.warehouses > 1 && rng.gen_range(0..100) < 15 {
+        let mut w = rng.gen_range(0..scale.warehouses);
+        if w == home_w {
+            w = (w + 1) % scale.warehouses;
+        }
+        (w, rng.gen_range(0..scale.districts))
+    } else {
+        (home_w, d)
+    };
+    PaymentInput {
+        w: home_w,
+        d,
+        c_w,
+        c_d,
+        select: pick_customer_select(rng, scale),
+        amount: rng.gen_range(100..=500_000),
+    }
+}
+
+/// The spec's 60/40 split between by-last-name and by-id selection.
+pub fn pick_customer_select(rng: &mut impl Rng, scale: &TpccScale) -> CustomerSelect {
+    if rng.gen_range(0..100) < 60 {
+        CustomerSelect::ByLastName(rng.gen_range(0..super::NAME_CODES))
+    } else {
+        CustomerSelect::ById(pick_customer(rng, scale))
+    }
+}
+
+/// Generates Order-Status inputs.
+pub fn gen_order_status(rng: &mut impl Rng, scale: &TpccScale, home_w: u32) -> OrderStatusInput {
+    OrderStatusInput {
+        w: home_w,
+        d: rng.gen_range(0..scale.districts),
+        select: pick_customer_select(rng, scale),
+    }
+}
+
+/// Generates Delivery inputs.
+pub fn gen_delivery(rng: &mut impl Rng, home_w: u32, now: u64) -> DeliveryInput {
+    DeliveryInput {
+        w: home_w,
+        carrier: rng.gen_range(1..=10),
+        delivery_d: now,
+    }
+}
+
+/// Generates Stock-Level inputs.
+pub fn gen_stock_level(rng: &mut impl Rng, scale: &TpccScale, home_w: u32) -> StockLevelInput {
+    StockLevelInput {
+        w: home_w,
+        d: rng.gen_range(0..scale.districts),
+        threshold: rng.gen_range(10..=20),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(42)
+    }
+
+    fn scale() -> TpccScale {
+        TpccScale {
+            warehouses: 4,
+            ..TpccScale::default()
+        }
+    }
+
+    #[test]
+    fn nurand_stays_in_range() {
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let v = nurand(&mut r, 255, 7, 1, 300);
+            assert!((1..=300).contains(&v));
+        }
+    }
+
+    #[test]
+    fn nurand_is_skewed() {
+        // Non-uniformity: the most popular decile should receive clearly
+        // more than 10% of draws.
+        let mut r = rng();
+        let mut counts = [0u32; 10];
+        for _ in 0..20_000 {
+            let v = nurand(&mut r, 255, 7, 1, 300);
+            counts[((v - 1) * 10 / 300) as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        assert!(max > 2_000 * 13 / 10, "distribution too flat: {counts:?}");
+    }
+
+    #[test]
+    fn new_order_inputs_respect_spec_ranges() {
+        let mut r = rng();
+        let sc = scale();
+        for _ in 0..500 {
+            let i = gen_new_order(&mut r, &sc, 2, 123);
+            assert!((5..=15).contains(&i.lines.len()));
+            assert!(i.d < sc.districts);
+            assert!((1..=sc.customers_per_district).contains(&i.c));
+            for l in &i.lines {
+                assert!((1..=sc.items).contains(&l.item));
+                assert!((1..=10).contains(&l.quantity));
+                assert!(l.supply_w < sc.warehouses);
+            }
+        }
+    }
+
+    #[test]
+    fn remote_payments_are_about_15_percent() {
+        let mut r = rng();
+        let sc = scale();
+        let remote = (0..10_000)
+            .filter(|_| {
+                let p = gen_payment(&mut r, &sc, 1);
+                p.c_w != p.w
+            })
+            .count();
+        assert!((1_000..2_200).contains(&remote), "remote rate {remote}/10000");
+    }
+
+    #[test]
+    fn single_warehouse_never_remote() {
+        let mut r = rng();
+        let sc = TpccScale {
+            warehouses: 1,
+            ..TpccScale::default()
+        };
+        for _ in 0..200 {
+            let p = gen_payment(&mut r, &sc, 0);
+            assert_eq!(p.c_w, 0);
+            let o = gen_new_order(&mut r, &sc, 0, 1);
+            assert!(o.lines.iter().all(|l| l.supply_w == 0));
+        }
+    }
+}

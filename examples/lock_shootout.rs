@@ -1,0 +1,72 @@
+//! Every synchronization scheme in the repository, one table: the four
+//! SpRWL ablation variants, the SNZI variant, and every baseline, all
+//! running the same workload through the same `RwSync` interface.
+//!
+//! Run with: `cargo run --release --example lock_shootout [update_pct]`
+
+use std::time::Duration;
+
+use sprwl_repro::bench::{hashmap_point, run_hashmap, LockKind, RunConfig, RunReport};
+use sprwl_repro::prelude::*;
+
+fn main() {
+    let update_pct: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    assert!(update_pct <= 100, "update percentage must be 0..=100");
+
+    let threads = 4;
+    let profile = CapacityProfile::POWER8_SIM;
+    let spec = HashmapSpec::paper(&profile, true, update_pct);
+
+    println!(
+        "Lock shootout: hashmap, 10-lookup readers, {update_pct}% updates, \
+         {threads} threads, profile {}\n",
+        profile.name
+    );
+    println!("{}", RunReport::header());
+
+    let contenders: Vec<LockKind> = vec![
+        LockKind::Sprwl(SprwlConfig::no_sched()),
+        LockKind::Sprwl(SprwlConfig::rwait()),
+        LockKind::Sprwl(SprwlConfig::rsync()),
+        LockKind::Sprwl(SprwlConfig::full()),
+        LockKind::Sprwl(SprwlConfig::with_snzi()),
+        LockKind::Sprwl(SprwlConfig::adaptive()),
+        LockKind::Tle,
+        LockKind::RwLe,
+        LockKind::Rwl,
+        LockKind::BrLock,
+        LockKind::PhaseFair,
+        LockKind::Mcs,
+        LockKind::Passive,
+    ];
+
+    let mut best: Option<(String, f64)> = None;
+    for kind in &contenders {
+        if !kind.supports(&profile) {
+            continue;
+        }
+        let (htm, lock, map) = hashmap_point(profile, &spec, kind, threads);
+        let report = run_hashmap(
+            &htm,
+            &*lock,
+            &map,
+            &spec,
+            &RunConfig {
+                threads,
+                duration: Duration::from_millis(300),
+                seed: 13,
+            },
+        )
+        .with_lock_name(kind.name());
+        println!("{}", report.row());
+        if best.as_ref().is_none_or(|(_, t)| report.throughput > *t) {
+            best = Some((report.lock.clone(), report.throughput));
+        }
+    }
+    if let Some((name, thr)) = best {
+        println!("\nFastest on this host: {name} at {thr:.0} tx/s");
+    }
+}

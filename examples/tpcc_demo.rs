@@ -1,0 +1,52 @@
+//! TPC-C under SpRWL (the paper's §4.2 experiment, example-sized): runs
+//! the standard mix for a moment, prints throughput plus the commit-mode
+//! breakdown, and verifies the database's consistency conditions.
+//!
+//! Run with: `cargo run --release --example tpcc_demo`
+
+use std::time::Duration;
+
+use sprwl_repro::bench::{run_tpcc, tpcc_point, LockKind, RunConfig, RunReport};
+use sprwl_repro::prelude::*;
+use sprwl_repro::workloads::tpcc::TpccScale;
+
+fn main() {
+    let threads = 4;
+    let profile = CapacityProfile::POWER8_SIM;
+    let scale = TpccScale::with_warehouses(threads as u32);
+
+    println!(
+        "TPC-C: {} warehouses, mix = Stock-Level 31% / Delivery 4% / \
+         Order-Status 4% / Payment 43% / New-Order 18%\n",
+        scale.warehouses
+    );
+    println!("{}", RunReport::header());
+
+    for kind in [
+        LockKind::Sprwl(SprwlConfig::default()),
+        LockKind::Sprwl(SprwlConfig::with_snzi()),
+        LockKind::Tle,
+        LockKind::RwLe,
+        LockKind::Rwl,
+    ] {
+        let (htm, lock, db) = tpcc_point(profile, scale, &kind, threads);
+        let report = run_tpcc(
+            &htm,
+            &*lock,
+            &db,
+            &Mix::PAPER,
+            &RunConfig {
+                threads,
+                duration: Duration::from_millis(400),
+                seed: 11,
+            },
+        )
+        .with_lock_name(kind.name());
+        println!("{}", report.row());
+
+        // TPC-C consistency conditions must hold whatever the lock.
+        assert!(db.audit_ytd(htm.memory()), "W_YTD == Σ D_YTD violated");
+        assert!(db.audit_order_queues(htm.memory()), "order queue corrupted");
+    }
+    println!("\nAll consistency audits passed (W_YTD == Σ D_YTD, delivery queues sane).");
+}

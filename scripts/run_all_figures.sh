@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Regenerates every figure of the paper plus the ablations, writing the
+# combined output to bench_output.txt at the repository root.
+#
+# Usage: scripts/run_all_figures.sh [secs-per-point] [thread-sweep]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export SPRWL_BENCH_SECS="${1:-0.25}"
+export SPRWL_BENCH_THREADS="${2:-1,2,4,8}"
+
+echo "== SpRWL figure regeneration: ${SPRWL_BENCH_SECS}s/point, threads ${SPRWL_BENCH_THREADS} =="
+cargo bench -p sprwl-bench 2>&1 | tee bench_output.txt
+echo "== done; see bench_output.txt =="

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Summarizes the CSV rows of bench_output.txt into the per-figure
+comparison tables EXPERIMENTS.md embeds.
+
+CSV row shape (prefix `CSV:`):
+  fig,profile,param,lock,threads,tx_s,abort_pct,htm,rot,gl,unins,
+  rd_mean_ns,wr_mean_ns,rd_p99_ns,wr_p99_ns
+"""
+import collections
+import sys
+
+def main(path: str) -> None:
+    rows = []
+    for line in open(path, encoding="utf-8", errors="replace"):
+        line = line.strip()
+        if not line.startswith("CSV:"):
+            continue
+        parts = line[4:].split(",")
+        if len(parts) < 13:
+            continue
+        rows.append(parts)
+
+    by_fig = collections.defaultdict(list)
+    for r in rows:
+        by_fig[r[0]].append(r)
+
+    for fig in sorted(by_fig):
+        print(f"\n### {fig}")
+        groups = collections.defaultdict(dict)
+        for r in by_fig[fig]:
+            profile, param, lock, threads = r[1], r[2], r[3], int(r[4])
+            groups[(profile, param, threads)][lock] = r
+        for key in sorted(groups, key=str):
+            profile, param, threads = key
+            locks = groups[key]
+            best = max(locks.items(), key=lambda kv: float(kv[1][5]))
+            line = " | ".join(
+                f"{name} {float(r[5])/1e3:.0f}k" for name, r in sorted(locks.items())
+            )
+            print(f"{profile} {param} thr={threads}: {line}  [best: {best[0]}]")
+        # Per-figure speedup summaries of interest.
+        if fig in ("fig3", "fig4"):
+            for key, locks in sorted(groups.items(), key=str):
+                if "SpRWL" in locks and "TLE" in locks:
+                    s = float(locks["SpRWL"][5]) / max(float(locks["TLE"][5]), 1)
+                    print(f"  SpRWL/TLE {key}: {s:.2f}x")
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt")

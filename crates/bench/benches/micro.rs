@@ -54,7 +54,7 @@ fn bench_sections(c: &mut Criterion) {
     ];
     for (name, lock) in &locks {
         let mut t = LockThread::new(h.thread(0));
-        group.bench_function(*name, |b| {
+        group.bench_function(name, |b| {
             b.iter(|| {
                 lock.write_section(&mut t, SectionId(0), &mut |a| {
                     let v = a.read(cell)?;
@@ -70,7 +70,7 @@ fn bench_sections(c: &mut Criterion) {
     let mut group = c.benchmark_group("uncontended-read-section");
     for (name, lock) in &locks {
         let mut t = LockThread::new(h.thread(0));
-        group.bench_function(*name, |b| {
+        group.bench_function(name, |b| {
             b.iter(|| lock.read_section(&mut t, SectionId(1), &mut |a| a.read(cell)))
         });
         drop(t);
@@ -103,7 +103,9 @@ fn bench_estimator(c: &mut Criterion) {
     c.bench_function("estimator/record", |b| {
         b.iter(|| est.record(0, SectionId(2), 1234))
     });
-    c.bench_function("estimator/end-time", |b| b.iter(|| est.end_time(SectionId(2))));
+    c.bench_function("estimator/end-time", |b| {
+        b.iter(|| est.end_time(SectionId(2)))
+    });
 }
 
 criterion_group! {

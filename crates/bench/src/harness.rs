@@ -54,7 +54,9 @@ impl LockKind {
                 (s, sprwl::ReaderTracking::Flags) => s.label().to_string(),
                 (sprwl::Scheduling::Full, sprwl::ReaderTracking::Snzi) => "SNZI".to_string(),
                 (s, sprwl::ReaderTracking::Snzi) => format!("{}+SNZI", s.label()),
-                (sprwl::Scheduling::Full, sprwl::ReaderTracking::Adaptive) => "Adaptive".to_string(),
+                (sprwl::Scheduling::Full, sprwl::ReaderTracking::Adaptive) => {
+                    "Adaptive".to_string()
+                }
                 (s, sprwl::ReaderTracking::Adaptive) => format!("{}+Adaptive", s.label()),
             },
             LockKind::Tle => "TLE".into(),
@@ -253,7 +255,7 @@ pub fn run_hashmap(
 ) -> RunReport {
     run_generic(htm, rc, |ctx: &mut WorkerCtx<'_, '_>| {
         let rng = &mut ctx.rng;
-        if rng.gen_range(0..100) < spec.update_pct {
+        if rng.gen_range(0..100u32) < spec.update_pct {
             let key = rng.gen_range(0..spec.key_space);
             let insert = rng.gen_bool(0.5);
             let tid = ctx.t.tid();
@@ -264,20 +266,16 @@ pub fn run_hashmap(
             let keys: Vec<u64> = (0..spec.lookups_per_read)
                 .map(|_| rng.gen_range(0..spec.key_space))
                 .collect();
-            lock.read_section(ctx.t, SEC_HASH_READ, &mut |a| hashmap_read_cs(map, a, &keys));
+            lock.read_section(ctx.t, SEC_HASH_READ, &mut |a| {
+                hashmap_read_cs(map, a, &keys)
+            });
         }
     })
     .with_lock_name(lock.name())
 }
 
 /// Runs the TPC-C benchmark (§4.2) for one point with the given mix.
-pub fn run_tpcc(
-    htm: &Htm,
-    lock: &dyn RwSync,
-    db: &TpccDb,
-    mix: &Mix,
-    rc: &RunConfig,
-) -> RunReport {
+pub fn run_tpcc(htm: &Htm, lock: &dyn RwSync, db: &TpccDb, mix: &Mix, rc: &RunConfig) -> RunReport {
     let scale = *db.scale();
     run_generic(htm, rc, move |ctx: &mut WorkerCtx<'_, '_>| {
         let rng = &mut ctx.rng;
@@ -331,7 +329,9 @@ pub struct WorkerCtx<'a, 'h> {
 
 impl std::fmt::Debug for WorkerCtx<'_, '_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("WorkerCtx").field("tid", &self.t.tid()).finish()
+        f.debug_struct("WorkerCtx")
+            .field("tid", &self.t.tid())
+            .finish()
     }
 }
 
@@ -398,7 +398,11 @@ pub fn hashmap_point(
     kind: &LockKind,
     threads: usize,
 ) -> (Htm, Box<dyn RwSync>, SimHashMap) {
-    let htm = htm_for(profile, threads, spec.cells_needed(threads) + 64 * threads * 8);
+    let htm = htm_for(
+        profile,
+        threads,
+        spec.cells_needed(threads) + 64 * threads * 8,
+    );
     let lock = kind.build(&htm);
     let map = spec.build(htm.memory(), threads);
     (htm, lock, map)
@@ -575,4 +579,3 @@ mod tests {
         assert!(db.audit_order_queues(htm.memory()));
     }
 }
-

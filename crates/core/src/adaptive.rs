@@ -109,7 +109,9 @@ impl SpRwl {
     /// the transition.
     fn switch_to_snzi(&self, d: &Direct<'_>, me: usize, mem: &SimMemory) {
         let cell = self.mode_cell.expect("adaptive");
-        if d.compare_exchange(cell, MODE_FLAGS, MODE_TRANS_TO_SNZI).is_err() {
+        if d.compare_exchange(cell, MODE_FLAGS, MODE_TRANS_TO_SNZI)
+            .is_err()
+        {
             return;
         }
         // Wait (once each, with a deadline) for readers that might predate

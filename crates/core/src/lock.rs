@@ -6,7 +6,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use htm_sim::{CellId, Direct, Htm, SimMemory, Tx, TxResult};
 use snzi::Snzi;
-use sprwl_locks::{GlobalLock, LockThread, RwSync, SectionBody, SectionId, VersionedLock, ABORT_READER};
+use sprwl_locks::{
+    GlobalLock, LockThread, RwSync, SectionBody, SectionId, VersionedLock, ABORT_READER,
+};
 
 use crate::adaptive::{ReaderReg, MODE_SNZI, MODE_TRANS_TO_SNZI};
 use crate::config::{ReaderTracking, SprwlConfig};
@@ -320,6 +322,45 @@ impl SpRwl {
             self.snzi.as_ref().expect("snzi tracking").depart(d, tid);
         }
     }
+
+    // ---- white-box test hooks (versioned-SGL bypass, §3.3) ----
+
+    /// Test hook: acquire the fallback lock directly, as a fallback writer
+    /// would; returns the held version (0 for a plain SGL).
+    #[doc(hidden)]
+    pub fn debug_fallback_acquire(&self, d: &Direct<'_>) -> u64 {
+        self.fallback.acquire(d)
+    }
+
+    /// Test hook: release the fallback lock acquired through
+    /// [`SpRwl::debug_fallback_acquire`].
+    #[doc(hidden)]
+    pub fn debug_fallback_release(&self, d: &Direct<'_>) {
+        self.fallback.release(d)
+    }
+
+    /// Test hook: the fallback lock's `(version, locked)` snapshot.
+    #[doc(hidden)]
+    pub fn debug_fallback_peek(&self, mem: &SimMemory) -> (u64, bool) {
+        self.fallback.peek(mem)
+    }
+
+    /// Test hook: the §3.3 registration slot for `tid` (`u64::MAX` = none).
+    #[doc(hidden)]
+    pub fn debug_waiting_version(&self, tid: usize) -> u64 {
+        self.waiting_version[tid].load()
+    }
+
+    /// Test hook: whether a fallback writer holding `my_version` would
+    /// still defer to a reader registered under an earlier version — the
+    /// non-blocking probe behind `wait_for_bypassing_readers` (§3.3).
+    #[doc(hidden)]
+    pub fn debug_any_senior_bypasser(&self, my_version: u64) -> bool {
+        (0..self.n).any(|i| {
+            let v = self.waiting_version[i].load();
+            v != NONE && v < my_version
+        })
+    }
 }
 
 impl RwSync for SpRwl {
@@ -333,5 +374,48 @@ impl RwSync for SpRwl {
 
     fn write_section(&self, t: &mut LockThread<'_>, sec: SectionId, f: SectionBody<'_>) -> u64 {
         self.do_write(t, sec, f)
+    }
+
+    fn check_quiescent(&self, mem: &SimMemory) -> Result<(), String> {
+        for i in 0..self.n {
+            let s = mem.peek(self.state[i]);
+            if s != STATE_EMPTY {
+                return Err(format!(
+                    "SpRWL: state[{i}] is {s} (not EMPTY) at quiescence"
+                ));
+            }
+        }
+        if self.fallback.is_locked_peek(mem) {
+            return Err("SpRWL: fallback lock still held at quiescence".into());
+        }
+        if let Some(snzi) = &self.snzi {
+            snzi.check_balanced(mem)
+                .map_err(|e| format!("SpRWL: {e}"))?;
+        }
+        for i in 0..self.n {
+            if self.waiting_for[i].load() != NONE {
+                return Err(format!(
+                    "SpRWL: waiting_for[{i}] still registered at quiescence"
+                ));
+            }
+            if self.waiting_version[i].load() != NONE {
+                return Err(format!(
+                    "SpRWL: waiting_version[{i}] still registered at quiescence"
+                ));
+            }
+            let cw = self.clock_w[i].load();
+            if cw != 0 {
+                return Err(format!(
+                    "SpRWL: clock_w[{i}] is {cw} (stale end-time advert) at quiescence"
+                ));
+            }
+            let cr = self.clock_r[i].load();
+            if cr != 0 {
+                return Err(format!(
+                    "SpRWL: clock_r[{i}] is {cr} (stale end-time advert) at quiescence"
+                ));
+            }
+        }
+        Ok(())
     }
 }

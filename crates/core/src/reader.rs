@@ -9,7 +9,12 @@ use sprwl_locks::{AbortCause, CommitMode, LockThread, Role, SectionBody, Section
 use crate::lock::{SpRwl, NONE, STATE_WRITER};
 
 impl SpRwl {
-    pub(crate) fn do_read(&self, t: &mut LockThread<'_>, sec: SectionId, f: SectionBody<'_>) -> u64 {
+    pub(crate) fn do_read(
+        &self,
+        t: &mut LockThread<'_>,
+        sec: SectionId,
+        f: SectionBody<'_>,
+    ) -> u64 {
         let start = clock::now();
         let tid = t.tid();
         let mem = t.ctx.htm().memory();
@@ -32,6 +37,7 @@ impl SpRwl {
                 }) {
                     Ok((r, dur)) => {
                         self.est.record(tid, sec, dur);
+                        self.adapt_after_section(t, true, dur);
                         t.stats
                             .record_commit(Role::Reader, CommitMode::Htm, clock::now() - start);
                         return r;
@@ -200,6 +206,20 @@ impl SpRwl {
             }
             spin.snooze();
         }
+    }
+
+    /// Test hook: the Alg. 1 admission check (plus §3.3 registration side
+    /// effects) exposed for white-box versioned-SGL tests.
+    #[doc(hidden)]
+    pub fn debug_reader_may_proceed(&self, tid: usize, mem: &htm_sim::SimMemory) -> bool {
+        self.reader_may_proceed(tid, mem)
+    }
+
+    /// Test hook: the blocking reader-vs-fallback-lock wait exposed for
+    /// white-box versioned-SGL tests.
+    #[doc(hidden)]
+    pub fn debug_reader_wait_for_gl(&self, tid: usize, mem: &htm_sim::SimMemory) {
+        self.reader_wait_for_gl(tid, mem)
     }
 
     /// Test hook: whether this lock's scheduling would make a reader wait

@@ -10,7 +10,12 @@ use sprwl_locks::{AbortCause, CommitMode, LockThread, Role, SectionBody, Section
 use crate::lock::{SpRwl, NONE, STATE_EMPTY, STATE_READER, STATE_WRITER};
 
 impl SpRwl {
-    pub(crate) fn do_write(&self, t: &mut LockThread<'_>, sec: SectionId, f: SectionBody<'_>) -> u64 {
+    pub(crate) fn do_write(
+        &self,
+        t: &mut LockThread<'_>,
+        sec: SectionId,
+        f: SectionBody<'_>,
+    ) -> u64 {
         let start = clock::now();
         let tid = t.tid();
         let mem = t.ctx.htm().memory();
@@ -66,6 +71,7 @@ impl SpRwl {
         if let Some(r) = committed {
             if advertise {
                 t.ctx.direct().store(self.state[tid], STATE_EMPTY);
+                self.clock_w[tid].store(0);
             }
             t.stats
                 .record_commit(Role::Writer, CommitMode::Htm, clock::now() - start);
@@ -87,10 +93,17 @@ impl SpRwl {
         let dur = clock::now() - t0;
         self.est.record(tid, sec, dur);
         self.adapt_after_section(t, false, dur);
-        self.fallback.release(&t.ctx.direct());
+        // Teardown order matters: lower the WRITER flag and zero the
+        // advertised end time *before* releasing the fallback lock. Readers
+        // woken by the release immediately scan `state`/`clock_w` in
+        // `readers_wait`; with the old order they could observe a stale
+        // WRITER flag with a stale end time and spin against it until the
+        // deadline expired.
         if advertise {
             t.ctx.direct().store(self.state[tid], STATE_EMPTY);
+            self.clock_w[tid].store(0);
         }
+        self.fallback.release(&t.ctx.direct());
         t.stats
             .record_commit(Role::Writer, CommitMode::Gl, clock::now() - start);
         r

@@ -53,8 +53,7 @@ fn long_readers_engage_the_snzi() {
         });
         lock.write_section(&mut t, SEC_W, &mut |a| {
             let v = a.read(cell)?;
-            a.write(cell, v + 1)
-                .map(|_| v)
+            a.write(cell, v + 1).map(|_| v)
         });
     }
     assert!(

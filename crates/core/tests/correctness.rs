@@ -367,9 +367,21 @@ fn bank_audit(cfg: SprwlConfig) {
 #[test]
 fn variant_labels_match_the_paper() {
     let h = htm(CapacityProfile::BROADWELL_SIM, 2);
-    assert_eq!(SpRwl::new(&h, SprwlConfig::no_sched()).variant_label(), "NoSched");
-    assert_eq!(SpRwl::new(&h, SprwlConfig::rwait()).variant_label(), "RWait");
-    assert_eq!(SpRwl::new(&h, SprwlConfig::rsync()).variant_label(), "RSync");
+    assert_eq!(
+        SpRwl::new(&h, SprwlConfig::no_sched()).variant_label(),
+        "NoSched"
+    );
+    assert_eq!(
+        SpRwl::new(&h, SprwlConfig::rwait()).variant_label(),
+        "RWait"
+    );
+    assert_eq!(
+        SpRwl::new(&h, SprwlConfig::rsync()).variant_label(),
+        "RSync"
+    );
     assert_eq!(SpRwl::new(&h, SprwlConfig::full()).variant_label(), "SpRWL");
-    assert_eq!(SpRwl::new(&h, SprwlConfig::with_snzi()).variant_label(), "SNZI");
+    assert_eq!(
+        SpRwl::new(&h, SprwlConfig::with_snzi()).variant_label(),
+        "SNZI"
+    );
 }

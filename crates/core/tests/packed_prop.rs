@@ -6,9 +6,8 @@ use sprwl::packed::{PackedMeta, MAX_CLOCK, MAX_TID};
 fn meta_strategy() -> impl Strategy<Value = PackedMeta> {
     prop_oneof![
         Just(PackedMeta::Inactive),
-        (0..=MAX_CLOCK, proptest::option::of(0..=MAX_TID)).prop_map(|(clock, waiting_for)| {
-            PackedMeta::Reader { clock, waiting_for }
-        }),
+        (0..=MAX_CLOCK, proptest::option::of(0..=MAX_TID))
+            .prop_map(|(clock, waiting_for)| { PackedMeta::Reader { clock, waiting_for } }),
         (0..=MAX_CLOCK).prop_map(|clock| PackedMeta::Writer { clock }),
     ]
 }

@@ -94,6 +94,7 @@ impl<'h> Direct<'h> {
 
     /// Non-transactional load with full coherence semantics.
     pub fn load(&self, cell: CellId) -> u64 {
+        self.htm.maybe_shake(self.tid);
         let line = self.htm.mem_ref().line_of(cell);
         self.htm.dir_ref().untracked_op(
             line,
@@ -107,6 +108,7 @@ impl<'h> Direct<'h> {
     /// Non-transactional store; dooms every transaction holding the line
     /// (the strong-isolation property SpRWL's readers rely on).
     pub fn store(&self, cell: CellId, val: u64) {
+        self.htm.maybe_shake(self.tid);
         let line = self.htm.mem_ref().line_of(cell);
         self.htm.dir_ref().untracked_op(
             line,
@@ -121,6 +123,7 @@ impl<'h> Direct<'h> {
     /// `Ok` on success, `Err` on mismatch (like
     /// [`std::sync::atomic::AtomicU64::compare_exchange`]).
     pub fn compare_exchange(&self, cell: CellId, current: u64, new: u64) -> Result<u64, u64> {
+        self.htm.maybe_shake(self.tid);
         let line = self.htm.mem_ref().line_of(cell);
         self.htm.dir_ref().untracked_op(
             line,
@@ -133,6 +136,7 @@ impl<'h> Direct<'h> {
 
     /// Non-transactional fetch-and-add; returns the previous value.
     pub fn fetch_add(&self, cell: CellId, delta: u64) -> u64 {
+        self.htm.maybe_shake(self.tid);
         let line = self.htm.mem_ref().line_of(cell);
         self.htm.dir_ref().untracked_op(
             line,

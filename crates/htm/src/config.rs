@@ -100,6 +100,13 @@ pub struct HtmConfig {
     /// active transaction doom that transaction (true on real hardware;
     /// disabling it is an ablation knob).
     pub reads_doom_writers: bool,
+    /// Probability that any simulated memory access — transactional *or*
+    /// untracked — injects a short randomized delay (a spin or an OS-thread
+    /// yield). This "schedule shake" perturbs thread interleavings so
+    /// stress harnesses explore different schedules per seed; all decisions
+    /// are drawn from seeded PRNGs. `0.0` disables (the default; it adds
+    /// one branch per access when off).
+    pub sched_shake_prob: f64,
     /// Seed for the per-thread injection PRNGs (deterministic tests).
     pub seed: u64,
 }
@@ -113,6 +120,7 @@ impl Default for HtmConfig {
             conflict_policy: ConflictPolicy::RequesterWins,
             interrupt_prob: 0.0,
             reads_doom_writers: true,
+            sched_shake_prob: 0.0,
             seed: 0x5eed,
         }
     }
@@ -146,6 +154,9 @@ impl HtmConfig {
         }
         if !(0.0..=1.0).contains(&self.interrupt_prob) {
             return Err("interrupt_prob must be within [0, 1]".into());
+        }
+        if !(0.0..=1.0).contains(&self.sched_shake_prob) {
+            return Err("sched_shake_prob must be within [0, 1]".into());
         }
         Ok(())
     }

@@ -314,11 +314,7 @@ impl TxTable {
     /// Policy-dispatching doom: under `RequesterWins` dooms the holder;
     /// under `ResponderWins` reports `Err(())` if the holder is live (the
     /// requester must abort itself), and classifies otherwise.
-    fn doom_or_classify(
-        &self,
-        other: Owner,
-        policy: ConflictPolicy,
-    ) -> Result<DoomOutcome, ()> {
+    fn doom_or_classify(&self, other: Owner, policy: ConflictPolicy) -> Result<DoomOutcome, ()> {
         match policy {
             ConflictPolicy::RequesterWins => Ok(self.doom(other)),
             ConflictPolicy::ResponderWins => match self.classify(other) {
@@ -497,6 +493,9 @@ mod tests {
             .unwrap();
         dir.acquire_write(line, me, &table, ConflictPolicy::RequesterWins)
             .unwrap();
-        assert!(!table.is_doomed(me), "upgrading own line never self-conflicts");
+        assert!(
+            !table.is_doomed(me),
+            "upgrading own line never self-conflicts"
+        );
     }
 }

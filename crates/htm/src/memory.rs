@@ -46,7 +46,11 @@ impl Region {
     /// Panics if `i >= self.len()`.
     #[inline]
     pub fn cell(&self, i: usize) -> CellId {
-        assert!(i < self.len as usize, "region index {i} out of {}", self.len);
+        assert!(
+            i < self.len as usize,
+            "region index {i} out of {}",
+            self.len
+        );
         CellId(self.start + i as u32)
     }
 
@@ -167,9 +171,7 @@ impl SimMemory {
     ///
     /// Panics if the memory is exhausted.
     pub fn alloc_padded(&self, n: usize) -> Vec<CellId> {
-        (0..n)
-            .map(|_| self.alloc_line_aligned(1).cell(0))
-            .collect()
+        (0..n).map(|_| self.alloc_line_aligned(1).cell(0)).collect()
     }
 
     /// Allocates a region that starts on a line boundary and occupies whole

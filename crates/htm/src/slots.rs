@@ -96,7 +96,8 @@ impl TxTable {
 
     /// Owning thread: begin a new transaction at `epoch`.
     pub(crate) fn begin(&self, tid: u32, epoch: u64) {
-        self.slot(tid).store(pack(epoch, ST_ACTIVE), Ordering::SeqCst);
+        self.slot(tid)
+            .store(pack(epoch, ST_ACTIVE), Ordering::SeqCst);
     }
 
     /// Owning thread: unconditional transition (used for

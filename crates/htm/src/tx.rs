@@ -2,13 +2,15 @@
 //! [`Tx`] handle passed to transactional closures.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use crate::access::{Direct, Suspended};
 use crate::config::{CapacityProfile, ConflictPolicy, HtmConfig};
 use crate::directory::Directory;
 use crate::memory::{CellId, LineId, SimMemory};
-use crate::slots::{Owner, TxTable, ST_ACTIVE, ST_COMMITTED, ST_COMMITTING, ST_DOOMED, ST_INACTIVE, ST_SUSPENDED};
+use crate::slots::{
+    Owner, TxTable, ST_ACTIVE, ST_COMMITTED, ST_COMMITTING, ST_DOOMED, ST_INACTIVE, ST_SUSPENDED,
+};
 use crate::stats::ThreadStats;
 use crate::util::XorShift64;
 
@@ -80,6 +82,9 @@ pub struct Htm {
     table: TxTable,
     cfg: HtmConfig,
     registered: Box<[AtomicBool]>,
+    /// Global event counter feeding the seeded schedule-shake hash (see
+    /// [`HtmConfig::sched_shake_prob`]).
+    shake_clock: AtomicU64,
 }
 
 impl Htm {
@@ -98,6 +103,38 @@ impl Htm {
             table: TxTable::new(cfg.max_threads),
             cfg,
             registered: registered.into_boxed_slice(),
+            shake_clock: AtomicU64::new(0),
+        }
+    }
+
+    /// Schedule-shake hook: with probability
+    /// [`HtmConfig::sched_shake_prob`], injects a short seeded-random delay
+    /// (an OS-thread yield or a bounded spin) to perturb the interleaving.
+    /// Called on every simulated memory access, transactional or untracked.
+    ///
+    /// The decision stream is a hash of `(seed, global event counter, tid)`
+    /// — deterministic per seed up to OS scheduling, which is the best any
+    /// harness over real threads can do.
+    #[inline]
+    pub(crate) fn maybe_shake(&self, tid: u32) {
+        let p = self.cfg.sched_shake_prob;
+        if p <= 0.0 {
+            return;
+        }
+        let n = self.shake_clock.fetch_add(1, Ordering::Relaxed);
+        let bits = crate::util::mix64(
+            self.cfg.seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ ((tid as u64 + 1) << 48),
+        );
+        let u = (bits >> 11) as f64 * (1.0 / ((1u64 << 53) as f64));
+        if u >= p {
+            return;
+        }
+        if bits & 3 == 0 {
+            std::thread::yield_now();
+        } else {
+            for _ in 0..(bits >> 2 & 0x7F) {
+                std::hint::spin_loop();
+            }
         }
     }
 
@@ -261,7 +298,9 @@ impl<'h> ThreadCtx<'h> {
                         self.htm.mem.raw_store(CellId(cell), val);
                     }
                     table.set(me.tid, me.epoch, ST_COMMITTED);
-                    self.htm.dir.release(me, read_lines.iter(), write_lines.iter());
+                    self.htm
+                        .dir
+                        .release(me, read_lines.iter(), write_lines.iter());
                     table.set(me.tid, me.epoch, ST_INACTIVE);
                     self.stats.on_commit(kind);
                     return Ok(value);
@@ -274,7 +313,9 @@ impl<'h> ThreadCtx<'h> {
         // Abort path: mark dead (idempotent wrt concurrent dooming), clean
         // the directory, release the slot.
         table.set(me.tid, me.epoch, ST_DOOMED);
-        self.htm.dir.release(me, read_lines.iter(), write_lines.iter());
+        self.htm
+            .dir
+            .release(me, read_lines.iter(), write_lines.iter());
         table.set(me.tid, me.epoch, ST_INACTIVE);
         let cause = outcome.as_ref().err().copied().expect("abort path");
         self.stats.on_abort(cause);
@@ -305,6 +346,7 @@ impl Tx<'_> {
         if self.rng.hit(self.htm.cfg.interrupt_prob) {
             return Err(Abort::Interrupt);
         }
+        self.htm.maybe_shake(self.me.tid);
         Ok(())
     }
 

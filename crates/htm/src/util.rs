@@ -14,6 +14,17 @@ impl<T> std::ops::Deref for Pad<T> {
     }
 }
 
+/// Stateless 64-bit finalizer (splitmix64's): hashes a counter into
+/// well-distributed bits. Used by the schedule-shake hook, which has no
+/// per-thread state to keep a PRNG in.
+#[inline]
+pub(crate) fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// A tiny xorshift64* PRNG used for interrupt injection; deliberately not
 /// cryptographic, deterministic per seed.
 #[derive(Debug, Clone)]

@@ -270,7 +270,11 @@ fn doom_while_suspended_aborts_at_resume() {
         })
         .unwrap_err();
     assert_eq!(err, Abort::Conflict);
-    assert_eq!(htm.direct(0).load(r.cell(0)), 7, "tx rolled back, store kept");
+    assert_eq!(
+        htm.direct(0).load(r.cell(0)),
+        7,
+        "tx rolled back, store kept"
+    );
 }
 
 #[test]

@@ -6,7 +6,7 @@
 //! execution mode the scheme chooses. This mirrors how SpRWL elides
 //! existing lock-based code without changing it.
 
-use htm_sim::{MemAccess, ThreadCtx, TxResult};
+use htm_sim::{MemAccess, SimMemory, ThreadCtx, TxResult};
 
 use crate::stats::SessionStats;
 
@@ -75,13 +75,28 @@ pub trait RwSync: Sync {
 
     /// Executes `f` as a *write* critical section.
     fn write_section(&self, t: &mut LockThread<'_>, sec: SectionId, f: SectionBody<'_>) -> u64;
+
+    /// Oracle hook for stress harnesses: verifies the scheme is *quiescent*
+    /// — no reader or writer registered anywhere, every internal lock free.
+    /// Only meaningful while no thread is inside a section; the torture
+    /// harness calls it after joining all worker threads to catch leaked
+    /// registrations (unbalanced SNZI arrives, stale flags, a fallback lock
+    /// never released).
+    ///
+    /// The default implementation checks nothing; schemes override it to
+    /// expose their invariants.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first piece of non-quiescent state found.
+    fn check_quiescent(&self, mem: &SimMemory) -> Result<(), String> {
+        let _ = mem;
+        Ok(())
+    }
 }
 
 /// Convenience: run an untracked (never-aborting) body and unwrap.
-pub(crate) fn run_untracked(
-    t: &mut LockThread<'_>,
-    f: SectionBody<'_>,
-) -> u64 {
+pub(crate) fn run_untracked(t: &mut LockThread<'_>, f: SectionBody<'_>) -> u64 {
     let mut d = t.ctx.direct();
     f(&mut d).expect("untracked critical sections cannot abort")
 }

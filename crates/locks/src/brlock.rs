@@ -97,6 +97,20 @@ impl RwSync for BrLock {
             .record_commit(Role::Writer, CommitMode::Gl, clock::now() - start);
         r
     }
+
+    fn check_quiescent(&self, _mem: &htm_sim::SimMemory) -> Result<(), String> {
+        if self.global.is_locked() {
+            return Err("BRLock: global mutex still held at quiescence".into());
+        }
+        for (tid, m) in self.per_thread.iter().enumerate() {
+            if m.0.is_locked() {
+                return Err(format!(
+                    "BRLock: per-thread mutex {tid} still held at quiescence"
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

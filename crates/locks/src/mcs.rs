@@ -116,7 +116,9 @@ impl McsRwLock {
         let round = me.round.load(Ordering::Relaxed) + 1;
         me.round.store(round, Ordering::Relaxed);
         me.word.store(word(round, ST_WAITING), Ordering::SeqCst);
-        let prev = self.tail.swap(tail_entry(round, kind, tid), Ordering::SeqCst);
+        let prev = self
+            .tail
+            .swap(tail_entry(round, kind, tid), Ordering::SeqCst);
         (prev, round)
     }
 
@@ -238,6 +240,29 @@ impl RwSync for McsRwLock {
         t.stats
             .record_commit(Role::Writer, CommitMode::Gl, clock::now() - start);
         r
+    }
+
+    fn check_quiescent(&self, _mem: &htm_sim::SimMemory) -> Result<(), String> {
+        let tail = self.tail.load(Ordering::SeqCst);
+        if tail != 0 {
+            return Err(format!(
+                "MCS-RWL: queue tail not reset at quiescence (entry {tail:#x})"
+            ));
+        }
+        let readers = self.active_readers.load(Ordering::SeqCst);
+        if readers != 0 {
+            return Err(format!(
+                "MCS-RWL: {readers} active reader(s) leaked at quiescence"
+            ));
+        }
+        for (tid, node) in self.nodes.iter().enumerate() {
+            if node.word.load(Ordering::SeqCst) & 0b11 != ST_RELEASED {
+                return Err(format!(
+                    "MCS-RWL: node {tid} not in RELEASED state at quiescence"
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -391,6 +416,10 @@ mod tests {
         l.read_unlock(0); // release the initial reader; the queue drains
         w.join().unwrap();
         r.join().unwrap();
-        assert_eq!(order.load(Ordering::SeqCst), 1, "late reader overtook the writer");
+        assert_eq!(
+            order.load(Ordering::SeqCst),
+            1,
+            "late reader overtook the writer"
+        );
     }
 }

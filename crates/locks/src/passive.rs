@@ -132,6 +132,21 @@ impl RwSync for PassiveRwLock {
             .record_commit(Role::Writer, CommitMode::Gl, clock::now() - start);
         r
     }
+
+    fn check_quiescent(&self, _mem: &htm_sim::SimMemory) -> Result<(), String> {
+        if self.writer_present.load(Ordering::SeqCst) {
+            return Err("PRWL: writer_present still raised at quiescence".into());
+        }
+        if self.writer_mutex.is_locked() {
+            return Err("PRWL: writer mutex still held at quiescence".into());
+        }
+        for (tid, slot) in self.readers.iter().enumerate() {
+            if slot.0.load(Ordering::SeqCst) != IDLE {
+                return Err(format!("PRWL: reader {tid} still announced at quiescence"));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -111,6 +111,29 @@ impl RwSync for PhaseFairRwLock {
             .record_commit(Role::Writer, CommitMode::Gl, clock::now() - start);
         r
     }
+
+    fn check_quiescent(&self, _mem: &htm_sim::SimMemory) -> Result<(), String> {
+        let rin = self.rin.load(Ordering::SeqCst);
+        let rout = self.rout.load(Ordering::SeqCst);
+        let win = self.win.load(Ordering::SeqCst);
+        let wout = self.wout.load(Ordering::SeqCst);
+        if rin & WBITS != 0 {
+            return Err(format!(
+                "PF-RWL: writer presence bits set at quiescence (rin={rin:#x})"
+            ));
+        }
+        if rin != rout {
+            return Err(format!(
+                "PF-RWL: reader counters unbalanced at quiescence (rin={rin:#x}, rout={rout:#x})"
+            ));
+        }
+        if win != wout {
+            return Err(format!(
+                "PF-RWL: writer tickets unbalanced at quiescence (win={win}, wout={wout})"
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

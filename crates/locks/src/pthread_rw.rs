@@ -57,8 +57,8 @@ impl PthreadRwLock {
     pub fn read_lock(&self) {
         let mut st = self.state.lock();
         loop {
-            let blocked = st.writer_active
-                || (self.pref == Preference::Writers && st.writers_waiting > 0);
+            let blocked =
+                st.writer_active || (self.pref == Preference::Writers && st.writers_waiting > 0);
             if !blocked {
                 break;
             }
@@ -131,6 +131,26 @@ impl RwSync for PthreadRwLock {
         t.stats
             .record_commit(Role::Writer, CommitMode::Gl, clock::now() - start);
         r
+    }
+
+    fn check_quiescent(&self, _mem: &htm_sim::SimMemory) -> Result<(), String> {
+        let st = self.state.lock();
+        if st.active_readers != 0 {
+            return Err(format!(
+                "RWL: {} active reader(s) leaked at quiescence",
+                st.active_readers
+            ));
+        }
+        if st.writer_active {
+            return Err("RWL: writer still active at quiescence".into());
+        }
+        if st.writers_waiting != 0 {
+            return Err(format!(
+                "RWL: {} writer(s) still queued at quiescence",
+                st.writers_waiting
+            ));
+        }
+        Ok(())
     }
 }
 

@@ -205,6 +205,21 @@ impl RwSync for RwLe {
             .record_commit(Role::Writer, CommitMode::Gl, clock::now() - start);
         r
     }
+
+    fn check_quiescent(&self, mem: &htm_sim::SimMemory) -> Result<(), String> {
+        if self.gl.is_locked_peek(mem) {
+            return Err("RW-LE: fallback lock still held at quiescence".into());
+        }
+        for (tid, slot) in self.seq.iter().enumerate() {
+            let v = slot.0.load(Ordering::SeqCst);
+            if v % 2 == 1 {
+                return Err(format!(
+                    "RW-LE: reader {tid} still registered (seq={v}) at quiescence"
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

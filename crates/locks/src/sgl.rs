@@ -7,8 +7,8 @@
 //! taken. If the lock is acquired later, the untracked CAS dooms every
 //! subscribed transaction — the standard eager-subscription SGL pattern.
 
-use htm_sim::{CellId, Direct, SimMemory, Tx, TxResult};
 use htm_sim::clock::SpinWait;
+use htm_sim::{CellId, Direct, SimMemory, Tx, TxResult};
 
 /// Explicit-abort code: transaction observed the fallback lock taken.
 pub const ABORT_LOCKED: u32 = 1;

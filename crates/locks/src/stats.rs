@@ -193,7 +193,11 @@ impl LatencyRecorder {
         for (i, &b) in self.buckets.iter().enumerate() {
             seen += b;
             if seen >= rank {
-                let upper = if i + 1 >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                let upper = if i + 1 >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
                 return upper.min(self.max_ns);
             }
         }

@@ -95,6 +95,13 @@ impl RwSync for Tle {
     fn write_section(&self, t: &mut LockThread<'_>, _sec: SectionId, f: SectionBody<'_>) -> u64 {
         self.section(t, Role::Writer, f)
     }
+
+    fn check_quiescent(&self, mem: &htm_sim::SimMemory) -> Result<(), String> {
+        if self.gl.is_locked_peek(mem) {
+            return Err("TLE: fallback lock still held at quiescence".into());
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -145,7 +152,11 @@ mod tests {
         });
         assert_eq!(r, 0);
         assert_eq!(t.stats.commits_by(Role::Reader, CommitMode::Gl), 1);
-        assert_eq!(t.stats.aborts_of(AbortCause::Capacity), 1, "immediate fallback");
+        assert_eq!(
+            t.stats.aborts_of(AbortCause::Capacity),
+            1,
+            "immediate fallback"
+        );
     }
 
     #[test]

@@ -127,7 +127,11 @@ fn names_are_stable_and_distinct() {
     let h = htm();
     let names: Vec<&'static str> = schemes(&h).iter().map(|l| l.name()).collect();
     let unique: std::collections::HashSet<_> = names.iter().collect();
-    assert_eq!(unique.len(), names.len(), "duplicate scheme names: {names:?}");
+    assert_eq!(
+        unique.len(),
+        names.len(),
+        "duplicate scheme names: {names:?}"
+    );
     for n in names {
         assert!(!n.is_empty());
     }

@@ -152,6 +152,28 @@ impl Snzi {
         d.load(self.root) > 0
     }
 
+    /// Diagnostic for quiescent-state oracles: verifies every counter in
+    /// the indicator — the root cell and all interior/leaf nodes — is zero,
+    /// i.e. every [`Snzi::arrive`] has been balanced by a
+    /// [`Snzi::depart`]. Only meaningful while no thread is mid-operation.
+    ///
+    /// # Errors
+    ///
+    /// Names the first unbalanced counter found.
+    pub fn check_balanced(&self, mem: &SimMemory) -> Result<(), String> {
+        let root = mem.peek(self.root);
+        if root != 0 {
+            return Err(format!("snzi root count is {root}, expected 0"));
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            let c = count_of(node.load(Ordering::SeqCst));
+            if c != 0 {
+                return Err(format!("snzi node {i} count is {c}, expected 0"));
+            }
+        }
+        Ok(())
+    }
+
     /// One-word query through any accessor — inside a hardware transaction
     /// this subscribes the root line, so a subsequent reader arrival dooms
     /// the querying transaction (strong isolation), which is exactly the

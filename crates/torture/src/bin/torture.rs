@@ -1,0 +1,61 @@
+//! Command-line driver for the torture matrix.
+//!
+//! ```text
+//! cargo run -p sprwl-torture --release -- [--threads N] [--ops N] [--seed S] [--filter SUBSTR]
+//! ```
+//!
+//! Runs every case in the default matrix (optionally filtered by name
+//! substring), prints a per-case summary line, and exits non-zero if any
+//! oracle violation is found. `TORTURE_SEED` overrides the base seed the
+//! same way it does for the test suite.
+
+use sprwl_torture::{base_seed, default_matrix, run_case};
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("bad value {v:?} for {flag}"))
+        })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let threads: usize = parse_flag(&args, "--threads").unwrap_or(4);
+    let ops: usize = parse_flag(&args, "--ops").unwrap_or(250);
+    let seed: u64 = parse_flag(&args, "--seed").unwrap_or_else(base_seed);
+    let filter: Option<String> = parse_flag(&args, "--filter");
+
+    let matrix = default_matrix(threads, ops);
+    let mut failures = 0usize;
+    let mut ran = 0usize;
+    for spec in &matrix {
+        if let Some(f) = &filter {
+            if !spec.name.contains(f.as_str()) {
+                continue;
+            }
+        }
+        ran += 1;
+        match run_case(spec, seed) {
+            Ok(s) => println!(
+                "ok   {:<28} {:>6} ops  r={:<6} w={:<6} spec={:<6} aborts={}",
+                spec.name,
+                spec.total_ops(),
+                s.reader_commits,
+                s.writer_commits,
+                s.speculative_commits,
+                s.aborts
+            ),
+            Err(v) => {
+                failures += 1;
+                eprintln!("FAIL {}", v);
+            }
+        }
+    }
+    println!("torture: {ran} case(s), {failures} violation(s), base seed {seed:#x}");
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,691 @@
+//! Deterministic concurrency-torture harness for every [`RwSync`]
+//! implementation in the workspace.
+//!
+//! # How it works
+//!
+//! Each *case* ([`TortureSpec`]) drives one lock implementation with a
+//! fixed number of randomized-but-reproducible reader/writer operations
+//! over a bank of **mirror pairs** in simulated memory: cells `A[p]` and
+//! `B[p]` start equal and every writer increments both inside one write
+//! critical section. The pair structure turns every synchronization bug
+//! into an observable arithmetic fact:
+//!
+//! * **torn read** — a reader (or an entering writer) observes
+//!   `A[p] != B[p]`: it saw the middle of someone's write section;
+//! * **lost update** — at the end, `A[p]` is smaller than the number of
+//!   committed writer operations on `p`: two writers overlapped;
+//! * **ghost update** — `A[p]` is larger: an aborted speculative attempt
+//!   leaked its buffered writes;
+//! * **leaked registration** — after all threads joined, the lock's own
+//!   [`RwSync::check_quiescent`] oracle finds a raised reader flag, an
+//!   unbalanced SNZI arrive, a held fallback lock, or a stale scheduling
+//!   advert;
+//! * **miscounted stats** — a thread's [`SessionStats`] disagree with the
+//!   operations it actually issued (commits ≠ ops, or the per-cause abort
+//!   counts do not sum to the abort total).
+//!
+//! Violations are reported **only** through values returned from
+//! *committed* critical sections and through post-run memory inspection,
+//! never from inside speculative attempts — an aborted transaction's
+//! sights are allowed to be arbitrary, so they must not poison the oracle.
+//!
+//! # Determinism and replay
+//!
+//! All randomness — per-thread operation sequences, HTM interrupt
+//! injection, and the simulator's schedule shaking — derives from the
+//! case seed. A violation prints that seed; replay it with
+//!
+//! ```text
+//! TORTURE_SEED=0x<seed> cargo test -p sprwl-torture
+//! ```
+//!
+//! (or pass `--seed` to the `torture` binary). OS thread interleavings are
+//! of course not replayed bit-for-bit, but every checked invariant must
+//! hold under *any* interleaving, and the seeded schedule shake
+//! ([`htm_sim::HtmConfig::sched_shake_prob`]) explores different
+//! interleaving families per seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+use std::fmt;
+
+use htm_sim::{Htm, HtmConfig};
+use sprwl::{SpRwl, SprwlConfig};
+use sprwl_locks::{
+    BrLock, CommitMode, LockThread, McsRwLock, PassiveRwLock, PhaseFairRwLock, PthreadRwLock, Role,
+    RwLe, RwSync, SectionId, SessionStats, Tle,
+};
+
+/// Sentinel returned from a critical section that observed a torn mirror
+/// pair. Legitimate section results (pair counters and their partial sums)
+/// stay far below this for any feasible iteration count.
+const POISON: u64 = u64::MAX;
+
+/// Section ids used by the torture workload (the duration estimator keys
+/// its per-section statistics on these).
+const SEC_READ: SectionId = SectionId(0);
+const SEC_WRITE: SectionId = SectionId(1);
+
+/// Default base seed when `TORTURE_SEED` is not set.
+pub const DEFAULT_SEED: u64 = 0x0070_D70C_AB1E_5EED;
+
+/// Stateless splitmix64 step — the harness's only source of randomness.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a case name, for deriving per-case seeds from the base seed.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01B3);
+    }
+    h
+}
+
+/// A tiny deterministic per-thread PRNG (splitmix64 stream).
+#[derive(Debug)]
+struct Prng(u64);
+
+impl Prng {
+    fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    #[inline]
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        mix64(self.0)
+    }
+}
+
+/// The base seed for this process: `TORTURE_SEED` (decimal or `0x…` hex)
+/// if set, [`DEFAULT_SEED`] otherwise.
+pub fn base_seed() -> u64 {
+    match std::env::var("TORTURE_SEED") {
+        Ok(s) => {
+            let s = s.trim();
+            let parsed = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+                u64::from_str_radix(hex, 16)
+            } else {
+                s.parse()
+            };
+            parsed.unwrap_or_else(|_| panic!("TORTURE_SEED {s:?} is not a u64"))
+        }
+        Err(_) => DEFAULT_SEED,
+    }
+}
+
+/// Which lock implementation a torture case exercises.
+#[derive(Debug, Clone)]
+pub enum LockKind {
+    /// SpRWL with the given configuration.
+    Sprwl(SprwlConfig),
+    /// Plain transactional lock elision.
+    Tle,
+    /// Read-write lock elision (requires a ROT-capable capacity profile).
+    RwLe,
+    /// The MCS-style queue-based fair read-write lock.
+    McsRw,
+    /// The Linux-style big-reader lock.
+    BrLock,
+    /// Brandenburg–Anderson phase-fair ticket lock.
+    PhaseFair,
+    /// The version-consensus passive read-write lock.
+    Passive,
+    /// The mutex-and-condvar `pthread_rwlock_t` work-alike.
+    PthreadRw,
+}
+
+impl LockKind {
+    /// Instantiates the lock for `htm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kind is incompatible with the HTM configuration
+    /// (e.g. [`LockKind::RwLe`] on a profile without ROT support) or the
+    /// simulated memory is exhausted.
+    pub fn build(&self, htm: &Htm) -> Box<dyn RwSync> {
+        let n = htm.max_threads();
+        match self {
+            LockKind::Sprwl(cfg) => Box::new(SpRwl::new(htm, cfg.clone())),
+            LockKind::Tle => Box::new(Tle::new(htm)),
+            LockKind::RwLe => Box::new(RwLe::new(htm)),
+            LockKind::McsRw => Box::new(McsRwLock::new(n)),
+            LockKind::BrLock => Box::new(BrLock::new(n)),
+            LockKind::PhaseFair => Box::new(PhaseFairRwLock::new()),
+            LockKind::Passive => Box::new(PassiveRwLock::new(n)),
+            LockKind::PthreadRw => Box::new(PthreadRwLock::new()),
+        }
+    }
+}
+
+/// One torture case: a lock, a fault model, and a workload shape.
+#[derive(Debug, Clone)]
+pub struct TortureSpec {
+    /// Case name (drives the per-case seed and appears in reports).
+    pub name: String,
+    /// The lock under test.
+    pub lock: LockKind,
+    /// HTM fault model (capacity, conflict policy, interrupt injection,
+    /// schedule shake). `max_threads` and `seed` are overwritten by the
+    /// runner.
+    pub htm: HtmConfig,
+    /// Worker threads.
+    pub threads: usize,
+    /// Operations (critical sections) issued per thread.
+    pub ops_per_thread: usize,
+    /// Mirror pairs in the shared bank.
+    pub pairs: usize,
+    /// Percentage (0–100) of operations that are writes.
+    pub write_pct: u32,
+    /// Mirror pairs each read section scans.
+    pub reader_span: usize,
+}
+
+impl TortureSpec {
+    /// Total operations this case issues across all threads.
+    pub fn total_ops(&self) -> usize {
+        self.threads * self.ops_per_thread
+    }
+}
+
+/// An invariant violation, with everything needed to replay it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The case that failed.
+    pub case: String,
+    /// The seed the case ran under (already case-derived).
+    pub seed: u64,
+    /// The base seed the run started from (what `TORTURE_SEED` replays).
+    pub base_seed: u64,
+    /// What the oracle saw.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "torture violation in case `{}`: {}\n  replay with: TORTURE_SEED={:#x} cargo test -p sprwl-torture\n  (case seed {:#x})",
+            self.case, self.detail, self.base_seed, self.seed
+        )
+    }
+}
+
+/// Aggregate outcome of a clean run (for reporting and smoke assertions).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Committed read sections.
+    pub reader_commits: u64,
+    /// Committed write sections.
+    pub writer_commits: u64,
+    /// Sections that committed in hardware (HTM or ROT).
+    pub speculative_commits: u64,
+    /// Aborted speculative attempts (all causes).
+    pub aborts: u64,
+    /// Sum of all mirror-pair counters at the end of the run.
+    pub final_increments: u64,
+}
+
+/// Per-thread output collected after the workers join.
+#[derive(Debug)]
+struct ThreadOut {
+    incr: Vec<u64>,
+    reader_ops: u64,
+    writer_ops: u64,
+    torn: Option<String>,
+    stats: SessionStats,
+}
+
+fn worker(
+    lock: &dyn RwSync,
+    htm: &Htm,
+    spec: &TortureSpec,
+    bank_a: &[htm_sim::CellId],
+    bank_b: &[htm_sim::CellId],
+    case_seed: u64,
+    tid: usize,
+) -> ThreadOut {
+    let mut t = LockThread::new(htm.thread(tid));
+    let mut rng = Prng::new(mix64(case_seed ^ ((tid as u64 + 1) << 32)));
+    let mut incr = vec![0u64; spec.pairs];
+    let mut reader_ops = 0u64;
+    let mut writer_ops = 0u64;
+    let mut torn = None;
+
+    for _ in 0..spec.ops_per_thread {
+        let is_write = rng.next() % 100 < u64::from(spec.write_pct);
+        let p = (rng.next() as usize) % spec.pairs;
+        if is_write {
+            let (pa, pb) = (bank_a[p], bank_b[p]);
+            let r = lock.write_section(&mut t, SEC_WRITE, &mut |acc| {
+                let a = acc.read(pa)?;
+                let b = acc.read(pb)?;
+                acc.write(pa, a + 1)?;
+                acc.write(pb, b + 1)?;
+                Ok(if a == b { a } else { POISON })
+            });
+            if r == POISON {
+                torn = Some(format!("writer {tid} entered on torn pair {p}"));
+                break;
+            }
+            incr[p] += 1;
+            writer_ops += 1;
+        } else {
+            let span = spec.reader_span.min(spec.pairs).max(1);
+            let start = (rng.next() as usize) % spec.pairs;
+            let r = lock.read_section(&mut t, SEC_READ, &mut |acc| {
+                let mut sum = 0u64;
+                for k in 0..span {
+                    let i = (start + k) % spec.pairs;
+                    let a = acc.read(bank_a[i])?;
+                    let b = acc.read(bank_b[i])?;
+                    if a != b {
+                        return Ok(POISON);
+                    }
+                    sum = sum.wrapping_add(a);
+                }
+                Ok(sum)
+            });
+            if r == POISON {
+                torn = Some(format!("reader {tid} saw a torn pair near {start}"));
+                break;
+            }
+            reader_ops += 1;
+        }
+    }
+
+    ThreadOut {
+        incr,
+        reader_ops,
+        writer_ops,
+        torn,
+        stats: t.stats,
+    }
+}
+
+/// Runs one torture case under the given base seed and checks every
+/// invariant the oracle knows about.
+///
+/// # Errors
+///
+/// The first [`Violation`] found, with replay instructions.
+///
+/// # Panics
+///
+/// Panics on harness misconfiguration (invalid [`HtmConfig`], a worker
+/// thread panicking) — not on lock bugs, which are reported as `Err`.
+pub fn run_case(spec: &TortureSpec, base_seed: u64) -> Result<RunSummary, Violation> {
+    run_case_with(spec, base_seed, &|htm| spec.lock.build(htm))
+}
+
+/// Like [`run_case`], but instantiates the lock through `build` instead of
+/// [`TortureSpec::lock`] — the hook the harness's own self-tests use to
+/// feed a deliberately broken lock through the oracle and prove the oracle
+/// catches it.
+///
+/// # Errors
+///
+/// The first [`Violation`] found, with replay instructions.
+///
+/// # Panics
+///
+/// As for [`run_case`].
+pub fn run_case_with(
+    spec: &TortureSpec,
+    base_seed: u64,
+    build: &dyn Fn(&Htm) -> Box<dyn RwSync>,
+) -> Result<RunSummary, Violation> {
+    let case_seed = mix64(base_seed ^ fnv1a(&spec.name));
+    let violation = |detail: String| Violation {
+        case: spec.name.clone(),
+        seed: case_seed,
+        base_seed,
+        detail,
+    };
+
+    let mut htm_cfg = spec.htm.clone();
+    htm_cfg.max_threads = spec.threads;
+    htm_cfg.seed = case_seed;
+    htm_cfg.validate().expect("torture case HtmConfig invalid");
+    let cells_per_line = htm_cfg.cells_per_line as usize;
+    let cells = (2 * spec.pairs + 8 * spec.threads + 128) * cells_per_line;
+    let htm = Htm::new(htm_cfg, cells);
+    let lock = build(&htm);
+    let bank_a = htm.memory().alloc_padded(spec.pairs);
+    let bank_b = htm.memory().alloc_padded(spec.pairs);
+
+    let outs: Vec<ThreadOut> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..spec.threads)
+            .map(|tid| {
+                let (lock, htm, bank_a, bank_b) = (&*lock, &htm, &bank_a[..], &bank_b[..]);
+                s.spawn(move || worker(lock, htm, spec, bank_a, bank_b, case_seed, tid))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("torture worker panicked"))
+            .collect()
+    });
+
+    // --- oracle ---
+
+    // 1. Torn reads observed by committed sections.
+    for o in &outs {
+        if let Some(t) = &o.torn {
+            return Err(violation(format!("torn read: {t}")));
+        }
+    }
+
+    // 2. Mirror pairs at rest: banks must match, and each counter must
+    //    equal the number of committed writer operations on that pair
+    //    (fewer = lost update, more = leaked speculative write).
+    let mem = htm.memory();
+    let mut final_increments = 0u64;
+    for p in 0..spec.pairs {
+        let a = mem.peek(bank_a[p]);
+        let b = mem.peek(bank_b[p]);
+        if a != b {
+            return Err(violation(format!("pair {p} torn at rest: A={a}, B={b}")));
+        }
+        let expected: u64 = outs.iter().map(|o| o.incr[p]).sum();
+        if a != expected {
+            let kind = if a < expected {
+                "lost update"
+            } else {
+                "ghost update"
+            };
+            return Err(violation(format!(
+                "{kind} on pair {p}: counter {a}, committed increments {expected}"
+            )));
+        }
+        final_increments += a;
+    }
+
+    // 3. Quiescence: the lock's own post-run invariants.
+    if let Err(e) = lock.check_quiescent(mem) {
+        return Err(violation(format!("quiescence check failed: {e}")));
+    }
+
+    // 4. Stats accounting: commits match the operations each thread
+    //    issued, and per-cause abort counts sum to the abort total.
+    let mut summary = RunSummary {
+        final_increments,
+        ..RunSummary::default()
+    };
+    for (tid, o) in outs.iter().enumerate() {
+        let reader_commits: u64 = CommitMode::ALL
+            .iter()
+            .map(|&m| o.stats.commits_by(Role::Reader, m))
+            .sum();
+        let writer_commits: u64 = CommitMode::ALL
+            .iter()
+            .map(|&m| o.stats.commits_by(Role::Writer, m))
+            .sum();
+        if reader_commits != o.reader_ops {
+            return Err(violation(format!(
+                "thread {tid}: {reader_commits} reader commits recorded for {} reader ops",
+                o.reader_ops
+            )));
+        }
+        if writer_commits != o.writer_ops {
+            return Err(violation(format!(
+                "thread {tid}: {writer_commits} writer commits recorded for {} writer ops",
+                o.writer_ops
+            )));
+        }
+        if o.stats.total_commits() != o.reader_ops + o.writer_ops {
+            return Err(violation(format!(
+                "thread {tid}: total_commits {} != ops issued {}",
+                o.stats.total_commits(),
+                o.reader_ops + o.writer_ops
+            )));
+        }
+        let by_cause: u64 = sprwl_locks::AbortCause::ALL
+            .iter()
+            .map(|&c| o.stats.aborts_of(c))
+            .sum();
+        if by_cause != o.stats.total_aborts() {
+            return Err(violation(format!(
+                "thread {tid}: per-cause aborts {by_cause} != total_aborts {}",
+                o.stats.total_aborts()
+            )));
+        }
+        summary.reader_commits += reader_commits;
+        summary.writer_commits += writer_commits;
+        summary.speculative_commits +=
+            o.stats.commits_in(CommitMode::Htm) + o.stats.commits_in(CommitMode::Rot);
+        summary.aborts += o.stats.total_aborts();
+    }
+
+    Ok(summary)
+}
+
+/// The SpRWL variants the acceptance matrix must cover:
+/// {Flags, Snzi, Adaptive} × {NoSched, Full}.
+pub fn sprwl_matrix_configs() -> Vec<(String, SprwlConfig)> {
+    use sprwl::{ReaderTracking, Scheduling};
+    let mut out = Vec::new();
+    for (sname, sched) in [("nosched", Scheduling::NoSched), ("full", Scheduling::Full)] {
+        for (tname, tracking) in [
+            ("flags", ReaderTracking::Flags),
+            ("snzi", ReaderTracking::Snzi),
+            ("adaptive", ReaderTracking::Adaptive),
+        ] {
+            let cfg = SprwlConfig {
+                scheduling: sched,
+                reader_tracking: tracking,
+                ..SprwlConfig::default()
+            };
+            out.push((format!("sprwl-{tname}-{sname}"), cfg));
+        }
+    }
+    out
+}
+
+/// The default torture matrix: every SpRWL acceptance variant at full
+/// depth, the §3.3 versioned-SGL variant, every baseline lock, and the
+/// fault-axis sweeps (interrupts, tiny capacity, responder-wins conflicts,
+/// schedule shake).
+///
+/// `ops_per_thread` scales the whole matrix; with `threads = 4`,
+/// `ops_per_thread = 250` gives the 1000-iteration acceptance floor per
+/// lock configuration.
+pub fn default_matrix(threads: usize, ops_per_thread: usize) -> Vec<TortureSpec> {
+    use htm_sim::{CapacityProfile, ConflictPolicy};
+
+    let base = |name: &str, lock: LockKind, htm: HtmConfig| TortureSpec {
+        name: name.to_owned(),
+        lock,
+        htm,
+        threads,
+        ops_per_thread,
+        pairs: 8,
+        write_pct: 30,
+        reader_span: 4,
+    };
+    let quiet = HtmConfig::default();
+    let shaken = HtmConfig {
+        sched_shake_prob: 0.02,
+        ..HtmConfig::default()
+    };
+
+    let mut m = Vec::new();
+
+    // Acceptance grid: {Flags, Snzi, Adaptive} × {NoSched, Full}, with
+    // schedule shake on so seeds explore different interleaving families.
+    for (name, cfg) in sprwl_matrix_configs() {
+        m.push(base(&name, LockKind::Sprwl(cfg), shaken.clone()));
+    }
+
+    // §3.3 versioned SGL under writer-heavy load (fallback pressure).
+    let versioned = SprwlConfig {
+        versioned_sgl: true,
+        ..SprwlConfig::default()
+    };
+    let mut spec = base(
+        "sprwl-versioned-sgl",
+        LockKind::Sprwl(versioned),
+        shaken.clone(),
+    );
+    spec.write_pct = 70;
+    m.push(spec);
+
+    // Force the uninstrumented reader path (flag/unflag, Readers_Wait,
+    // commit-time W-checkR aborts): with HTM probing on, the tiny torture
+    // sections otherwise all fit in hardware.
+    let unins_readers = SprwlConfig {
+        readers_try_htm: false,
+        ..SprwlConfig::default()
+    };
+    m.push(base(
+        "sprwl-unins-readers",
+        LockKind::Sprwl(unins_readers.clone()),
+        shaken.clone(),
+    ));
+
+    // Versioned SGL with uninstrumented readers *and* interrupt injection:
+    // interrupts exhaust writer retry budgets, driving real fallback
+    // acquisitions — the only way the §3.3 bypass protocol runs in anger.
+    let versioned_unins = SprwlConfig {
+        versioned_sgl: true,
+        ..unins_readers
+    };
+    m.push(base(
+        "sprwl-versioned-int5",
+        LockKind::Sprwl(versioned_unins),
+        HtmConfig {
+            interrupt_prob: 0.05,
+            ..shaken.clone()
+        },
+    ));
+
+    // Fault axes on the paper-default SpRWL configuration.
+    for (tag, interrupt_prob) in [("int1", 0.01), ("int5", 0.05)] {
+        m.push(base(
+            &format!("sprwl-full-{tag}"),
+            LockKind::Sprwl(SprwlConfig::default()),
+            HtmConfig {
+                interrupt_prob,
+                ..shaken.clone()
+            },
+        ));
+    }
+    m.push(base(
+        "sprwl-full-tiny-capacity",
+        LockKind::Sprwl(SprwlConfig::default()),
+        HtmConfig {
+            capacity: CapacityProfile::TINY,
+            ..shaken.clone()
+        },
+    ));
+    m.push(base(
+        "sprwl-full-responder-wins",
+        LockKind::Sprwl(SprwlConfig::default()),
+        HtmConfig {
+            conflict_policy: ConflictPolicy::ResponderWins,
+            ..shaken.clone()
+        },
+    ));
+    m.push(base(
+        "sprwl-full-power8",
+        LockKind::Sprwl(SprwlConfig::default()),
+        HtmConfig {
+            capacity: CapacityProfile::POWER8_SIM,
+            ..shaken.clone()
+        },
+    ));
+
+    // Baselines: same workload, same oracle.
+    m.push(base("tle", LockKind::Tle, shaken.clone()));
+    m.push(base(
+        "tle-int5",
+        LockKind::Tle,
+        HtmConfig {
+            interrupt_prob: 0.05,
+            ..shaken.clone()
+        },
+    ));
+    m.push(base(
+        "rwle-power8",
+        LockKind::RwLe,
+        HtmConfig {
+            capacity: CapacityProfile::POWER8_SIM,
+            ..shaken.clone()
+        },
+    ));
+    m.push(base("mcs-rwl", LockKind::McsRw, quiet.clone()));
+    m.push(base("brlock", LockKind::BrLock, quiet.clone()));
+    m.push(base("phase-fair", LockKind::PhaseFair, quiet.clone()));
+    m.push(base("passive", LockKind::Passive, quiet.clone()));
+    m.push(base("pthread-rw", LockKind::PthreadRw, quiet));
+
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_case_seeds_differ_and_are_stable() {
+        let a1 = mix64(1 ^ fnv1a("case-a"));
+        let a2 = mix64(1 ^ fnv1a("case-a"));
+        let b = mix64(1 ^ fnv1a("case-b"));
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+    }
+
+    #[test]
+    fn violation_display_carries_replay_seed() {
+        let v = Violation {
+            case: "demo".into(),
+            seed: 0xABCD,
+            base_seed: 0x1234,
+            detail: "something broke".into(),
+        };
+        let s = v.to_string();
+        assert!(s.contains("TORTURE_SEED=0x1234"), "{s}");
+        assert!(s.contains("demo"), "{s}");
+    }
+
+    #[test]
+    fn matrix_covers_acceptance_grid() {
+        let m = default_matrix(4, 10);
+        for want in [
+            "sprwl-flags-nosched",
+            "sprwl-flags-full",
+            "sprwl-snzi-nosched",
+            "sprwl-snzi-full",
+            "sprwl-adaptive-nosched",
+            "sprwl-adaptive-full",
+        ] {
+            assert!(m.iter().any(|s| s.name == want), "matrix missing {want}");
+        }
+    }
+
+    #[test]
+    fn single_thread_case_is_clean_and_deterministic() {
+        let spec = TortureSpec {
+            name: "unit-single".into(),
+            lock: LockKind::Sprwl(SprwlConfig::default()),
+            htm: HtmConfig::default(),
+            threads: 1,
+            ops_per_thread: 200,
+            pairs: 4,
+            write_pct: 50,
+            reader_span: 4,
+        };
+        let a = run_case(&spec, 7).expect("single-threaded run must be clean");
+        let b = run_case(&spec, 7).expect("single-threaded run must be clean");
+        assert_eq!(a, b, "same seed, same outcome");
+        assert_eq!(a.reader_commits + a.writer_commits, 200);
+    }
+}

@@ -83,7 +83,13 @@ impl SimHashMap {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn insert(&self, a: &mut dyn MemAccess, tid: usize, key: u64, value: u64) -> TxResult<bool> {
+    pub fn insert(
+        &self,
+        a: &mut dyn MemAccess,
+        tid: usize,
+        key: u64,
+        value: u64,
+    ) -> TxResult<bool> {
         let head = self.buckets.cell(self.bucket_of(key));
         // Update in place if present.
         let mut cur = NodeRef::decode(a.read(head)?);
@@ -224,7 +230,10 @@ mod tests {
                     model.insert(k, v);
                 }
                 1 => {
-                    assert_eq!(map.delete(&mut d, 0, k).unwrap(), model.remove(&k).is_some());
+                    assert_eq!(
+                        map.delete(&mut d, 0, k).unwrap(),
+                        model.remove(&k).is_some()
+                    );
                 }
                 _ => {
                     assert_eq!(map.lookup(&mut d, k).unwrap(), model.get(&k).copied());

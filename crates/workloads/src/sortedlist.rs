@@ -55,7 +55,13 @@ impl SortedList {
     /// # Errors
     ///
     /// Propagates transactional aborts.
-    pub fn insert(&self, a: &mut dyn MemAccess, tid: usize, key: u64, value: u64) -> TxResult<bool> {
+    pub fn insert(
+        &self,
+        a: &mut dyn MemAccess,
+        tid: usize,
+        key: u64,
+        value: u64,
+    ) -> TxResult<bool> {
         let head = self.head.cell(0);
         let mut prev: Option<NodeRef> = None;
         let mut cur = NodeRef::decode(a.read(head)?);
@@ -295,7 +301,10 @@ mod tests {
                     model.insert(k, v);
                 }
                 1 => {
-                    assert_eq!(list.remove(&mut d, 0, k).unwrap(), model.remove(&k).is_some());
+                    assert_eq!(
+                        list.remove(&mut d, 0, k).unwrap(),
+                        model.remove(&k).is_some()
+                    );
                 }
                 _ => {
                     assert_eq!(list.get(&mut d, k).unwrap(), model.get(&k).copied());

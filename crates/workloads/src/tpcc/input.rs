@@ -126,7 +126,12 @@ pub struct StockLevelInput {
 }
 
 /// Generates New-Order inputs per the spec's distributions.
-pub fn gen_new_order(rng: &mut impl Rng, scale: &TpccScale, home_w: u32, now: u64) -> NewOrderInput {
+pub fn gen_new_order(
+    rng: &mut impl Rng,
+    scale: &TpccScale,
+    home_w: u32,
+    now: u64,
+) -> NewOrderInput {
     let n_lines = rng.gen_range(5..=15);
     let lines = (0..n_lines)
         .map(|_| OrderLineInput {
@@ -277,7 +282,10 @@ mod tests {
                 p.c_w != p.w
             })
             .count();
-        assert!((1_000..2_200).contains(&remote), "remote rate {remote}/10000");
+        assert!(
+            (1_000..2_200).contains(&remote),
+            "remote rate {remote}/10000"
+        );
     }
 
     #[test]

@@ -22,8 +22,7 @@ use schema::*;
 
 pub use input::{
     gen_delivery, gen_new_order, gen_order_status, gen_payment, gen_stock_level, CustomerSelect,
-    DeliveryInput, NewOrderInput, OrderLineInput, OrderStatusInput, PaymentInput,
-    StockLevelInput,
+    DeliveryInput, NewOrderInput, OrderLineInput, OrderStatusInput, PaymentInput, StockLevelInput,
 };
 
 /// Scaled-down TPC-C population parameters.
@@ -158,7 +157,8 @@ impl TpccDb {
     /// ⌈n/2⌉ (median) of the name-sorted match list; `None` when no
     /// customer of that district bears the name.
     pub fn customer_by_last_name(&self, w: u32, d: u32, code: u32) -> Option<u32> {
-        let matches = &self.name_index[(self.d_row(w, d) * NAME_CODES + code % NAME_CODES) as usize];
+        let matches =
+            &self.name_index[(self.d_row(w, d) * NAME_CODES + code % NAME_CODES) as usize];
         if matches.is_empty() {
             None
         } else {
@@ -252,14 +252,18 @@ impl TpccDb {
                     mem.init_store(self.orders.cell(or, O_ENTRY_D), 0);
                     for l in 0..n_lines {
                         let olr = self.ol_row(or, l);
-                        mem.init_store(self.order_lines.cell(olr, OL_I_ID), 1 + rnd(sc.items as u64));
+                        mem.init_store(
+                            self.order_lines.cell(olr, OL_I_ID),
+                            1 + rnd(sc.items as u64),
+                        );
                         mem.init_store(self.order_lines.cell(olr, OL_SUPPLY_W_ID), w as u64);
                         mem.init_store(self.order_lines.cell(olr, OL_QUANTITY), 1 + rnd(10));
                         mem.init_store(self.order_lines.cell(olr, OL_AMOUNT), rnd(10_000));
                         mem.init_store(self.order_lines.cell(olr, OL_DELIVERY_D), 1);
                     }
                     mem.init_store(
-                        self.customer.cell(self.c_row(w, d, c_id as u32), C_LAST_ORDER),
+                        self.customer
+                            .cell(self.c_row(w, d, c_id as u32), C_LAST_ORDER),
                         o_id,
                     );
                 }

@@ -75,7 +75,10 @@ impl TpccDb {
             total += amount;
             let olr = self.ol_row(or, idx as u32);
             a.write(self.order_lines.cell(olr, OL_I_ID), l.item as u64)?;
-            a.write(self.order_lines.cell(olr, OL_SUPPLY_W_ID), l.supply_w as u64)?;
+            a.write(
+                self.order_lines.cell(olr, OL_SUPPLY_W_ID),
+                l.supply_w as u64,
+            )?;
             a.write(self.order_lines.cell(olr, OL_QUANTITY), l.quantity as u64)?;
             a.write(self.order_lines.cell(olr, OL_AMOUNT), amount)?;
             a.write(self.order_lines.cell(olr, OL_DELIVERY_D), 0)?;
@@ -290,13 +293,23 @@ mod tests {
         let mut d = htm.direct(0);
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let before: Vec<u64> = (0..db.scale().districts)
-            .map(|dd| htm.memory().peek(db.district.cell(db.d_row(0, dd), super::super::schema::D_NEXT_O_ID)))
+            .map(|dd| {
+                htm.memory().peek(
+                    db.district
+                        .cell(db.d_row(0, dd), super::super::schema::D_NEXT_O_ID),
+                )
+            })
             .collect();
         let mut inp = gen_new_order(&mut rng, db.scale(), 0, 7);
         inp.rollback = true;
         assert_eq!(db.new_order(&mut d, &inp).unwrap(), 0);
         let after: Vec<u64> = (0..db.scale().districts)
-            .map(|dd| htm.memory().peek(db.district.cell(db.d_row(0, dd), super::super::schema::D_NEXT_O_ID)))
+            .map(|dd| {
+                htm.memory().peek(
+                    db.district
+                        .cell(db.d_row(0, dd), super::super::schema::D_NEXT_O_ID),
+                )
+            })
             .collect();
         assert_eq!(before, after, "rolled-back order consumed an id");
     }
@@ -318,13 +331,15 @@ mod tests {
             select: CustomerSelect::ByLastName(code),
             amount: 1000,
         };
-        let bal_before = htm
-            .memory()
-            .peek(db.customer.cell(db.c_row(0, 0, c), super::super::schema::C_BALANCE));
+        let bal_before = htm.memory().peek(
+            db.customer
+                .cell(db.c_row(0, 0, c), super::super::schema::C_BALANCE),
+        );
         db.payment(&mut d, &inp).unwrap();
-        let bal_after = htm
-            .memory()
-            .peek(db.customer.cell(db.c_row(0, 0, c), super::super::schema::C_BALANCE));
+        let bal_after = htm.memory().peek(
+            db.customer
+                .cell(db.c_row(0, 0, c), super::super::schema::C_BALANCE),
+        );
         assert_eq!(bal_before - bal_after, 1000, "median match was debited");
         assert!(db.audit_ytd(htm.memory()));
     }
@@ -376,9 +391,7 @@ mod tests {
             inp.rollback = false;
             db.new_order(&mut d, &inp).unwrap();
         }
-        let delivered = db
-            .delivery(&mut d, &gen_delivery(&mut rng, 0, 8))
-            .unwrap();
+        let delivered = db.delivery(&mut d, &gen_delivery(&mut rng, 0, 8)).unwrap();
         assert_eq!(delivered, db.scale().districts as u64);
         // A second delivery finds nothing new.
         let again = db.delivery(&mut d, &gen_delivery(&mut rng, 0, 9)).unwrap();

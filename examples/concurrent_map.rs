@@ -14,10 +14,15 @@ use sprwl_repro::prelude::*;
 fn main() {
     let profile = CapacityProfile::POWER8_SIM;
     let threads = 4;
-    let spec = HashmapSpec::paper(&profile, /* long readers */ true, /* 10% updates */ 10);
+    let spec = HashmapSpec::paper(
+        &profile, /* long readers */ true, /* 10% updates */ 10,
+    );
 
     println!("Concurrent hashmap, 10-lookup readers, 10% updates, {threads} threads");
-    println!("(each read critical section overflows the {} capacity profile)\n", profile.name);
+    println!(
+        "(each read critical section overflows the {} capacity profile)\n",
+        profile.name
+    );
     println!("{}", RunReport::header());
 
     for kind in [

@@ -90,7 +90,11 @@ fn main() {
     for r in &reports {
         merged.merge(r);
     }
-    println!("SpRWL quickstart: {} ops on {} threads", THREADS * OPS, THREADS);
+    println!(
+        "SpRWL quickstart: {} ops on {} threads",
+        THREADS * OPS,
+        THREADS
+    );
     println!(
         "  reader commits: {:>6} HTM, {:>6} uninstrumented",
         merged.commits_by(Role::Reader, CommitMode::Htm),

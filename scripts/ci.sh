@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full CI gate: formatting, lints, tier-1 build+test, and a torture smoke.
+# Everything runs offline against the in-workspace dependency shims.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (workspace, all targets, -D warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> tier-1: cargo build --release"
+cargo build --release --offline
+
+echo "==> tier-1: cargo test -q"
+cargo test -q --offline
+
+echo "==> torture smoke (full matrix, reduced depth)"
+cargo run -q --release --offline -p sprwl-torture -- --threads 2 --ops 100
+
+echo "CI gate passed."

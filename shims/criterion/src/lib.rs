@@ -1,0 +1,187 @@
+//! Offline shim for the subset of `criterion` this workspace uses:
+//! `Criterion::bench_function`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros. Runs each benchmark for a
+//! short measured window and prints mean ns/iter — no statistics engine,
+//! but enough to smoke-run the benches offline.
+
+use std::time::{Duration, Instant};
+
+/// Discourages the optimizer from deleting a value (std-based).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark driver configuration.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(400),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of measured samples.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Measurement window per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up window per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs `f` as a named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            warm_up: self.warm_up_time,
+            measure: self.measurement_time,
+            samples: self.sample_size,
+            total_ns: 0,
+            total_iters: 0,
+        };
+        f(&mut b);
+        if b.total_iters > 0 {
+            println!(
+                "{name}: {:.1} ns/iter ({} iters)",
+                b.total_ns as f64 / b.total_iters as f64,
+                b.total_iters
+            );
+        } else {
+            println!("{name}: no iterations recorded");
+        }
+        self
+    }
+
+    /// Back-compat no-op (criterion's plotting config etc. are ignored).
+    pub fn final_summary(&mut self) {}
+
+    /// Opens a named benchmark group; benchmarks inside it are reported as
+    /// `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.to_owned(),
+        }
+    }
+}
+
+/// A named group of related benchmarks (criterion API shape).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    c: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs `f` as a benchmark named `group/name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        self.c.bench_function(&full, f);
+        self
+    }
+
+    /// Ends the group (no-op; matches criterion's API).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up: Duration,
+    measure: Duration,
+    samples: usize,
+    total_ns: u128,
+    total_iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up: run until the window elapses.
+        let start = Instant::now();
+        while start.elapsed() < self.warm_up {
+            black_box(routine());
+        }
+        // Calibrate a batch size of roughly 1/10th of a sample window.
+        let sample_window = self.measure / self.samples.max(1) as u32;
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let batch = (sample_window.as_nanos() / 10 / once.as_nanos()).clamp(1, 1 << 20) as u64;
+        // Measure.
+        let start = Instant::now();
+        while start.elapsed() < self.measure {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.total_ns += t.elapsed().as_nanos();
+            self.total_iters += batch;
+        }
+    }
+}
+
+/// Declares a benchmark group (criterion API shape).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        let mut ran = false;
+        c.bench_function("shim/self-test", |b| {
+            ran = true;
+            b.iter(|| black_box(1 + 1));
+        });
+        assert!(ran);
+    }
+}

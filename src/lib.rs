@@ -62,8 +62,9 @@ pub mod prelude {
     pub use snzi::Snzi;
     pub use sprwl::{DeltaPolicy, ReaderTracking, Scheduling, SpRwl, SprwlConfig};
     pub use sprwl_locks::{
-        AbortCause, BrLock, CommitMode, GlobalLock, LockThread, McsRwLock, PassiveRwLock, PhaseFairRwLock,
-        PthreadRwLock, RetryPolicy, Role, RwLe, RwSync, SectionId, SessionStats, Tle,
+        AbortCause, BrLock, CommitMode, GlobalLock, LockThread, McsRwLock, PassiveRwLock,
+        PhaseFairRwLock, PthreadRwLock, RetryPolicy, Role, RwLe, RwSync, SectionId, SessionStats,
+        Tle,
     };
     pub use sprwl_workloads::{HashmapSpec, Mix, SimHashMap, SortedList};
 }

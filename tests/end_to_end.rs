@@ -3,9 +3,7 @@
 
 use std::time::Duration;
 
-use sprwl_repro::bench::{
-    hashmap_point, run_hashmap, run_tpcc, tpcc_point, LockKind, RunConfig,
-};
+use sprwl_repro::bench::{hashmap_point, run_hashmap, run_tpcc, tpcc_point, LockKind, RunConfig};
 use sprwl_repro::prelude::*;
 use sprwl_repro::workloads::tpcc::TpccScale;
 

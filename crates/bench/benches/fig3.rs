@@ -4,14 +4,23 @@
 //! lock (capacity aborts), pessimistic locks stay flat, SpRWL commits its
 //! readers uninstrumented and leads — by the largest factor in the
 //! read-dominated (10 %) mix.
+//!
+//! Pass `--trace <path>` (after `--`) to additionally capture a
+//! Perfetto-loadable Chrome trace of the last SpRWL point plus a
+//! conflict-attribution summary.
 
 use htm_sim::CapacityProfile;
-use sprwl_bench::{hashmap_point, run_hashmap, LockKind, RunConfig, RunReport};
+use sprwl_bench::{
+    hashmap_point, run_hashmap_traced, trace_path_from_args, LockKind, RunConfig, RunReport,
+};
+use sprwl_trace::{export, TraceConfig};
 use sprwl_workloads::HashmapSpec;
 
 fn main() {
     let duration = RunConfig::bench_duration();
     let threads = RunConfig::bench_threads();
+    let trace_path = trace_path_from_args();
+    let mut last_sprwl_trace = None;
     for profile in [CapacityProfile::BROADWELL_SIM, CapacityProfile::POWER8_SIM] {
         for upd in [10u32, 50, 90] {
             println!(
@@ -21,9 +30,17 @@ fn main() {
             println!("{}", RunReport::header());
             let spec = HashmapSpec::paper(&profile, true, upd);
             for kind in LockKind::paper_set(&profile) {
+                let is_sprwl = matches!(kind, LockKind::Sprwl(_));
                 for &n in &threads {
+                    // Trace only SpRWL points (the instrumented scheme);
+                    // ring of 64 Ki events per thread keeps the tail.
+                    let trace_cfg = if trace_path.is_some() && is_sprwl {
+                        TraceConfig::ring(64 * 1024)
+                    } else {
+                        TraceConfig::Off
+                    };
                     let (htm, lock, map) = hashmap_point(profile, &spec, &kind, n);
-                    let rep = run_hashmap(
+                    let (rep, traces) = run_hashmap_traced(
                         &htm,
                         &*lock,
                         &map,
@@ -33,12 +50,26 @@ fn main() {
                             duration,
                             seed: 42,
                         },
-                    )
-                    .with_lock_name(kind.name());
+                        trace_cfg,
+                    );
+                    let rep = rep.with_lock_name(kind.name());
                     println!("{}", rep.row());
                     println!("CSV:fig3,{},{},{}", profile.name, upd, rep.csv());
+                    if trace_cfg.is_on() {
+                        if let Some(summary) = rep.conflict_summary(5) {
+                            println!("  conflicts: {summary}");
+                        }
+                        last_sprwl_trace = Some(traces);
+                    }
                 }
             }
         }
+    }
+    if let (Some(path), Some(traces)) = (trace_path, last_sprwl_trace) {
+        export::write_chrome_file(&path, &traces).expect("writing trace file");
+        println!(
+            "\ntrace: wrote Chrome trace (last SpRWL point) to {}",
+            path.display()
+        );
     }
 }

@@ -98,6 +98,46 @@ fn bench_snzi(c: &mut Criterion) {
     c.bench_function("snzi/query", |b| b.iter(|| snzi.query_untracked(&d)));
 }
 
+/// The zero-cost-when-off claim, measured: the same uncontended SpRWL
+/// sections with tracing disabled (`LockThread::new`), with a live ring
+/// (`with_trace`), and the raw push cost. The "off" and plain-`new`
+/// numbers must stay within noise of each other.
+fn bench_trace_overhead(c: &mut Criterion) {
+    use sprwl_trace::{EventKind, TraceBuffer, TraceConfig};
+    let h = htm();
+    let cell = h.memory().alloc(1).cell(0);
+    let lock = SpRwl::with_defaults(&h);
+    let mut group = c.benchmark_group("trace-overhead/read-section");
+    {
+        let mut t = LockThread::new(h.thread(0));
+        group.bench_function("off", |b| {
+            b.iter(|| lock.read_section(&mut t, SectionId(1), &mut |a| a.read(cell)))
+        });
+    }
+    {
+        let mut t = LockThread::with_trace(h.thread(0), TraceConfig::ring(4096));
+        group.bench_function("ring-4096", |b| {
+            b.iter(|| lock.read_section(&mut t, SectionId(1), &mut |a| a.read(cell)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("trace-overhead/push");
+    let mut off = TraceBuffer::disabled(0);
+    group.bench_function("disabled", |b| {
+        b.iter(|| {
+            off.push(EventKind::ReaderArrive);
+        })
+    });
+    let mut on = TraceBuffer::new(0, TraceConfig::ring(4096));
+    group.bench_function("ring", |b| {
+        b.iter(|| {
+            on.push(EventKind::ReaderArrive);
+        })
+    });
+    group.finish();
+}
+
 fn bench_estimator(c: &mut Criterion) {
     let est = sprwl::DurationEstimator::new(8, false);
     c.bench_function("estimator/record", |b| {
@@ -111,6 +151,6 @@ fn bench_estimator(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(400)).warm_up_time(std::time::Duration::from_millis(150));
-    targets = bench_raw_htm, bench_sections, bench_snzi, bench_estimator
+    targets = bench_raw_htm, bench_sections, bench_snzi, bench_trace_overhead, bench_estimator
 }
 criterion_main!(benches);

@@ -14,6 +14,7 @@ use sprwl_locks::{
     AbortCause, BrLock, CommitMode, LockThread, McsRwLock, PassiveRwLock, PhaseFairRwLock,
     PthreadRwLock, RwLe, RwSync, SectionId, SessionStats, Tle,
 };
+use sprwl_trace::{ThreadTrace, TraceConfig};
 use sprwl_workloads::spec::{hashmap_read_cs, hashmap_write_cs, TpccTxKind};
 use sprwl_workloads::tpcc::{self, TpccDb, TpccScale};
 use sprwl_workloads::{HashmapSpec, Mix, SimHashMap};
@@ -170,10 +171,21 @@ impl RunReport {
         100.0 * self.stats.abort_ratio()
     }
 
+    /// `p50/p95/p99` of a latency recorder, in microseconds, as a compact
+    /// slash-joined cell for the human-readable table.
+    fn pctls_us(rec: &sprwl_locks::LatencyRecorder) -> String {
+        format!(
+            "{:.0}/{:.0}/{:.0}",
+            rec.percentile_ns(50.0) as f64 / 1_000.0,
+            rec.percentile_ns(95.0) as f64 / 1_000.0,
+            rec.percentile_ns(99.0) as f64 / 1_000.0,
+        )
+    }
+
     /// Header for the human-readable table.
     pub fn header() -> String {
         format!(
-            "{:<9} {:>3}  {:>12}  {:>7}  {:>5} {:>5} {:>5} {:>5}  {:>9} {:>9}  {}",
+            "{:<9} {:>3}  {:>12}  {:>7}  {:>5} {:>5} {:>5} {:>5}  {:>9} {:>14}  {:>9} {:>14}  {}",
             "lock",
             "thr",
             "tx/s",
@@ -183,7 +195,9 @@ impl RunReport {
             "GL%",
             "Unin%",
             "rdlat(us)",
+            "rd50/95/99",
             "wrlat(us)",
+            "wr50/95/99",
             "aborts: conf/cap/expl/rdr/confR/capR/intr"
         )
     }
@@ -192,7 +206,7 @@ impl RunReport {
     pub fn row(&self) -> String {
         let a = |c: AbortCause| self.stats.aborts_of(c);
         format!(
-            "{:<9} {:>3}  {:>12.0}  {:>6.1}%  {:>4.0}% {:>4.0}% {:>4.0}% {:>4.0}%  {:>9.1} {:>9.1}  {}/{}/{}/{}/{}/{}/{}",
+            "{:<9} {:>3}  {:>12.0}  {:>6.1}%  {:>4.0}% {:>4.0}% {:>4.0}% {:>4.0}%  {:>9.1} {:>14}  {:>9.1} {:>14}  {}/{}/{}/{}/{}/{}/{}",
             self.lock,
             self.threads,
             self.throughput,
@@ -202,7 +216,9 @@ impl RunReport {
             self.commit_pct(CommitMode::Gl),
             self.commit_pct(CommitMode::Unins),
             self.stats.reader_latency.mean_ns() as f64 / 1_000.0,
+            Self::pctls_us(&self.stats.reader_latency),
             self.stats.writer_latency.mean_ns() as f64 / 1_000.0,
+            Self::pctls_us(&self.stats.writer_latency),
             a(AbortCause::Conflict),
             a(AbortCause::Capacity),
             a(AbortCause::Explicit),
@@ -214,9 +230,14 @@ impl RunReport {
     }
 
     /// Machine-readable CSV row (`fig,label,...` prefixed by the caller).
+    /// Columns: lock, threads, throughput, abort%, HTM%, ROT%, GL%, Unins%,
+    /// rd\_mean\_ns, wr\_mean\_ns, rd\_p50, rd\_p95, rd\_p99, wr\_p50,
+    /// wr\_p95, wr\_p99.
     pub fn csv(&self) -> String {
+        let rd = &self.stats.reader_latency;
+        let wr = &self.stats.writer_latency;
         format!(
-            "{},{},{:.0},{:.2},{:.1},{:.1},{:.1},{:.1},{},{},{},{}",
+            "{},{},{:.0},{:.2},{:.1},{:.1},{:.1},{:.1},{},{},{},{},{},{},{},{}",
             self.lock,
             self.threads,
             self.throughput,
@@ -225,11 +246,33 @@ impl RunReport {
             self.commit_pct(CommitMode::Rot),
             self.commit_pct(CommitMode::Gl),
             self.commit_pct(CommitMode::Unins),
-            self.stats.reader_latency.mean_ns(),
-            self.stats.writer_latency.mean_ns(),
-            self.stats.reader_latency.percentile_ns(99.0),
-            self.stats.writer_latency.percentile_ns(99.0),
+            rd.mean_ns(),
+            wr.mean_ns(),
+            rd.percentile_ns(50.0),
+            rd.percentile_ns(95.0),
+            rd.percentile_ns(99.0),
+            wr.percentile_ns(50.0),
+            wr.percentile_ns(95.0),
+            wr.percentile_ns(99.0),
         )
+    }
+
+    /// Human-readable digest of the top-`k` conflict-attributed lines, or
+    /// `None` when the run recorded no attributed aborts.
+    pub fn conflict_summary(&self, k: usize) -> Option<String> {
+        if self.stats.conflict_lines.is_empty() {
+            return None;
+        }
+        let total = self.stats.conflict_lines.total();
+        let cells = self
+            .stats
+            .conflict_lines
+            .top_k(k)
+            .iter()
+            .map(|c| format!("line {} x{} (peer t{})", c.line, c.count, c.last_peer))
+            .collect::<Vec<_>>()
+            .join(", ");
+        Some(format!("{total} attributed conflict aborts: {cells}"))
     }
 }
 
@@ -253,7 +296,20 @@ pub fn run_hashmap(
     spec: &HashmapSpec,
     rc: &RunConfig,
 ) -> RunReport {
-    run_generic(htm, rc, |ctx: &mut WorkerCtx<'_, '_>| {
+    run_hashmap_traced(htm, lock, map, spec, rc, TraceConfig::Off).0
+}
+
+/// [`run_hashmap`] with per-thread event tracing (see
+/// [`run_generic_traced`]).
+pub fn run_hashmap_traced(
+    htm: &Htm,
+    lock: &dyn RwSync,
+    map: &SimHashMap,
+    spec: &HashmapSpec,
+    rc: &RunConfig,
+    trace: TraceConfig,
+) -> (RunReport, Vec<ThreadTrace>) {
+    let (rep, traces) = run_generic_traced(htm, rc, trace, |ctx: &mut WorkerCtx<'_, '_>| {
         let rng = &mut ctx.rng;
         if rng.gen_range(0..100u32) < spec.update_pct {
             let key = rng.gen_range(0..spec.key_space);
@@ -270,8 +326,24 @@ pub fn run_hashmap(
                 hashmap_read_cs(map, a, &keys)
             });
         }
-    })
-    .with_lock_name(lock.name())
+    });
+    (rep.with_lock_name(lock.name()), traces)
+}
+
+/// Scans the process arguments for `--trace <path>` (the figure benches'
+/// opt-in for Chrome-trace capture). Criterion-style `--trace=<path>` also
+/// works.
+pub fn trace_path_from_args() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            return args.next().map(std::path::PathBuf::from);
+        }
+        if let Some(p) = a.strip_prefix("--trace=") {
+            return Some(std::path::PathBuf::from(p));
+        }
+    }
+    None
 }
 
 /// Runs the TPC-C benchmark (§4.2) for one point with the given mix.
@@ -342,17 +414,31 @@ pub fn run_generic(
     rc: &RunConfig,
     op: impl Fn(&mut WorkerCtx<'_, '_>) + Sync,
 ) -> RunReport {
+    run_generic_traced(htm, rc, TraceConfig::Off, op).0
+}
+
+/// [`run_generic`] with per-thread event tracing: every worker records into
+/// a private ring sized by `trace`, and the chronological snapshots come
+/// back alongside the merged report (empty traces when `trace` is
+/// [`TraceConfig::Off`]).
+pub fn run_generic_traced(
+    htm: &Htm,
+    rc: &RunConfig,
+    trace: TraceConfig,
+    op: impl Fn(&mut WorkerCtx<'_, '_>) + Sync,
+) -> (RunReport, Vec<ThreadTrace>) {
     assert!(rc.threads >= 1 && rc.threads <= htm.max_threads());
     let barrier = Barrier::new(rc.threads + 1);
     let stop = AtomicBool::new(false);
     let mut merged = SessionStats::default();
+    let mut traces = Vec::with_capacity(rc.threads);
     let mut elapsed_s = 0.0;
     std::thread::scope(|s| {
         let mut handles = Vec::new();
         for tid in 0..rc.threads {
             let (barrier, stop, op) = (&barrier, &stop, &op);
             handles.push(s.spawn(move || {
-                let mut t = LockThread::new(htm.thread(tid));
+                let mut t = LockThread::with_trace(htm.thread(tid), trace);
                 let mut ctx = WorkerCtx {
                     t: &mut t,
                     rng: StdRng::seed_from_u64(rc.seed ^ ((tid as u64 + 1) << 24)),
@@ -361,7 +447,7 @@ pub fn run_generic(
                 while !stop.load(Ordering::Relaxed) {
                     op(&mut ctx);
                 }
-                t.stats
+                (t.stats, t.trace.snapshot())
             }));
         }
         barrier.wait();
@@ -369,17 +455,20 @@ pub fn run_generic(
         std::thread::sleep(rc.duration);
         stop.store(true, Ordering::Relaxed);
         for h in handles {
-            merged.merge(&h.join().expect("worker panicked"));
+            let (stats, tr) = h.join().expect("worker panicked");
+            merged.merge(&stats);
+            traces.push(tr);
         }
         elapsed_s = (clock::now() - t0) as f64 / 1e9;
     });
-    RunReport {
+    let report = RunReport {
         lock: String::new(),
         threads: rc.threads,
         throughput: merged.total_commits() as f64 / elapsed_s,
         stats: merged,
         elapsed_s,
-    }
+    };
+    (report, traces)
 }
 
 impl RunReport {
@@ -483,7 +572,108 @@ mod tests {
         let row = rep.row();
         assert!(row.contains('X'));
         let csv = rep.csv();
-        assert_eq!(csv.split(',').count(), 12, "csv column count: {csv}");
+        assert_eq!(csv.split(',').count(), 16, "csv column count: {csv}");
+    }
+
+    #[test]
+    fn csv_percentiles_are_ordered() {
+        let mut stats = SessionStats::default();
+        for ns in [100u64, 1_000, 10_000, 100_000, 1_000_000] {
+            for _ in 0..20 {
+                stats.record_commit(sprwl_locks::Role::Reader, CommitMode::Unins, ns);
+            }
+        }
+        let rep = RunReport {
+            lock: "X".into(),
+            threads: 1,
+            throughput: 1.0,
+            stats,
+            elapsed_s: 1.0,
+        };
+        let cols: Vec<u64> = rep
+            .csv()
+            .split(',')
+            .skip(10)
+            .take(3)
+            .map(|c| c.parse().unwrap())
+            .collect();
+        assert!(
+            cols[0] <= cols[1] && cols[1] <= cols[2],
+            "p50<=p95<=p99: {cols:?}"
+        );
+        assert!(
+            rep.row().contains('/'),
+            "row shows slash-joined percentiles"
+        );
+    }
+
+    #[test]
+    fn conflict_summary_reports_attributed_lines() {
+        let mut stats = SessionStats::default();
+        let rep_empty = RunReport {
+            lock: "X".into(),
+            threads: 1,
+            throughput: 1.0,
+            stats: stats.clone(),
+            elapsed_s: 1.0,
+        };
+        assert!(rep_empty.conflict_summary(4).is_none());
+        stats.record_conflict(7, 2);
+        stats.record_conflict(7, 3);
+        stats.record_conflict(9, 1);
+        let rep = RunReport {
+            lock: "X".into(),
+            threads: 1,
+            throughput: 1.0,
+            stats,
+            elapsed_s: 1.0,
+        };
+        let s = rep.conflict_summary(1).unwrap();
+        assert!(s.contains("3 attributed"), "{s}");
+        assert!(s.contains("line 7 x2"), "{s}");
+        assert!(!s.contains("line 9"), "k=1 truncates: {s}");
+    }
+
+    #[test]
+    fn traced_run_returns_per_thread_lifecycles() {
+        let htm = htm_for(CapacityProfile::BROADWELL_SIM, 2, 1024);
+        let cell = htm.memory().alloc(1).cell(0);
+        let lock = SpRwl::with_defaults(&htm);
+        let (rep, traces) = run_generic_traced(
+            &htm,
+            &RunConfig {
+                threads: 2,
+                duration: Duration::from_millis(20),
+                seed: 1,
+            },
+            TraceConfig::ring(128),
+            |ctx| {
+                lock.write_section(ctx.t, SectionId(0), &mut |a| {
+                    let v = a.read(cell)?;
+                    a.write(cell, v + 1)?;
+                    Ok(v)
+                });
+            },
+        );
+        assert!(rep.stats.total_commits() > 0);
+        assert_eq!(traces.len(), 2);
+        for tr in &traces {
+            assert!(!tr.events.is_empty(), "tid {} recorded nothing", tr.tid);
+        }
+        // Off yields empty traces.
+        let (_, off) = run_generic_traced(
+            &htm,
+            &RunConfig {
+                threads: 2,
+                duration: Duration::from_millis(5),
+                seed: 1,
+            },
+            TraceConfig::Off,
+            |ctx| {
+                lock.write_section(ctx.t, SectionId(0), &mut |a| a.read(cell));
+            },
+        );
+        assert!(off.iter().all(|tr| tr.events.is_empty()));
     }
 
     #[test]

@@ -15,6 +15,6 @@
 pub mod harness;
 
 pub use harness::{
-    hashmap_point, htm_for, run_generic, run_hashmap, run_tpcc, tpcc_point, LockKind, RunConfig,
-    RunReport, WorkerCtx,
+    hashmap_point, htm_for, run_generic, run_generic_traced, run_hashmap, run_hashmap_traced,
+    run_tpcc, tpcc_point, trace_path_from_args, LockKind, RunConfig, RunReport, WorkerCtx,
 };

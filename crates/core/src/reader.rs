@@ -5,8 +5,29 @@
 use htm_sim::clock;
 use htm_sim::TxKind;
 use sprwl_locks::{AbortCause, CommitMode, LockThread, Role, SectionBody, SectionId};
+use sprwl_trace::{EventKind, TraceBuffer, TraceRole, NO_LINE, NO_PEER};
 
 use crate::lock::{SpRwl, NONE, STATE_WRITER};
+
+/// Records a speculative abort in both the stats and the trace, pulling
+/// conflict attribution (line + peer) out of the thread context when the
+/// substrate provided it.
+pub(crate) fn note_abort(t: &mut LockThread<'_>, abort: htm_sim::Abort, kind: TxKind) {
+    let cause = AbortCause::classify(abort, kind);
+    t.stats.record_abort(cause);
+    let (line, peer) = match t.ctx.last_conflict() {
+        Some(info) => {
+            t.stats.record_conflict(info.line.index() as u64, info.peer);
+            (info.line.index() as u64, info.peer)
+        }
+        None => (NO_LINE, NO_PEER),
+    };
+    t.trace.push(EventKind::TxAbort {
+        cause: cause.label(),
+        line,
+        peer,
+    });
+}
 
 impl SpRwl {
     pub(crate) fn do_read(
@@ -18,6 +39,10 @@ impl SpRwl {
         let start = clock::now();
         let tid = t.tid();
         let mem = t.ctx.htm().memory();
+        t.trace.push(EventKind::SectionBegin {
+            role: TraceRole::Reader,
+            sec: sec.0,
+        });
 
         // §3.4 optimization: attempt the read section speculatively first.
         // Readers that fit in HTM commit like TLE would; capacity aborts
@@ -29,22 +54,38 @@ impl SpRwl {
             loop {
                 self.fallback.wait_until_free(mem);
                 attempts += 1;
+                t.trace.push(EventKind::TxAttempt {
+                    role: TraceRole::Reader,
+                    attempt: attempts,
+                });
                 match t.ctx.txn(TxKind::Htm, |tx| {
                     self.fallback.subscribe(tx)?;
                     let t0 = clock::now();
                     let r = f(tx)?;
-                    Ok((r, clock::now() - t0))
+                    let fp = (tx.read_footprint() as u32, tx.write_footprint() as u32);
+                    Ok((r, clock::now() - t0, fp))
                 }) {
-                    Ok((r, dur)) => {
+                    Ok((r, dur, (read_fp, write_fp))) => {
                         self.est.record(tid, sec, dur);
                         self.adapt_after_section(t, true, dur);
+                        let latency_ns = clock::now() - start;
                         t.stats
-                            .record_commit(Role::Reader, CommitMode::Htm, clock::now() - start);
+                            .record_commit(Role::Reader, CommitMode::Htm, latency_ns);
+                        t.trace.push(EventKind::TxCommit {
+                            mode: CommitMode::Htm.label(),
+                            read_fp,
+                            write_fp,
+                        });
+                        t.trace.push(EventKind::SectionEnd {
+                            role: TraceRole::Reader,
+                            sec: sec.0,
+                            mode: CommitMode::Htm.label(),
+                            latency_ns,
+                        });
                         return r;
                     }
                     Err(abort) => {
-                        t.stats
-                            .record_abort(AbortCause::classify(abort, TxKind::Htm));
+                        note_abort(t, abort, TxKind::Htm);
                         if abort.is_capacity() && self.cfg.adaptive_reader_htm {
                             self.htm_skip[sec.index()].store(crate::lock::HTM_PROBE_WINDOW);
                         }
@@ -58,7 +99,7 @@ impl SpRwl {
 
         // §3.2.1: synchronize with active writers before announcing.
         if self.cfg.scheduling.readers_wait() {
-            self.readers_wait(tid, mem);
+            self.readers_wait(tid, mem, &mut t.trace);
         }
         // §3.2.2: advertise our expected end time so aborted writers can
         // time their retry.
@@ -72,12 +113,19 @@ impl SpRwl {
         let d = t.ctx.direct();
         let reg = loop {
             let reg = self.flag_reader(&d, tid);
+            // A registration left by an earlier admission check means this
+            // entry bypasses (or outlived) a fallback-lock holder (§3.3).
+            let registered = self.waiting_version[tid].load();
             if self.reader_may_proceed(tid, mem) {
+                if self.cfg.versioned_sgl && registered != NONE {
+                    t.trace.push(EventKind::SglBypassEnter { registered });
+                }
                 break reg;
             }
             self.unflag_reader(&d, tid, reg);
             self.reader_wait_for_gl(tid, mem);
         };
+        t.trace.push(EventKind::ReaderArrive);
 
         let t0 = clock::now();
         let mut acc = t.ctx.direct();
@@ -85,13 +133,21 @@ impl SpRwl {
         let dur = clock::now() - t0;
 
         self.unflag_reader(&d, tid, reg);
+        t.trace.push(EventKind::ReaderDepart);
         if self.cfg.scheduling.writers_wait() {
             self.clock_r[tid].store(0);
         }
         self.est.record(tid, sec, dur);
         self.adapt_after_section(t, true, dur);
+        let latency_ns = clock::now() - start;
         t.stats
-            .record_commit(Role::Reader, CommitMode::Unins, clock::now() - start);
+            .record_commit(Role::Reader, CommitMode::Unins, latency_ns);
+        t.trace.push(EventKind::SectionEnd {
+            role: TraceRole::Reader,
+            sec: sec.0,
+            mode: CommitMode::Unins.label(),
+            latency_ns,
+        });
         r
     }
 
@@ -115,8 +171,9 @@ impl SpRwl {
     /// `Readers_Wait()` (Alg. 2): wait for the active writer expected to
     /// finish last — or join a reader already waiting, aligning reader
     /// start times (the `RSync` refinement over `RWait`).
-    fn readers_wait(&self, tid: usize, mem: &htm_sim::SimMemory) {
+    fn readers_wait(&self, tid: usize, mem: &htm_sim::SimMemory, trace: &mut TraceBuffer) {
         let mut wait_for: Option<usize> = None;
+        let mut joined = false;
         let mut max_end = 0u64;
         for i in 0..self.n {
             if i == tid {
@@ -133,11 +190,15 @@ impl SpRwl {
                 if wf != NONE {
                     // Join the waiting reader: start as soon as it does.
                     wait_for = Some(wf as usize);
+                    joined = true;
                     break;
                 }
             }
         }
         let Some(w) = wait_for else { return };
+        if joined {
+            trace.push(EventKind::SchedJoinWaiter { target: w as u32 });
+        }
         self.waiting_for[tid].store(w as u64);
         // Bound the wait by the writer's advertised end time plus one
         // refresh (it may start one more section before we sample the flag
@@ -149,6 +210,10 @@ impl SpRwl {
         let advertised_end = self.clock_w[w].load().max(start);
         let section_est = advertised_end - start;
         let deadline = advertised_end + section_est + 10_000;
+        trace.push(EventKind::SchedWaitWriter {
+            writer: w as u32,
+            deadline,
+        });
         if self.cfg.timed_reader_wait {
             // §3.4: park until the writer's advertised end time instead of
             // hammering its state line.

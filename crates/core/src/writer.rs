@@ -5,9 +5,11 @@
 
 use htm_sim::clock;
 use htm_sim::{Abort, TxKind};
-use sprwl_locks::{AbortCause, CommitMode, LockThread, Role, SectionBody, SectionId, ABORT_READER};
+use sprwl_locks::{CommitMode, LockThread, Role, SectionBody, SectionId, ABORT_READER};
+use sprwl_trace::{EventKind, TraceBuffer, TraceRole};
 
 use crate::lock::{SpRwl, NONE, STATE_EMPTY, STATE_READER, STATE_WRITER};
+use crate::reader::note_abort;
 
 impl SpRwl {
     pub(crate) fn do_write(
@@ -19,6 +21,10 @@ impl SpRwl {
         let start = clock::now();
         let tid = t.tid();
         let mem = t.ctx.htm().memory();
+        t.trace.push(EventKind::SectionBegin {
+            role: TraceRole::Writer,
+            sec: sec.0,
+        });
 
         // Alg. 2: advertise ourselves so newly arriving readers defer to us
         // (fairness: they cannot abort an already-active writer). The flag
@@ -34,6 +40,10 @@ impl SpRwl {
         let committed = loop {
             self.fallback.wait_until_free(mem);
             attempts += 1;
+            t.trace.push(EventKind::TxAttempt {
+                role: TraceRole::Writer,
+                attempt: attempts,
+            });
             match t.ctx.txn(TxKind::Htm, |tx| {
                 self.fallback.subscribe(tx)?;
                 let t0 = clock::now();
@@ -41,16 +51,21 @@ impl SpRwl {
                 let dur = clock::now() - t0;
                 // W-checkR: commit only in the absence of active readers.
                 self.check_for_readers(tx, tid)?;
-                Ok((r, dur))
+                let fp = (tx.read_footprint() as u32, tx.write_footprint() as u32);
+                Ok((r, dur, fp))
             }) {
-                Ok((r, dur)) => {
+                Ok((r, dur, (read_fp, write_fp))) => {
                     self.est.record(tid, sec, dur);
                     self.adapt_after_section(t, false, dur);
+                    t.trace.push(EventKind::TxCommit {
+                        mode: CommitMode::Htm.label(),
+                        read_fp,
+                        write_fp,
+                    });
                     break Some(r);
                 }
                 Err(abort) => {
-                    t.stats
-                        .record_abort(AbortCause::classify(abort, TxKind::Htm));
+                    note_abort(t, abort, TxKind::Htm);
                     if !self.cfg.writer_retry.should_retry(attempts, abort) {
                         break None;
                     }
@@ -58,7 +73,7 @@ impl SpRwl {
                     // so the re-execution finishes δ after the last reader.
                     if self.cfg.scheduling.writers_wait() && abort == Abort::Explicit(ABORT_READER)
                     {
-                        self.writer_wait(tid, sec, mem);
+                        self.writer_wait(tid, sec, mem, &mut t.trace);
                         if advertise {
                             // Refresh the advertised end time after the delay.
                             self.clock_w[tid].store(self.est.end_time(sec));
@@ -73,8 +88,15 @@ impl SpRwl {
                 t.ctx.direct().store(self.state[tid], STATE_EMPTY);
                 self.clock_w[tid].store(0);
             }
+            let latency_ns = clock::now() - start;
             t.stats
-                .record_commit(Role::Writer, CommitMode::Htm, clock::now() - start);
+                .record_commit(Role::Writer, CommitMode::Htm, latency_ns);
+            t.trace.push(EventKind::SectionEnd {
+                role: TraceRole::Writer,
+                sec: sec.0,
+                mode: CommitMode::Htm.label(),
+                latency_ns,
+            });
             return r;
         }
 
@@ -83,8 +105,9 @@ impl SpRwl {
         // wait for active readers, then run uninstrumented.
         let d = t.ctx.direct();
         let version = self.fallback.acquire(&d);
+        t.trace.push(EventKind::FallbackAcquire { version });
         if self.cfg.versioned_sgl {
-            self.wait_for_bypassing_readers(version);
+            self.wait_for_bypassing_readers(version, &mut t.trace);
         }
         self.wait_for_readers(&d, tid);
         let t0 = clock::now();
@@ -104,15 +127,29 @@ impl SpRwl {
             self.clock_w[tid].store(0);
         }
         self.fallback.release(&t.ctx.direct());
+        t.trace.push(EventKind::FallbackRelease);
+        let latency_ns = clock::now() - start;
         t.stats
-            .record_commit(Role::Writer, CommitMode::Gl, clock::now() - start);
+            .record_commit(Role::Writer, CommitMode::Gl, latency_ns);
+        t.trace.push(EventKind::SectionEnd {
+            role: TraceRole::Writer,
+            sec: sec.0,
+            mode: CommitMode::Gl.label(),
+            latency_ns,
+        });
         r
     }
 
     /// `writer_wait()` (Alg. 3): find the last active reader's advertised
     /// end time and stall so that our re-execution ends δ after it —
     /// maximizing overlap with readers while still committing clean.
-    fn writer_wait(&self, tid: usize, sec: SectionId, mem: &htm_sim::SimMemory) {
+    fn writer_wait(
+        &self,
+        tid: usize,
+        sec: SectionId,
+        mem: &htm_sim::SimMemory,
+        trace: &mut TraceBuffer,
+    ) {
         let mut last_reader_end = 0u64;
         for i in 0..self.n {
             if i == tid {
@@ -129,14 +166,16 @@ impl SpRwl {
         let delta = self.cfg.delta.resolve(my_duration);
         // Start so that (start + my_duration) == last_reader_end + delta.
         let start_at = (last_reader_end + delta).saturating_sub(my_duration);
+        trace.push(EventKind::SchedDeltaStart { start_at });
         clock::spin_until(start_at);
     }
 
     /// §3.3 versioned-SGL writer side: before executing under the lock,
     /// defer to readers that registered while an *earlier* holder was in —
     /// they are entitled to bypass us.
-    fn wait_for_bypassing_readers(&self, my_version: u64) {
+    fn wait_for_bypassing_readers(&self, my_version: u64, trace: &mut TraceBuffer) {
         let mut spin = clock::SpinWait::new();
+        let mut noted = false;
         loop {
             let any_senior = (0..self.n).any(|i| {
                 let v = self.waiting_version[i].load();
@@ -144,6 +183,10 @@ impl SpRwl {
             });
             if !any_senior {
                 return;
+            }
+            if !noted {
+                trace.push(EventKind::SglWaitSenior { my_version });
+                noted = true;
             }
             spin.snooze();
         }

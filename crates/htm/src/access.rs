@@ -100,6 +100,7 @@ impl<'h> Direct<'h> {
             line,
             UntrackedKind::Read,
             self.htm.config().reads_doom_writers,
+            self.tid,
             self.htm.table_ref(),
             || self.htm.mem_ref().raw_load(cell),
         )
@@ -114,6 +115,7 @@ impl<'h> Direct<'h> {
             line,
             UntrackedKind::Write,
             true,
+            self.tid,
             self.htm.table_ref(),
             || self.htm.mem_ref().raw_store(cell, val),
         );
@@ -129,6 +131,7 @@ impl<'h> Direct<'h> {
             line,
             UntrackedKind::Write,
             true,
+            self.tid,
             self.htm.table_ref(),
             || self.htm.mem_ref().raw_cas(cell, current, new),
         )
@@ -142,6 +145,7 @@ impl<'h> Direct<'h> {
             line,
             UntrackedKind::Write,
             true,
+            self.tid,
             self.htm.table_ref(),
             || loop {
                 let cur = self.htm.mem_ref().raw_load(cell);
@@ -191,6 +195,7 @@ impl Suspended<'_> {
             line,
             UntrackedKind::Read,
             self.htm.config().reads_doom_writers,
+            self.me.tid,
             self.htm.table_ref(),
             || self.htm.mem_ref().raw_load(cell),
         )
@@ -205,6 +210,7 @@ impl Suspended<'_> {
             line,
             UntrackedKind::Write,
             true,
+            self.me.tid,
             self.htm.table_ref(),
             || self.htm.mem_ref().raw_store(cell, val),
         );

@@ -114,20 +114,27 @@ impl Directory {
 
     /// Resolves a conflict between `me` and the holder `other`, per policy.
     /// Returns `Ok(())` once the holder is out of the way (doomed, stale or
-    /// drained), `Err` if `me` must self-abort.
+    /// drained), `Err` if `me` must self-abort. Whichever side loses gets a
+    /// conflict-attribution note (line + winning peer) in its slot.
     fn resolve_tx_conflict(
         table: &TxTable,
         policy: ConflictPolicy,
         other: Owner,
+        line: LineId,
+        me: Owner,
     ) -> Result<(), Abort> {
-        match table.doom_or_classify(other, policy) {
+        match table.doom_or_classify(other, policy, line, me.tid) {
             Ok(DoomOutcome::Dead) | Ok(DoomOutcome::Stale) => Ok(()),
             Ok(DoomOutcome::Committing) => {
                 table.wait_while_committing(other);
                 Ok(())
             }
             Ok(DoomOutcome::Live) => unreachable!("resolved conflicts never stay live"),
-            Err(()) => Err(Abort::Conflict),
+            Err(()) => {
+                // ResponderWins: `me` self-aborts; attribute to the holder.
+                table.note_doom(me, line, other.tid);
+                Err(Abort::Conflict)
+            }
         }
     }
 
@@ -148,7 +155,7 @@ impl Directory {
         let entry = shard.entry(line.0).or_default();
         if let Some(other) = entry.writer {
             if other != me {
-                Self::resolve_tx_conflict(table, policy, other)?;
+                Self::resolve_tx_conflict(table, policy, other, line, me)?;
                 entry.writer = None;
             }
         }
@@ -175,7 +182,7 @@ impl Directory {
         let entry = shard.entry(line.0).or_default();
         if let Some(other) = entry.writer {
             if other != me {
-                Self::resolve_tx_conflict(table, policy, other)?;
+                Self::resolve_tx_conflict(table, policy, other, line, me)?;
                 entry.writer = None;
             }
         }
@@ -187,7 +194,7 @@ impl Directory {
                 i += 1;
                 continue;
             }
-            Self::resolve_tx_conflict(table, policy, r)?;
+            Self::resolve_tx_conflict(table, policy, r, line, me)?;
             entry.readers.swap_remove(i);
         }
         entry.writer = Some(me);
@@ -202,11 +209,13 @@ impl Directory {
     /// Untracked writes doom every holder; untracked reads doom a live
     /// transactional writer iff `reads_doom` (strong isolation); both wait
     /// out an in-flight commit so the raw operation happens after the flush.
+    /// `doomer` names the accessing thread for conflict attribution.
     pub(crate) fn untracked_op<R>(
         &self,
         line: LineId,
         kind: UntrackedKind,
         reads_doom: bool,
+        doomer: u32,
         table: &TxTable,
         op: impl FnOnce() -> R,
     ) -> R {
@@ -229,6 +238,7 @@ impl Directory {
             if let Some(other) = entry.writer {
                 let doom_it = kind == UntrackedKind::Write || reads_doom;
                 match if doom_it {
+                    table.note_doom(other, line, doomer);
                     table.doom(other)
                 } else {
                     table.classify(other)
@@ -250,6 +260,7 @@ impl Directory {
             }
             if kind == UntrackedKind::Write {
                 for r in entry.readers.drain(..) {
+                    table.note_doom(r, line, doomer);
                     let _ = table.doom(r);
                 }
             }
@@ -267,9 +278,10 @@ impl Directory {
         line: LineId,
         kind: UntrackedKind,
         reads_doom: bool,
+        doomer: u32,
         table: &TxTable,
     ) {
-        self.untracked_op(line, kind, reads_doom, table, || ());
+        self.untracked_op(line, kind, reads_doom, doomer, table, || ());
     }
 
     /// Removes `me`'s registrations for the given lines (commit or abort
@@ -311,12 +323,22 @@ impl Directory {
 }
 
 impl TxTable {
-    /// Policy-dispatching doom: under `RequesterWins` dooms the holder;
-    /// under `ResponderWins` reports `Err(())` if the holder is live (the
+    /// Policy-dispatching doom: under `RequesterWins` dooms the holder
+    /// (noting `line`/`requester` for attribution first); under
+    /// `ResponderWins` reports `Err(())` if the holder is live (the
     /// requester must abort itself), and classifies otherwise.
-    fn doom_or_classify(&self, other: Owner, policy: ConflictPolicy) -> Result<DoomOutcome, ()> {
+    fn doom_or_classify(
+        &self,
+        other: Owner,
+        policy: ConflictPolicy,
+        line: LineId,
+        requester: u32,
+    ) -> Result<DoomOutcome, ()> {
         match policy {
-            ConflictPolicy::RequesterWins => Ok(self.doom(other)),
+            ConflictPolicy::RequesterWins => {
+                self.note_doom(other, line, requester);
+                Ok(self.doom(other))
+            }
             ConflictPolicy::ResponderWins => match self.classify(other) {
                 DoomOutcome::Live => Err(()),
                 other_state => Ok(other_state),
@@ -403,7 +425,7 @@ mod tests {
             .unwrap();
         dir.acquire_write(line, owner(1, 1), &table, ConflictPolicy::RequesterWins)
             .unwrap();
-        dir.untracked_access(line, UntrackedKind::Write, true, &table);
+        dir.untracked_access(line, UntrackedKind::Write, true, 3, &table);
         assert!(table.is_doomed(owner(0, 1)));
         assert!(table.is_doomed(owner(1, 1)));
     }
@@ -416,9 +438,9 @@ mod tests {
         table.begin(0, 1);
         dir.acquire_write(line, owner(0, 1), &table, ConflictPolicy::RequesterWins)
             .unwrap();
-        dir.untracked_access(line, UntrackedKind::Read, false, &table);
+        dir.untracked_access(line, UntrackedKind::Read, false, 3, &table);
         assert!(!table.is_doomed(owner(0, 1)), "reads_doom disabled");
-        dir.untracked_access(line, UntrackedKind::Read, true, &table);
+        dir.untracked_access(line, UntrackedKind::Read, true, 3, &table);
         assert!(table.is_doomed(owner(0, 1)), "strong isolation dooms");
     }
 
@@ -430,8 +452,50 @@ mod tests {
         table.begin(0, 1);
         dir.acquire_read(line, owner(0, 1), &table, ConflictPolicy::RequesterWins)
             .unwrap();
-        dir.untracked_access(line, UntrackedKind::Read, true, &table);
+        dir.untracked_access(line, UntrackedKind::Read, true, 3, &table);
         assert!(!table.is_doomed(owner(0, 1)));
+    }
+
+    #[test]
+    fn requester_wins_attributes_doom_to_requester() {
+        let dir = Directory::new();
+        let table = TxTable::new(4);
+        let line = LineId(11);
+        table.begin(0, 1);
+        table.begin(1, 1);
+        dir.acquire_read(line, owner(0, 1), &table, ConflictPolicy::RequesterWins)
+            .unwrap();
+        dir.acquire_write(line, owner(1, 1), &table, ConflictPolicy::RequesterWins)
+            .unwrap();
+        assert!(table.is_doomed(owner(0, 1)));
+        assert_eq!(table.take_conflict(owner(0, 1)), Some((11, 1)));
+    }
+
+    #[test]
+    fn responder_wins_attributes_self_abort_to_holder() {
+        let dir = Directory::new();
+        let table = TxTable::new(4);
+        let line = LineId(3);
+        table.begin(0, 1);
+        table.begin(1, 1);
+        dir.acquire_read(line, owner(0, 1), &table, ConflictPolicy::ResponderWins)
+            .unwrap();
+        let res = dir.acquire_write(line, owner(1, 1), &table, ConflictPolicy::ResponderWins);
+        assert_eq!(res, Err(Abort::Conflict));
+        assert_eq!(table.take_conflict(owner(1, 1)), Some((3, 0)));
+    }
+
+    #[test]
+    fn untracked_write_attributes_dooms() {
+        let dir = Directory::new();
+        let table = TxTable::new(4);
+        let line = LineId(9);
+        table.begin(0, 1);
+        dir.acquire_write(line, owner(0, 1), &table, ConflictPolicy::RequesterWins)
+            .unwrap();
+        dir.untracked_access(line, UntrackedKind::Write, true, 2, &table);
+        assert!(table.is_doomed(owner(0, 1)));
+        assert_eq!(table.take_conflict(owner(0, 1)), Some((9, 2)));
     }
 
     #[test]

@@ -78,4 +78,4 @@ pub use access::{AccessMode, Direct, MemAccess, Suspended};
 pub use config::{CapacityProfile, ConflictPolicy, HtmConfig};
 pub use memory::{CellId, LineId, Region, SimMemory};
 pub use stats::ThreadStats;
-pub use tx::{Abort, Htm, ThreadCtx, Tx, TxKind, TxResult};
+pub use tx::{Abort, ConflictInfo, Htm, ThreadCtx, Tx, TxKind, TxResult};

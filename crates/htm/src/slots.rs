@@ -17,6 +17,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::memory::LineId;
 use crate::util::Pad;
 
 pub(crate) const ST_INACTIVE: u64 = 0;
@@ -66,17 +67,43 @@ pub(crate) enum DoomOutcome {
     Live,
 }
 
+// Doom-attribution sidecar packing: `|valid:1|epoch_lo:12|peer:19|line:32|`.
+// The epoch tag lets the victim reject notes left over from an earlier
+// transaction of its own (the doom itself may have been Stale); 12 bits are
+// plenty since a wrapped collision only mislabels a diagnostic.
+const DI_VALID: u64 = 1 << 63;
+const DI_EPOCH_BITS: u64 = 12;
+const DI_PEER_BITS: u64 = 19;
+const DI_EPOCH_MASK: u64 = (1 << DI_EPOCH_BITS) - 1;
+const DI_PEER_MASK: u64 = (1 << DI_PEER_BITS) - 1;
+
+#[inline]
+fn pack_doom_info(epoch: u64, peer: u32, line: u32) -> u64 {
+    DI_VALID
+        | ((epoch & DI_EPOCH_MASK) << (32 + DI_PEER_BITS))
+        | ((peer as u64 & DI_PEER_MASK) << 32)
+        | line as u64
+}
+
 #[derive(Debug)]
 pub(crate) struct TxTable {
     slots: Box<[Pad<AtomicU64>]>,
+    /// Conflict attribution, one word per thread: who doomed this thread's
+    /// current transaction, and over which line. Written by the doomer
+    /// *before* its doom CAS so the victim observing `Doomed` always finds
+    /// the note; epoch-tagged so stale notes are rejected.
+    doom_info: Box<[Pad<AtomicU64>]>,
 }
 
 impl TxTable {
     pub(crate) fn new(n: usize) -> Self {
         let mut v = Vec::with_capacity(n);
         v.resize_with(n, || Pad(AtomicU64::new(pack(0, ST_INACTIVE))));
+        let mut d = Vec::with_capacity(n);
+        d.resize_with(n, || Pad(AtomicU64::new(0)));
         Self {
             slots: v.into_boxed_slice(),
+            doom_info: d.into_boxed_slice(),
         }
     }
 
@@ -94,8 +121,11 @@ impl TxTable {
         self.slot(tid).load(Ordering::SeqCst)
     }
 
-    /// Owning thread: begin a new transaction at `epoch`.
+    /// Owning thread: begin a new transaction at `epoch`. Clears any
+    /// leftover conflict note so an untaken one can never alias a later
+    /// epoch with the same low bits.
     pub(crate) fn begin(&self, tid: u32, epoch: u64) {
+        self.doom_info[tid as usize].0.store(0, Ordering::SeqCst);
         self.slot(tid)
             .store(pack(epoch, ST_ACTIVE), Ordering::SeqCst);
     }
@@ -154,6 +184,32 @@ impl TxTable {
                 _ => return DoomOutcome::Stale,
             }
         }
+    }
+
+    /// Records who is about to doom `victim` and over which line, for
+    /// conflict attribution. Must be called *before* the doom CAS: the
+    /// victim reads the note only after observing `Doomed`, so store-then-CAS
+    /// (both SeqCst) guarantees the note is visible by then. A lost doom
+    /// race leaves a note tagged with the victim's epoch, which
+    /// [`Self::take_conflict`] rejects once the victim moves on.
+    pub(crate) fn note_doom(&self, victim: Owner, line: LineId, peer: u32) {
+        self.doom_info[victim.tid as usize]
+            .0
+            .store(pack_doom_info(victim.epoch, peer, line.0), Ordering::SeqCst);
+    }
+
+    /// Owning thread: consumes the conflict note for its current
+    /// transaction, returning `(line, peer)` if a doomer attributed one.
+    /// Clears the note either way.
+    pub(crate) fn take_conflict(&self, me: Owner) -> Option<(u32, u32)> {
+        let w = self.doom_info[me.tid as usize].0.swap(0, Ordering::SeqCst);
+        if w & DI_VALID == 0 {
+            return None;
+        }
+        if (w >> (32 + DI_PEER_BITS)) & DI_EPOCH_MASK != me.epoch & DI_EPOCH_MASK {
+            return None;
+        }
+        Some((w as u32, ((w >> 32) & DI_PEER_MASK) as u32))
     }
 
     /// Spin until `owner` is no longer in the `Committing` state (i.e. its
@@ -228,6 +284,39 @@ mod tests {
         assert_eq!(t.doom(Owner { tid: 0, epoch: 1 }), DoomOutcome::Dead);
         // resume must now fail
         assert!(!t.try_transition(0, 1, ST_SUSPENDED, ST_ACTIVE));
+    }
+
+    #[test]
+    fn doom_note_round_trips() {
+        let t = TxTable::new(4);
+        t.begin(1, 9);
+        let victim = Owner { tid: 1, epoch: 9 };
+        t.note_doom(victim, LineId(1234), 3);
+        assert_eq!(t.doom(victim), DoomOutcome::Dead);
+        assert_eq!(t.take_conflict(victim), Some((1234, 3)));
+        // Consumed: a second take finds nothing.
+        assert_eq!(t.take_conflict(victim), None);
+    }
+
+    #[test]
+    fn stale_doom_note_is_rejected() {
+        let t = TxTable::new(4);
+        t.begin(1, 9);
+        t.note_doom(Owner { tid: 1, epoch: 9 }, LineId(7), 0);
+        // Victim moved on before reading the note.
+        t.begin(1, 10);
+        assert_eq!(t.take_conflict(Owner { tid: 1, epoch: 10 }), None);
+    }
+
+    #[test]
+    fn doom_note_packs_wide_values() {
+        let t = TxTable::new(2);
+        let victim = Owner {
+            tid: 0,
+            epoch: (1 << 40) + 5,
+        };
+        t.note_doom(victim, LineId(u32::MAX), 0x7_FFFF);
+        assert_eq!(t.take_conflict(victim), Some((u32::MAX, 0x7_FFFF)));
     }
 
     #[test]

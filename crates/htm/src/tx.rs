@@ -56,6 +56,18 @@ impl std::fmt::Display for Abort {
 
 impl std::error::Error for Abort {}
 
+/// Attribution of a conflict abort: which cache line the conflict was
+/// detected on and which peer thread won it. Populated on a best-effort
+/// basis — dooms race, so a [`Abort::Conflict`] can occasionally go
+/// unattributed — and consumed via [`ThreadCtx::last_conflict`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConflictInfo {
+    /// The contended cache line.
+    pub line: LineId,
+    /// The peer thread id that doomed (or outlived) this transaction.
+    pub peer: u32,
+}
+
 /// Result type threaded through transactional closures; `Err` aborts the
 /// attempt.
 pub type TxResult<T> = Result<T, Abort>;
@@ -168,6 +180,7 @@ impl Htm {
             epoch: 0,
             rng: XorShift64::new(self.cfg.seed ^ ((tid as u64 + 1) << 17)),
             stats: ThreadStats::new(),
+            last_conflict: None,
         }
     }
 
@@ -208,6 +221,9 @@ pub struct ThreadCtx<'h> {
     rng: XorShift64,
     /// Raw substrate statistics for this thread.
     pub stats: ThreadStats,
+    /// Attribution of the most recent [`Abort::Conflict`], if the doomer
+    /// left one. Reset at every transaction begin.
+    last_conflict: Option<ConflictInfo>,
 }
 
 impl Drop for ThreadCtx<'_> {
@@ -230,6 +246,13 @@ impl<'h> ThreadCtx<'h> {
     /// An untracked accessor bound to this thread id.
     pub fn direct(&self) -> Direct<'h> {
         Direct::new(self.htm, self.tid)
+    }
+
+    /// Attribution of the most recent conflict abort, if the winning side
+    /// recorded one: the contended line and the peer thread. Best-effort
+    /// (dooms race); reset at every [`ThreadCtx::txn`] call.
+    pub fn last_conflict(&self) -> Option<ConflictInfo> {
+        self.last_conflict
     }
 
     /// Runs **one attempt** of a hardware transaction. Retry policies live
@@ -269,6 +292,7 @@ impl<'h> ThreadCtx<'h> {
         };
         self.htm.table.begin(me.tid, me.epoch);
         self.stats.on_begin(kind);
+        self.last_conflict = None;
 
         let mut tx = Tx {
             htm: self.htm,
@@ -318,6 +342,15 @@ impl<'h> ThreadCtx<'h> {
             .release(me, read_lines.iter(), write_lines.iter());
         table.set(me.tid, me.epoch, ST_INACTIVE);
         let cause = outcome.as_ref().err().copied().expect("abort path");
+        // Consume the doomer's attribution note (always, so it cannot leak
+        // into a later epoch); expose it only for genuine conflict aborts.
+        let note = table.take_conflict(me);
+        if cause == Abort::Conflict {
+            self.last_conflict = note.map(|(line, peer)| ConflictInfo {
+                line: LineId(line),
+                peer,
+            });
+        }
         self.stats.on_abort(cause);
         outcome
     }
@@ -416,6 +449,7 @@ impl Tx<'_> {
                     line,
                     crate::directory::UntrackedKind::Read,
                     true,
+                    self.me.tid,
                     &htm.table,
                     || htm.mem.raw_load(cell),
                 ))

@@ -432,3 +432,34 @@ fn stats_track_commits_and_aborts() {
     assert_eq!(ctx.stats.commits(), 1);
     assert_eq!(ctx.stats.aborts(), 1);
 }
+
+#[test]
+fn conflict_abort_is_attributed_to_line_and_peer() {
+    let htm = htm_with(CapacityProfile::UNBOUNDED);
+    let r = htm.memory().alloc(1);
+    let line = htm.memory().line_of(r.cell(0));
+    let mut ctx = htm.thread(0);
+    let err = ctx
+        .txn(TxKind::Htm, |tx| {
+            let _ = tx.read(r.cell(0))?;
+            htm.direct(1).store(r.cell(0), 9);
+            tx.read(r.cell(0))?;
+            Ok(())
+        })
+        .unwrap_err();
+    assert_eq!(err, Abort::Conflict);
+    let info = ctx.last_conflict().expect("doomer left a note");
+    assert_eq!(info.line, line);
+    assert_eq!(info.peer, 1);
+    // The note is per-transaction: a clean commit clears it.
+    ctx.txn(TxKind::Htm, |tx| tx.write(r.cell(0), 1)).unwrap();
+    assert_eq!(ctx.last_conflict(), None);
+}
+
+#[test]
+fn non_conflict_aborts_carry_no_attribution() {
+    let htm = htm_with(CapacityProfile::UNBOUNDED);
+    let mut ctx = htm.thread(0);
+    let _ = ctx.txn(TxKind::Htm, |tx| tx.abort::<()>(7));
+    assert_eq!(ctx.last_conflict(), None);
+}

@@ -7,6 +7,7 @@
 //! existing lock-based code without changing it.
 
 use htm_sim::{MemAccess, SimMemory, ThreadCtx, TxResult};
+use sprwl_trace::{TraceBuffer, TraceConfig};
 
 use crate::stats::SessionStats;
 
@@ -34,21 +35,34 @@ impl SectionId {
 pub type SectionBody<'b> = &'b mut dyn FnMut(&mut dyn MemAccess) -> TxResult<u64>;
 
 /// Per-thread state bundle: the HTM thread context plus this thread's
-/// statistics. Create one per OS thread, pass it to every section call.
+/// statistics and (optional) lock-lifecycle trace. Create one per OS
+/// thread, pass it to every section call.
 #[derive(Debug)]
 pub struct LockThread<'h> {
     /// The simulated hardware-thread context.
     pub ctx: ThreadCtx<'h>,
     /// Commit/abort/latency bookkeeping for this thread.
     pub stats: SessionStats,
+    /// Lock-lifecycle event ring (disabled by default; see
+    /// [`LockThread::with_trace`]). Owned by this thread only, so
+    /// recording adds no shared-memory traffic.
+    pub trace: TraceBuffer,
 }
 
 impl<'h> LockThread<'h> {
-    /// Bundles a thread context with fresh statistics.
+    /// Bundles a thread context with fresh statistics and tracing off.
     pub fn new(ctx: ThreadCtx<'h>) -> Self {
+        Self::with_trace(ctx, TraceConfig::Off)
+    }
+
+    /// Bundles a thread context with fresh statistics and the given
+    /// tracing policy.
+    pub fn with_trace(ctx: ThreadCtx<'h>, trace: TraceConfig) -> Self {
+        let tid = ctx.tid() as u32;
         Self {
             ctx,
             stats: SessionStats::default(),
+            trace: TraceBuffer::new(tid, trace),
         }
     }
 

@@ -47,5 +47,7 @@ pub use pthread_rw::PthreadRwLock;
 pub use rwle::RwLe;
 pub use sgl::{GlobalLock, VersionedLock, ABORT_LOCKED, ABORT_READER};
 pub use spin::SpinMutex;
-pub use stats::{AbortCause, CommitMode, LatencyRecorder, Role, SessionStats};
+pub use stats::{
+    AbortCause, CommitMode, ConflictLine, ConflictTable, LatencyRecorder, Role, SessionStats,
+};
 pub use tle::Tle;

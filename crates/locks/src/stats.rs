@@ -193,7 +193,10 @@ impl LatencyRecorder {
         for (i, &b) in self.buckets.iter().enumerate() {
             seen += b;
             if seen >= rank {
-                let upper = if i + 1 >= 63 {
+                // The final bucket is open-ended (it absorbs everything at
+                // or above 2^(LAT_BUCKETS-1) ns), so its only meaningful
+                // upper bound is the observed maximum.
+                let upper = if i + 1 >= LAT_BUCKETS {
                     u64::MAX
                 } else {
                     (1u64 << (i + 1)) - 1
@@ -215,8 +218,72 @@ impl LatencyRecorder {
     }
 }
 
+/// One contended cache line's aggregate in a [`ConflictTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConflictLine {
+    /// The cache line index (as attributed by the substrate).
+    pub line: u64,
+    /// How many conflict aborts were attributed to this line.
+    pub count: u64,
+    /// The peer thread id attributed most recently.
+    pub last_peer: u32,
+}
+
+/// Per-line conflict-abort aggregation: which cache lines this session's
+/// conflict aborts were attributed to, and by whom. The evaluation's
+/// "which line is hot" question, answered without a full trace.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ConflictTable {
+    lines: std::collections::HashMap<u64, (u64, u32)>,
+}
+
+impl ConflictTable {
+    /// Records one attributed conflict abort.
+    pub fn record(&mut self, line: u64, peer: u32) {
+        let e = self.lines.entry(line).or_insert((0, peer));
+        e.0 += 1;
+        e.1 = peer;
+    }
+
+    /// The `k` most contended lines, most aborts first (ties by line index
+    /// for deterministic output).
+    pub fn top_k(&self, k: usize) -> Vec<ConflictLine> {
+        let mut v: Vec<ConflictLine> = self
+            .lines
+            .iter()
+            .map(|(&line, &(count, last_peer))| ConflictLine {
+                line,
+                count,
+                last_peer,
+            })
+            .collect();
+        v.sort_by(|a, b| b.count.cmp(&a.count).then(a.line.cmp(&b.line)));
+        v.truncate(k);
+        v
+    }
+
+    /// Total attributed conflict aborts.
+    pub fn total(&self) -> u64 {
+        self.lines.values().map(|&(c, _)| c).sum()
+    }
+
+    /// Whether any conflict has been attributed.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Merges another table into this one (cross-thread aggregation).
+    pub fn merge(&mut self, other: &ConflictTable) {
+        for (&line, &(count, peer)) in &other.lines {
+            let e = self.lines.entry(line).or_insert((0, peer));
+            e.0 += count;
+        }
+    }
+}
+
 /// Per-thread statistics for one benchmark session: commit-mode breakdown
-/// per role, abort-cause breakdown, and per-role latency.
+/// per role, abort-cause breakdown, per-role latency, and per-line
+/// conflict attribution.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct SessionStats {
     reader_commits: [u64; 4],
@@ -226,6 +293,8 @@ pub struct SessionStats {
     pub reader_latency: LatencyRecorder,
     /// Writer critical-section latency (lock request → unlock).
     pub writer_latency: LatencyRecorder,
+    /// Which cache lines conflict aborts were attributed to.
+    pub conflict_lines: ConflictTable,
 }
 
 impl SessionStats {
@@ -246,6 +315,12 @@ impl SessionStats {
     /// Records one speculative abort.
     pub fn record_abort(&mut self, cause: AbortCause) {
         self.aborts[cause.index()] += 1;
+    }
+
+    /// Records the attribution of a conflict abort: the contended cache
+    /// line and the peer thread that won it.
+    pub fn record_conflict(&mut self, line: u64, peer: u32) {
+        self.conflict_lines.record(line, peer);
     }
 
     /// Commits of `mode` across both roles.
@@ -297,6 +372,7 @@ impl SessionStats {
         }
         self.reader_latency.merge(&other.reader_latency);
         self.writer_latency.merge(&other.writer_latency);
+        self.conflict_lines.merge(&other.conflict_lines);
     }
 }
 
@@ -421,6 +497,67 @@ mod tests {
     #[should_panic(expected = "percentile")]
     fn out_of_range_percentile_panics() {
         LatencyRecorder::default().percentile_ns(0.0);
+    }
+
+    #[test]
+    fn last_bucket_percentile_reports_the_true_maximum() {
+        // Regression: samples at or above 2^47 ns all land in the final
+        // histogram bucket, which is open-ended. The old guard (`i + 1 >=
+        // 63`) never fired with 48 buckets, so the bucket's upper bound was
+        // computed as 2^48 - 1 and percentiles silently under-reported any
+        // larger sample.
+        let mut l = LatencyRecorder::default();
+        l.record(1u64 << 50);
+        assert_eq!(l.percentile_ns(50.0), 1u64 << 50);
+        assert_eq!(l.percentile_ns(100.0), 1u64 << 50);
+
+        let mut huge = LatencyRecorder::default();
+        huge.record(u64::MAX - 1);
+        assert_eq!(huge.percentile_ns(99.0), u64::MAX - 1);
+
+        // Mixed: the big sample defines the tail, small ones the body.
+        let mut m = LatencyRecorder::default();
+        for _ in 0..9 {
+            m.record(1_000);
+        }
+        m.record(1u64 << 49);
+        assert!(m.percentile_ns(50.0) <= 2_047);
+        assert_eq!(m.percentile_ns(100.0), 1u64 << 49);
+    }
+
+    #[test]
+    fn conflict_table_tracks_top_lines() {
+        let mut t = ConflictTable::default();
+        assert!(t.is_empty());
+        t.record(5, 1);
+        t.record(5, 2);
+        t.record(9, 0);
+        assert_eq!(t.total(), 3);
+        let top = t.top_k(2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].line, 5);
+        assert_eq!(top[0].count, 2);
+        assert_eq!(top[0].last_peer, 2, "most recent peer wins");
+        assert_eq!(top[1].line, 9);
+
+        let mut u = ConflictTable::default();
+        u.record(9, 3);
+        u.record(9, 3);
+        t.merge(&u);
+        assert_eq!(t.top_k(1)[0].line, 9, "merge re-ranks");
+        assert_eq!(t.total(), 5);
+    }
+
+    #[test]
+    fn session_stats_surface_conflict_attribution() {
+        let mut s = SessionStats::default();
+        s.record_conflict(42, 7);
+        s.record_conflict(42, 7);
+        let mut o = SessionStats::default();
+        o.record_conflict(8, 1);
+        s.merge(&o);
+        assert_eq!(s.conflict_lines.total(), 3);
+        assert_eq!(s.conflict_lines.top_k(1)[0].line, 42);
     }
 
     #[test]

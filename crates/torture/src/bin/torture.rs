@@ -31,6 +31,7 @@ fn main() {
     let matrix = default_matrix(threads, ops);
     let mut failures = 0usize;
     let mut ran = 0usize;
+    let t_all = std::time::Instant::now();
     for spec in &matrix {
         if let Some(f) = &filter {
             if !spec.name.contains(f.as_str()) {
@@ -38,23 +39,28 @@ fn main() {
             }
         }
         ran += 1;
+        let t_case = std::time::Instant::now();
         match run_case(spec, seed) {
             Ok(s) => println!(
-                "ok   {:<28} {:>6} ops  r={:<6} w={:<6} spec={:<6} aborts={}",
+                "ok   {:<28} {:>6} ops  r={:<6} w={:<6} spec={:<6} aborts={:<6} {:>7.1}ms",
                 spec.name,
                 spec.total_ops(),
                 s.reader_commits,
                 s.writer_commits,
                 s.speculative_commits,
-                s.aborts
+                s.aborts,
+                t_case.elapsed().as_secs_f64() * 1e3,
             ),
             Err(v) => {
                 failures += 1;
-                eprintln!("FAIL {}", v);
+                eprintln!("FAIL {} ({:.1}ms)", v, t_case.elapsed().as_secs_f64() * 1e3);
             }
         }
     }
-    println!("torture: {ran} case(s), {failures} violation(s), base seed {seed:#x}");
+    println!(
+        "torture: {ran} case(s), {failures} violation(s), base seed {seed:#x}, {:.1}ms total",
+        t_all.elapsed().as_secs_f64() * 1e3
+    );
     if failures > 0 {
         std::process::exit(1);
     }

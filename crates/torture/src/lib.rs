@@ -56,6 +56,7 @@ use sprwl_locks::{
     BrLock, CommitMode, LockThread, McsRwLock, PassiveRwLock, PhaseFairRwLock, PthreadRwLock, Role,
     RwLe, RwSync, SectionId, SessionStats, Tle,
 };
+use sprwl_trace::{export, EventKind, ThreadTrace, TraceConfig};
 
 /// Sentinel returned from a critical section that observed a torn mirror
 /// pair. Legitimate section results (pair counters and their partial sums)
@@ -207,6 +208,10 @@ pub struct Violation {
     pub base_seed: u64,
     /// What the oracle saw.
     pub detail: String,
+    /// Where the per-thread event-trace postmortem was dumped (JSONL; the
+    /// first line is run metadata with the replay command), if the dump
+    /// could be written.
+    pub postmortem: Option<std::path::PathBuf>,
 }
 
 impl fmt::Display for Violation {
@@ -215,8 +220,43 @@ impl fmt::Display for Violation {
             f,
             "torture violation in case `{}`: {}\n  replay with: TORTURE_SEED={:#x} cargo test -p sprwl-torture\n  (case seed {:#x})",
             self.case, self.detail, self.base_seed, self.seed
-        )
+        )?;
+        if let Some(p) = &self.postmortem {
+            write!(f, "\n  postmortem trace: {}", p.display())?;
+        }
+        Ok(())
     }
+}
+
+/// Events each torture worker keeps in its postmortem ring: deep enough to
+/// cover the tail of a run (the marks plus the lock's own lifecycle
+/// events), small enough to stay off the workload's critical path.
+const POSTMORTEM_RING: usize = 512;
+
+/// Dumps the per-thread traces next to a violation: one JSONL file whose
+/// first line is run metadata (including the replay command), then every
+/// thread's chronological events. Directory: `TORTURE_DUMP_DIR` if set,
+/// the OS temp directory otherwise. Returns `None` if the write failed —
+/// a postmortem must never turn a violation report into a panic.
+fn write_postmortem(v: &Violation, traces: &[ThreadTrace]) -> Option<std::path::PathBuf> {
+    let dir = std::env::var_os("TORTURE_DUMP_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(std::env::temp_dir);
+    let path = dir.join(format!(
+        "torture-{}-{:016x}.postmortem.jsonl",
+        v.case, v.seed
+    ));
+    let mut body = format!(
+        "{{\"case\":{:?},\"detail\":{:?},\"base_seed\":\"{:#x}\",\"case_seed\":\"{:#x}\",\"replay\":\"TORTURE_SEED={:#x} cargo test -p sprwl-torture\",\"threads\":{}}}\n",
+        v.case,
+        v.detail,
+        v.base_seed,
+        v.seed,
+        v.base_seed,
+        traces.len()
+    );
+    body.push_str(&export::jsonl(traces));
+    std::fs::write(&path, body).ok().map(|()| path)
 }
 
 /// Aggregate outcome of a clean run (for reporting and smoke assertions).
@@ -242,6 +282,7 @@ struct ThreadOut {
     writer_ops: u64,
     torn: Option<String>,
     stats: SessionStats,
+    trace: ThreadTrace,
 }
 
 fn worker(
@@ -253,7 +294,10 @@ fn worker(
     case_seed: u64,
     tid: usize,
 ) -> ThreadOut {
-    let mut t = LockThread::new(htm.thread(tid));
+    // Every worker keeps a small event ring so an oracle violation can dump
+    // the tail of what each thread was doing — the lock's own lifecycle
+    // events (for the instrumented schemes) plus one mark per issued op.
+    let mut t = LockThread::with_trace(htm.thread(tid), TraceConfig::ring(POSTMORTEM_RING));
     let mut rng = Prng::new(mix64(case_seed ^ ((tid as u64 + 1) << 32)));
     let mut incr = vec![0u64; spec.pairs];
     let mut reader_ops = 0u64;
@@ -263,6 +307,11 @@ fn worker(
     for _ in 0..spec.ops_per_thread {
         let is_write = rng.next() % 100 < u64::from(spec.write_pct);
         let p = (rng.next() as usize) % spec.pairs;
+        t.trace.push(EventKind::Mark {
+            label: "torture-op",
+            a: p as u64,
+            b: u64::from(is_write),
+        });
         if is_write {
             let (pa, pb) = (bank_a[p], bank_b[p]);
             let r = lock.write_section(&mut t, SEC_WRITE, &mut |acc| {
@@ -307,6 +356,7 @@ fn worker(
         reader_ops,
         writer_ops,
         torn,
+        trace: t.trace.snapshot(),
         stats: t.stats,
     }
 }
@@ -349,6 +399,7 @@ pub fn run_case_with(
         seed: case_seed,
         base_seed,
         detail,
+        postmortem: None,
     };
 
     let mut htm_cfg = spec.htm.clone();
@@ -375,97 +426,106 @@ pub fn run_case_with(
             .collect()
     });
 
-    // --- oracle ---
+    // --- oracle --- (single exit: any violation gets the postmortem dump
+    // attached before it propagates)
 
-    // 1. Torn reads observed by committed sections.
-    for o in &outs {
-        if let Some(t) = &o.torn {
-            return Err(violation(format!("torn read: {t}")));
+    let result = (|| {
+        // 1. Torn reads observed by committed sections.
+        for o in &outs {
+            if let Some(t) = &o.torn {
+                return Err(violation(format!("torn read: {t}")));
+            }
         }
-    }
 
-    // 2. Mirror pairs at rest: banks must match, and each counter must
-    //    equal the number of committed writer operations on that pair
-    //    (fewer = lost update, more = leaked speculative write).
-    let mem = htm.memory();
-    let mut final_increments = 0u64;
-    for p in 0..spec.pairs {
-        let a = mem.peek(bank_a[p]);
-        let b = mem.peek(bank_b[p]);
-        if a != b {
-            return Err(violation(format!("pair {p} torn at rest: A={a}, B={b}")));
+        // 2. Mirror pairs at rest: banks must match, and each counter must
+        //    equal the number of committed writer operations on that pair
+        //    (fewer = lost update, more = leaked speculative write).
+        let mem = htm.memory();
+        let mut final_increments = 0u64;
+        for p in 0..spec.pairs {
+            let a = mem.peek(bank_a[p]);
+            let b = mem.peek(bank_b[p]);
+            if a != b {
+                return Err(violation(format!("pair {p} torn at rest: A={a}, B={b}")));
+            }
+            let expected: u64 = outs.iter().map(|o| o.incr[p]).sum();
+            if a != expected {
+                let kind = if a < expected {
+                    "lost update"
+                } else {
+                    "ghost update"
+                };
+                return Err(violation(format!(
+                    "{kind} on pair {p}: counter {a}, committed increments {expected}"
+                )));
+            }
+            final_increments += a;
         }
-        let expected: u64 = outs.iter().map(|o| o.incr[p]).sum();
-        if a != expected {
-            let kind = if a < expected {
-                "lost update"
-            } else {
-                "ghost update"
-            };
-            return Err(violation(format!(
-                "{kind} on pair {p}: counter {a}, committed increments {expected}"
-            )));
-        }
-        final_increments += a;
-    }
 
-    // 3. Quiescence: the lock's own post-run invariants.
-    if let Err(e) = lock.check_quiescent(mem) {
-        return Err(violation(format!("quiescence check failed: {e}")));
-    }
+        // 3. Quiescence: the lock's own post-run invariants.
+        if let Err(e) = lock.check_quiescent(mem) {
+            return Err(violation(format!("quiescence check failed: {e}")));
+        }
 
-    // 4. Stats accounting: commits match the operations each thread
-    //    issued, and per-cause abort counts sum to the abort total.
-    let mut summary = RunSummary {
-        final_increments,
-        ..RunSummary::default()
-    };
-    for (tid, o) in outs.iter().enumerate() {
-        let reader_commits: u64 = CommitMode::ALL
-            .iter()
-            .map(|&m| o.stats.commits_by(Role::Reader, m))
-            .sum();
-        let writer_commits: u64 = CommitMode::ALL
-            .iter()
-            .map(|&m| o.stats.commits_by(Role::Writer, m))
-            .sum();
-        if reader_commits != o.reader_ops {
-            return Err(violation(format!(
-                "thread {tid}: {reader_commits} reader commits recorded for {} reader ops",
-                o.reader_ops
-            )));
+        // 4. Stats accounting: commits match the operations each thread
+        //    issued, and per-cause abort counts sum to the abort total.
+        let mut summary = RunSummary {
+            final_increments,
+            ..RunSummary::default()
+        };
+        for (tid, o) in outs.iter().enumerate() {
+            let reader_commits: u64 = CommitMode::ALL
+                .iter()
+                .map(|&m| o.stats.commits_by(Role::Reader, m))
+                .sum();
+            let writer_commits: u64 = CommitMode::ALL
+                .iter()
+                .map(|&m| o.stats.commits_by(Role::Writer, m))
+                .sum();
+            if reader_commits != o.reader_ops {
+                return Err(violation(format!(
+                    "thread {tid}: {reader_commits} reader commits recorded for {} reader ops",
+                    o.reader_ops
+                )));
+            }
+            if writer_commits != o.writer_ops {
+                return Err(violation(format!(
+                    "thread {tid}: {writer_commits} writer commits recorded for {} writer ops",
+                    o.writer_ops
+                )));
+            }
+            if o.stats.total_commits() != o.reader_ops + o.writer_ops {
+                return Err(violation(format!(
+                    "thread {tid}: total_commits {} != ops issued {}",
+                    o.stats.total_commits(),
+                    o.reader_ops + o.writer_ops
+                )));
+            }
+            let by_cause: u64 = sprwl_locks::AbortCause::ALL
+                .iter()
+                .map(|&c| o.stats.aborts_of(c))
+                .sum();
+            if by_cause != o.stats.total_aborts() {
+                return Err(violation(format!(
+                    "thread {tid}: per-cause aborts {by_cause} != total_aborts {}",
+                    o.stats.total_aborts()
+                )));
+            }
+            summary.reader_commits += reader_commits;
+            summary.writer_commits += writer_commits;
+            summary.speculative_commits +=
+                o.stats.commits_in(CommitMode::Htm) + o.stats.commits_in(CommitMode::Rot);
+            summary.aborts += o.stats.total_aborts();
         }
-        if writer_commits != o.writer_ops {
-            return Err(violation(format!(
-                "thread {tid}: {writer_commits} writer commits recorded for {} writer ops",
-                o.writer_ops
-            )));
-        }
-        if o.stats.total_commits() != o.reader_ops + o.writer_ops {
-            return Err(violation(format!(
-                "thread {tid}: total_commits {} != ops issued {}",
-                o.stats.total_commits(),
-                o.reader_ops + o.writer_ops
-            )));
-        }
-        let by_cause: u64 = sprwl_locks::AbortCause::ALL
-            .iter()
-            .map(|&c| o.stats.aborts_of(c))
-            .sum();
-        if by_cause != o.stats.total_aborts() {
-            return Err(violation(format!(
-                "thread {tid}: per-cause aborts {by_cause} != total_aborts {}",
-                o.stats.total_aborts()
-            )));
-        }
-        summary.reader_commits += reader_commits;
-        summary.writer_commits += writer_commits;
-        summary.speculative_commits +=
-            o.stats.commits_in(CommitMode::Htm) + o.stats.commits_in(CommitMode::Rot);
-        summary.aborts += o.stats.total_aborts();
-    }
 
-    Ok(summary)
+        Ok(summary)
+    })();
+
+    result.map_err(|mut v| {
+        let traces: Vec<ThreadTrace> = outs.iter().map(|o| o.trace.clone()).collect();
+        v.postmortem = write_postmortem(&v, &traces);
+        v
+    })
 }
 
 /// The SpRWL variants the acceptance matrix must cover:
@@ -650,10 +710,17 @@ mod tests {
             seed: 0xABCD,
             base_seed: 0x1234,
             detail: "something broke".into(),
+            postmortem: None,
         };
         let s = v.to_string();
         assert!(s.contains("TORTURE_SEED=0x1234"), "{s}");
         assert!(s.contains("demo"), "{s}");
+        let with_dump = Violation {
+            postmortem: Some(std::path::PathBuf::from("/tmp/x.jsonl")),
+            ..v
+        };
+        let s = with_dump.to_string();
+        assert!(s.contains("postmortem trace: /tmp/x.jsonl"), "{s}");
     }
 
     #[test]

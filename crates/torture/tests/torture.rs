@@ -110,6 +110,52 @@ fn oracle_catches_unsynchronized_lock() {
 }
 
 #[test]
+fn violations_dump_a_postmortem_event_trace() {
+    // Same broken lock; beyond naming the seed, the violation must carry a
+    // JSONL postmortem with run metadata on the first line and per-thread
+    // event dumps (the harness's per-op marks guarantee the rings are
+    // non-empty even for an uninstrumented lock like NoSync).
+    let spec = TortureSpec {
+        name: "broken-postmortem".into(),
+        lock: sprwl_torture::LockKind::Tle,
+        htm: HtmConfig {
+            sched_shake_prob: 0.05,
+            ..HtmConfig::default()
+        },
+        threads: 4,
+        ops_per_thread: 2000,
+        pairs: 2,
+        write_pct: 100,
+        reader_span: 2,
+    };
+    for attempt in 0..10 {
+        if let Err(v) = run_case_with(&spec, 3000 + attempt, &|_htm: &Htm| {
+            Box::new(NoSync) as Box<dyn RwSync>
+        }) {
+            let path = v
+                .postmortem
+                .as_ref()
+                .expect("violation should carry a postmortem path");
+            let body = std::fs::read_to_string(path).expect("postmortem file readable");
+            let mut lines = body.lines();
+            let meta = lines.next().expect("meta line present");
+            assert!(meta.contains("\"case\":\"broken-postmortem\""), "{meta}");
+            assert!(meta.contains("TORTURE_SEED="), "{meta}");
+            let events: Vec<&str> = lines.collect();
+            assert!(!events.is_empty(), "postmortem has per-thread events");
+            assert!(
+                events.iter().any(|l| l.contains("torture-op")),
+                "per-op marks present"
+            );
+            assert!(v.to_string().contains("postmortem trace:"));
+            std::fs::remove_file(path).ok();
+            return;
+        }
+    }
+    panic!("could not provoke a violation to inspect the postmortem");
+}
+
+#[test]
 fn violation_report_names_case_and_seed() {
     let spec = TortureSpec {
         name: "broken-report".into(),

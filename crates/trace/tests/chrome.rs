@@ -1,0 +1,419 @@
+//! Round-trip validation of the Chrome trace-event exporter against the
+//! parts of the trace-event schema Perfetto actually enforces: a JSON
+//! document with a `traceEvents` array whose entries carry `name`, a known
+//! `ph`, `pid`, `tid`, and a numeric `ts`; per-thread `B`/`E` balance; and
+//! per-thread nondecreasing timestamps.
+//!
+//! The build environment is offline, so this file carries its own minimal
+//! recursive-descent JSON parser (objects, arrays, strings, numbers,
+//! literals — no escapes beyond `\"`/`\\`, which the exporter never emits
+//! anyway since all labels are workspace-chosen `&'static str`s).
+
+use sprwl_trace::export::{chrome_trace_json, jsonl};
+use sprwl_trace::{EventKind, TraceBuffer, TraceConfig, TraceRole};
+
+// ---------------------------------------------------------------------------
+// Minimal JSON model + parser
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            s: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn ws(&mut self) {
+        while self.pos < self.s.len() && self.s[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.ws();
+        self.s.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {} (found {:?})",
+                b as char,
+                self.pos,
+                self.s.get(self.pos).map(|&c| c as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {:?} at byte {}", other, self.pos)),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        self.ws();
+        if self.s[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        while let Some(&c) = self.s.get(self.pos) {
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self.s.get(self.pos).ok_or("eof in escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        other => return Err(format!("unsupported escape \\{}", other as char)),
+                    }
+                }
+                other => out.push(other as char),
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.ws();
+        let start = self.pos;
+        while let Some(&c) = self.s.get(self.pos) {
+            if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.s[start..self.pos]).map_err(|e| e.to_string())?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number {:?}: {}", text, e))
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected , or ] (found {:?})", other)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => return Err(format!("expected , or }} (found {:?})", other)),
+            }
+        }
+    }
+}
+
+fn parse(s: &str) -> Json {
+    let mut p = Parser::new(s);
+    let v = p.value().expect("document parses");
+    p.ws();
+    assert_eq!(p.pos, p.s.len(), "trailing garbage after document");
+    v
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic trace covering the taxonomy
+// ---------------------------------------------------------------------------
+
+fn synthetic_traces() -> Vec<sprwl_trace::ThreadTrace> {
+    let mut t0 = TraceBuffer::new(0, TraceConfig::ring(64));
+    t0.push(EventKind::SectionBegin {
+        role: TraceRole::Writer,
+        sec: 3,
+    });
+    t0.push(EventKind::TxAttempt {
+        role: TraceRole::Writer,
+        attempt: 1,
+    });
+    t0.push(EventKind::TxAbort {
+        cause: "conflict",
+        line: 17,
+        peer: 1,
+    });
+    t0.push(EventKind::SchedDeltaStart { start_at: 12_345 });
+    t0.push(EventKind::TxAttempt {
+        role: TraceRole::Writer,
+        attempt: 2,
+    });
+    t0.push(EventKind::TxCommit {
+        mode: "HTM",
+        read_fp: 3,
+        write_fp: 2,
+    });
+    t0.push(EventKind::SectionEnd {
+        role: TraceRole::Writer,
+        sec: 3,
+        mode: "HTM",
+        latency_ns: 900,
+    });
+
+    let mut t1 = TraceBuffer::new(1, TraceConfig::ring(64));
+    t1.push(EventKind::SectionBegin {
+        role: TraceRole::Reader,
+        sec: 0,
+    });
+    t1.push(EventKind::SchedWaitWriter {
+        writer: 0,
+        deadline: 50_000,
+    });
+    t1.push(EventKind::ReaderArrive);
+    t1.push(EventKind::SglBypassEnter { registered: 4 });
+    t1.push(EventKind::ReaderDepart);
+    t1.push(EventKind::SectionEnd {
+        role: TraceRole::Reader,
+        sec: 0,
+        mode: "Unins",
+        latency_ns: 400,
+    });
+    t1.push(EventKind::Mark {
+        label: "torture-op",
+        a: 9,
+        b: 1,
+    });
+
+    vec![t0.snapshot(), t1.snapshot()]
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+const KNOWN_PHASES: &[&str] = &["B", "E", "i", "s", "f", "M", "X"];
+
+#[test]
+fn chrome_export_round_trips_against_schema() {
+    let traces = synthetic_traces();
+    let doc = parse(&chrome_trace_json(&traces));
+
+    assert_eq!(
+        doc.get("displayTimeUnit").and_then(Json::as_str),
+        Some("ns")
+    );
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert!(!events.is_empty(), "trace must not be empty");
+
+    // Per-tid slice balance and timestamp monotonicity.
+    let mut depth: std::collections::HashMap<i64, i64> = Default::default();
+    let mut last_ts: std::collections::HashMap<i64, f64> = Default::default();
+    for ev in events {
+        let name = ev.get("name").and_then(Json::as_str).expect("name");
+        assert!(!name.is_empty());
+        let ph = ev.get("ph").and_then(Json::as_str).expect("ph");
+        assert!(KNOWN_PHASES.contains(&ph), "unknown phase {:?}", ph);
+        let pid = ev.get("pid").and_then(Json::as_num).expect("pid");
+        assert_eq!(pid, 1.0);
+        let tid = ev.get("tid").and_then(Json::as_num).expect("tid") as i64;
+        if ph != "M" {
+            let ts = ev.get("ts").and_then(Json::as_num).expect("numeric ts");
+            let last = last_ts.entry(tid).or_insert(0.0);
+            assert!(
+                ts >= *last,
+                "non-monotone ts on tid {}: {} after {}",
+                tid,
+                ts,
+                last
+            );
+            *last = ts;
+        }
+        match ph {
+            "B" => *depth.entry(tid).or_insert(0) += 1,
+            "E" => {
+                let d = depth.entry(tid).or_insert(0);
+                *d -= 1;
+                assert!(*d >= 0, "unmatched E on tid {}", tid);
+            }
+            _ => {}
+        }
+    }
+    for (tid, d) in depth {
+        assert_eq!(d, 0, "unbalanced slices on tid {}", tid);
+    }
+
+    // The conflict abort's flow arrow has both ends.
+    let flows: Vec<&Json> = events
+        .iter()
+        .filter(|e| e.get("name").and_then(Json::as_str) == Some("retry"))
+        .collect();
+    assert_eq!(flows.len(), 2, "one s + one f");
+    assert!(flows
+        .iter()
+        .any(|e| e.get("ph").and_then(Json::as_str) == Some("s")));
+    assert!(flows
+        .iter()
+        .any(|e| e.get("ph").and_then(Json::as_str) == Some("f")));
+
+    // Both threads got named tracks.
+    let meta: Vec<&Json> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+        .collect();
+    assert_eq!(meta.len(), 2);
+
+    // Conflict attribution survives export.
+    let abort = events
+        .iter()
+        .find(|e| {
+            e.get("args")
+                .and_then(|a| a.get("cause"))
+                .and_then(Json::as_str)
+                == Some("conflict")
+        })
+        .expect("conflict abort exported");
+    let args = abort.get("args").unwrap();
+    assert_eq!(args.get("line").and_then(Json::as_num), Some(17.0));
+    assert_eq!(args.get("peer").and_then(Json::as_num), Some(1.0));
+}
+
+#[test]
+fn jsonl_lines_all_parse_as_objects() {
+    let traces = synthetic_traces();
+    let out = jsonl(&traces);
+    let mut n = 0;
+    for line in out.lines() {
+        let v = parse(line);
+        assert!(matches!(v, Json::Obj(_)), "line is an object: {}", line);
+        assert!(v.get("tid").is_some());
+        assert!(v.get("ev").is_some());
+        n += 1;
+    }
+    assert_eq!(n, 14, "one line per event across both threads");
+}
+
+#[test]
+fn ring_truncation_keeps_chrome_export_well_formed() {
+    // A tiny ring drops section/attempt openers; the exporter must still
+    // produce balanced, parseable output.
+    let mut b = TraceBuffer::new(0, TraceConfig::ring(3));
+    for i in 0..5u32 {
+        b.push(EventKind::SectionBegin {
+            role: TraceRole::Reader,
+            sec: i,
+        });
+        b.push(EventKind::TxAttempt {
+            role: TraceRole::Reader,
+            attempt: 1,
+        });
+        b.push(EventKind::TxCommit {
+            mode: "HTM",
+            read_fp: 1,
+            write_fp: 0,
+        });
+        b.push(EventKind::SectionEnd {
+            role: TraceRole::Reader,
+            sec: i,
+            mode: "HTM",
+            latency_ns: 10,
+        });
+    }
+    let snap = b.snapshot();
+    assert!(snap.dropped > 0);
+    let doc = parse(&chrome_trace_json(&[snap]));
+    let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+    let mut depth = 0i64;
+    for ev in events {
+        match ev.get("ph").and_then(Json::as_str) {
+            Some("B") => depth += 1,
+            Some("E") => {
+                depth -= 1;
+                assert!(depth >= 0);
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(depth, 0);
+}

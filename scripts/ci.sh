@@ -19,4 +19,12 @@ cargo test -q --offline
 echo "==> torture smoke (full matrix, reduced depth)"
 cargo run -q --release --offline -p sprwl-torture -- --threads 2 --ops 100
 
+echo "==> trace smoke (fig3 --trace produces a non-empty Chrome trace)"
+# Benches run with cwd at the package root, so hand them an absolute path.
+SPRWL_BENCH_SECS=0.05 SPRWL_BENCH_THREADS=2 \
+    cargo bench -q -p sprwl-bench --bench fig3 --offline -- --trace "$PWD/target/trace-smoke.json" \
+    > /dev/null
+test -s target/trace-smoke.json
+cargo test -q -p sprwl-trace --offline > /dev/null
+
 echo "CI gate passed."

@@ -2,9 +2,13 @@
 """Summarizes the CSV rows of bench_output.txt into the per-figure
 comparison tables EXPERIMENTS.md embeds.
 
-CSV row shape (prefix `CSV:`):
+CSV row shape (prefix `CSV:`, 19 columns):
   fig,profile,param,lock,threads,tx_s,abort_pct,htm,rot,gl,unins,
-  rd_mean_ns,wr_mean_ns,rd_p99_ns,wr_p99_ns
+  rd_mean_ns,wr_mean_ns,rd_p50_ns,rd_p95_ns,rd_p99_ns,
+  wr_p50_ns,wr_p95_ns,wr_p99_ns
+
+Older captures with the pre-percentile 15-column shape still parse; the
+latency summaries just skip them.
 """
 import collections
 import sys
@@ -44,6 +48,21 @@ def main(path: str) -> None:
                 if "SpRWL" in locks and "TLE" in locks:
                     s = float(locks["SpRWL"][5]) / max(float(locks["TLE"][5]), 1)
                     print(f"  SpRWL/TLE {key}: {s:.2f}x")
+        # Reader tail latency (p50/p95/p99, us) where the row carries the
+        # 19-column percentile shape.
+        for key in sorted(groups, key=str):
+            profile, param, threads = key
+            cells = []
+            for name, r in sorted(groups[key].items()):
+                if len(r) < 19:
+                    continue
+                p50, p95, p99 = (float(r[i]) / 1e3 for i in (13, 14, 15))
+                cells.append(f"{name} {p50:.0f}/{p95:.0f}/{p99:.0f}")
+            if cells:
+                print(
+                    f"  rd lat us p50/p95/p99 {profile} {param} thr={threads}: "
+                    + " | ".join(cells)
+                )
 
 if __name__ == "__main__":
     main(sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt")

@@ -471,6 +471,72 @@ pub fn run_generic_traced(
     (report, traces)
 }
 
+/// Fixed-work run: every worker executes `op` exactly `ops_per_thread`
+/// times instead of racing a wall-clock deadline. This is the only run
+/// shape compatible with [`htm_sim::SchedulerKind::Deterministic`] — a
+/// serialized schedule has no meaningful wall-clock deadline, and the
+/// result must not depend on how fast the host happens to be.
+///
+/// Two deterministic-scheduler constraints shape the code:
+///
+/// * the OS start barrier comes *before* each worker claims its
+///   [`htm_sim::ThreadCtx`]: claiming registers the thread with the
+///   scheduler, and the deterministic scheduler serializes from the moment
+///   the last participant registers — a worker parked on an OS barrier
+///   after registering would hold the schedule token forever;
+/// * there is no stop flag for a sleeping coordinator to set; the workers
+///   just finish their quota.
+///
+/// Throughput is still reported against wall time (the coordinator thread
+/// is unbound, so its clock is real), which makes deterministic runs
+/// comparable run-to-run even though their *event* time is virtual.
+pub fn run_generic_ops(
+    htm: &Htm,
+    rc: &RunConfig,
+    ops_per_thread: usize,
+    trace: TraceConfig,
+    op: impl Fn(&mut WorkerCtx<'_, '_>) + Sync,
+) -> (RunReport, Vec<ThreadTrace>) {
+    assert!(rc.threads >= 1 && rc.threads <= htm.max_threads());
+    let barrier = Barrier::new(rc.threads);
+    let mut merged = SessionStats::default();
+    let mut traces = Vec::with_capacity(rc.threads);
+    let t0 = clock::wall_now();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..rc.threads)
+            .map(|tid| {
+                let (barrier, op) = (&barrier, &op);
+                s.spawn(move || {
+                    barrier.wait();
+                    let mut t = LockThread::with_trace(htm.thread(tid), trace);
+                    let mut ctx = WorkerCtx {
+                        t: &mut t,
+                        rng: StdRng::seed_from_u64(rc.seed ^ ((tid as u64 + 1) << 24)),
+                    };
+                    for _ in 0..ops_per_thread {
+                        op(&mut ctx);
+                    }
+                    (t.stats, t.trace.snapshot())
+                })
+            })
+            .collect();
+        for h in handles {
+            let (stats, tr) = h.join().expect("worker panicked");
+            merged.merge(&stats);
+            traces.push(tr);
+        }
+    });
+    let elapsed_s = ((clock::wall_now() - t0) as f64 / 1e9).max(1e-9);
+    let report = RunReport {
+        lock: String::new(),
+        threads: rc.threads,
+        throughput: merged.total_commits() as f64 / elapsed_s,
+        stats: merged,
+        elapsed_s,
+    };
+    (report, traces)
+}
+
 impl RunReport {
     /// Overrides the scheme label (figure benches use [`LockKind::name`],
     /// which distinguishes SpRWL variants).
@@ -674,6 +740,82 @@ mod tests {
             },
         );
         assert!(off.iter().all(|tr| tr.events.is_empty()));
+    }
+
+    #[test]
+    fn run_generic_ops_completes_fixed_work_free_running() {
+        let htm = htm_for(CapacityProfile::BROADWELL_SIM, 2, 1024);
+        let cell = htm.memory().alloc(1).cell(0);
+        let lock = Tle::new(&htm);
+        let (rep, traces) = run_generic_ops(
+            &htm,
+            &RunConfig {
+                threads: 2,
+                duration: Duration::ZERO,
+                seed: 1,
+            },
+            40,
+            TraceConfig::Off,
+            |ctx| {
+                lock.write_section(ctx.t, SectionId(0), &mut |a| {
+                    let v = a.read(cell)?;
+                    a.write(cell, v + 1)?;
+                    Ok(v)
+                });
+            },
+        );
+        assert_eq!(rep.stats.total_commits(), 80, "2 threads x 40 ops");
+        assert_eq!(htm.direct(0).load(cell), 80);
+        assert_eq!(traces.len(), 2);
+    }
+
+    #[test]
+    fn run_generic_ops_is_bit_identical_under_the_deterministic_scheduler() {
+        let point = || {
+            let htm = Htm::new(
+                HtmConfig {
+                    capacity: CapacityProfile::BROADWELL_SIM,
+                    max_threads: 2,
+                    scheduler: htm_sim::SchedulerKind::Deterministic { schedule_seed: 42 },
+                    ..HtmConfig::default()
+                },
+                1024,
+            );
+            let cell = htm.memory().alloc(1).cell(0);
+            let lock = SpRwl::with_defaults(&htm);
+            let (rep, traces) = run_generic_ops(
+                &htm,
+                &RunConfig {
+                    threads: 2,
+                    duration: Duration::ZERO,
+                    seed: 7,
+                },
+                50,
+                TraceConfig::ring(256),
+                |ctx| {
+                    let write = ctx.rng.gen_bool(0.5);
+                    if write {
+                        lock.write_section(ctx.t, SectionId(0), &mut |a| {
+                            let v = a.read(cell)?;
+                            a.write(cell, v + 1)?;
+                            Ok(v)
+                        });
+                    } else {
+                        lock.read_section(ctx.t, SectionId(1), &mut |a| a.read(cell));
+                    }
+                },
+            );
+            (rep.stats, traces)
+        };
+        let (s1, t1) = point();
+        let (s2, t2) = point();
+        assert_eq!(
+            s1.total_commits(),
+            100,
+            "every section commits exactly once"
+        );
+        assert_eq!(s1, s2, "stats must replay bit-identically");
+        assert_eq!(t1, t2, "traces must replay bit-identically");
     }
 
     #[test]

@@ -143,6 +143,11 @@ impl SpRwl {
     /// `writer_wait()` (Alg. 3): find the last active reader's advertised
     /// end time and stall so that our re-execution ends δ after it —
     /// maximizing overlap with readers while still committing clean.
+    ///
+    /// Times (the adverts and the `spin_until` target) are in the calling
+    /// thread's scheduler clock — wall nanoseconds under the free-running
+    /// scheduler, virtual ticks under the deterministic one, where the
+    /// stall resolves instantly by advancing simulated time.
     fn writer_wait(
         &self,
         tid: usize,

@@ -1,18 +1,36 @@
-//! A cheap process-wide monotonic clock, standing in for `rdtsc`.
+//! A cheap process-wide monotonic clock, standing in for `rdtsc` — now
+//! scheduler-aware.
 //!
 //! SpRWL uses the hardware timestamp counter to (a) estimate critical
 //! section durations with an exponential moving average and (b) spin until
-//! a target instant. Nanoseconds from a process-global [`std::time::Instant`]
-//! provide the same monotonic, low-overhead contract here.
+//! a target instant. Threads bound to a [`crate::sched::Scheduler`] (every
+//! thread that claimed a [`crate::ThreadCtx`]) read *the scheduler's*
+//! clock and wait through it, so under the deterministic scheduler time is
+//! virtual and timed waits resolve in simulated nanoseconds instead of
+//! busy-waiting on real ones. Unbound threads — harness main threads,
+//! plain unit tests — keep the historical behaviour: nanoseconds from a
+//! process-global [`std::time::Instant`].
 
 use std::sync::OnceLock;
 use std::time::Instant;
 
+use crate::sched;
+
 static START: OnceLock<Instant> = OnceLock::new();
 
-/// Nanoseconds elapsed since the first call in this process.
+/// Wall-clock nanoseconds elapsed since the first call in this process,
+/// bypassing any scheduler binding. Monotonic and cheap. The free-running
+/// scheduler's time source; use [`now`] unless you specifically need real
+/// time (e.g. measuring the wall cost of a deterministic run).
+#[inline]
+pub fn wall_now() -> u64 {
+    START.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Nanoseconds on the calling thread's scheduler clock: virtual time for
+/// threads bound to a deterministic scheduler, wall time otherwise.
 ///
-/// Monotonic and cheap; granularity is whatever the OS clock offers, which
+/// Monotonic per thread; granularity is whatever the source offers, which
 /// is ample for duration estimation.
 ///
 /// ```
@@ -22,17 +40,26 @@ static START: OnceLock<Instant> = OnceLock::new();
 /// ```
 #[inline]
 pub fn now() -> u64 {
-    START.get_or_init(Instant::now).elapsed().as_nanos() as u64
+    match sched::bound_now() {
+        Some(t) => t,
+        None => wall_now(),
+    }
 }
 
-/// Spins (with escalating politeness) until [`now`] reaches `deadline_ns`.
+/// Waits until [`now`] reaches `deadline_ns`, through the scheduler.
 ///
 /// This mirrors SpRWL’s `wait until rdtsc() >= wait`: a timed wait that
-/// avoids hammering shared memory. On oversubscribed hosts the loop yields
-/// to the OS scheduler so other simulated threads can make progress.
+/// avoids hammering shared memory. Bound threads delegate to their
+/// scheduler (under the deterministic one, the thread sleeps in virtual
+/// time and peers run meanwhile); unbound threads spin with escalating
+/// politeness, yielding to the OS so other simulated threads can make
+/// progress on oversubscribed hosts.
 pub fn spin_until(deadline_ns: u64) {
+    if sched::bound_wait_until(deadline_ns) {
+        return;
+    }
     let mut spins = 0u32;
-    while now() < deadline_ns {
+    while wall_now() < deadline_ns {
         spins += 1;
         if spins < 32 {
             std::hint::spin_loop();
@@ -44,7 +71,10 @@ pub fn spin_until(deadline_ns: u64) {
 
 /// A polite spin helper for condition waits: busy-spins briefly, then yields.
 ///
-/// Use in loops of the form `while !cond { wait.snooze() }`.
+/// Use in loops of the form `while !cond { wait.snooze() }`. On threads
+/// bound to a deterministic scheduler every snooze is a full yield point
+/// (the serialized schedule must run a peer, or the condition could never
+/// change); elsewhere it keeps the classic pause-then-OS-yield escalation.
 #[derive(Debug, Default)]
 pub struct SpinWait {
     spins: u32,
@@ -61,6 +91,9 @@ impl SpinWait {
     /// cores than simulated threads).
     #[inline]
     pub fn snooze(&mut self) {
+        if sched::bound_snooze() {
+            return;
+        }
         self.spins = self.spins.saturating_add(1);
         if self.spins < 16 {
             std::hint::spin_loop();
@@ -110,5 +143,12 @@ mod tests {
         }
         w.reset();
         w.snooze();
+    }
+
+    #[test]
+    fn wall_now_tracks_real_time() {
+        let a = wall_now();
+        let b = wall_now();
+        assert!(b >= a);
     }
 }

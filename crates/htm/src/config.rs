@@ -81,6 +81,30 @@ pub enum ConflictPolicy {
     ResponderWins,
 }
 
+/// Which execution substrate drives the simulated threads (see
+/// [`crate::sched`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SchedulerKind {
+    /// Free-running OS threads ([`crate::sched::OsScheduler`]): the
+    /// pre-refactor behaviour, with the wall clock and optional seeded
+    /// schedule shake. Default.
+    #[default]
+    Os,
+    /// Fully serialized cooperative scheduling
+    /// ([`crate::sched::DetScheduler`]): one thread runs at a time, picked
+    /// by a seeded PRNG, over a virtual clock. The same
+    /// `(seed, config, schedule_seed)` triple replays bit-exactly.
+    ///
+    /// Requires exactly [`HtmConfig::max_threads`] claimed thread contexts
+    /// (registration is a start barrier), and participants must not block
+    /// on OS primitives outside the scheduler's view.
+    Deterministic {
+        /// Seed for the schedule PRNG (independent of the workload seed so
+        /// the two axes can be swept separately).
+        schedule_seed: u64,
+    },
+}
+
 /// Full configuration for an [`crate::Htm`] instance.
 #[derive(Debug, Clone)]
 pub struct HtmConfig {
@@ -100,15 +124,20 @@ pub struct HtmConfig {
     /// active transaction doom that transaction (true on real hardware;
     /// disabling it is an ablation knob).
     pub reads_doom_writers: bool,
-    /// Probability that any simulated memory access — transactional *or*
-    /// untracked — injects a short randomized delay (a spin or an OS-thread
-    /// yield). This "schedule shake" perturbs thread interleavings so
-    /// stress harnesses explore different schedules per seed; all decisions
-    /// are drawn from seeded PRNGs. `0.0` disables (the default; it adds
-    /// one branch per access when off).
+    /// **Deprecated alias** (kept so existing configs keep their exact
+    /// behaviour): probability that a yield point under
+    /// [`SchedulerKind::Os`] injects a short randomized delay (a spin or
+    /// an OS-thread yield) to perturb the interleaving. The knob now
+    /// simply parameterizes [`crate::sched::OsScheduler`]; prefer
+    /// [`SchedulerKind::Deterministic`], which replaces probabilistic
+    /// shaking with exact schedule control. Ignored under the
+    /// deterministic scheduler. `0.0` disables (the default; it adds one
+    /// branch per access when off).
     pub sched_shake_prob: f64,
     /// Seed for the per-thread injection PRNGs (deterministic tests).
     pub seed: u64,
+    /// The execution substrate ([`SchedulerKind::Os`] by default).
+    pub scheduler: SchedulerKind,
 }
 
 impl Default for HtmConfig {
@@ -122,6 +151,7 @@ impl Default for HtmConfig {
             reads_doom_writers: true,
             sched_shake_prob: 0.0,
             seed: 0x5eed,
+            scheduler: SchedulerKind::Os,
         }
     }
 }
@@ -196,6 +226,16 @@ mod tests {
             ..HtmConfig::default()
         };
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn scheduler_defaults_to_free_running() {
+        assert_eq!(HtmConfig::default().scheduler, SchedulerKind::Os);
+        let det = HtmConfig {
+            scheduler: SchedulerKind::Deterministic { schedule_seed: 1 },
+            ..HtmConfig::default()
+        };
+        det.validate().unwrap();
     }
 
     #[test]

@@ -69,13 +69,15 @@ pub mod clock;
 pub mod config;
 mod directory;
 pub mod memory;
+pub mod sched;
 mod slots;
 pub mod stats;
 pub mod tx;
 mod util;
 
 pub use access::{AccessMode, Direct, MemAccess, Suspended};
-pub use config::{CapacityProfile, ConflictPolicy, HtmConfig};
+pub use config::{CapacityProfile, ConflictPolicy, HtmConfig, SchedulerKind};
 pub use memory::{CellId, LineId, Region, SimMemory};
+pub use sched::{DetScheduler, OsScheduler, Scheduler, YieldKind};
 pub use stats::ThreadStats;
 pub use tx::{Abort, ConflictInfo, Htm, ThreadCtx, Tx, TxKind, TxResult};

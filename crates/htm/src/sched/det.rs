@@ -1,0 +1,343 @@
+//! The deterministic serialized scheduler: one thread at a time, a seeded
+//! PRNG picking who runs next, and a virtual clock driven purely by
+//! simulator events.
+
+use parking_lot::{Condvar, Mutex};
+
+use super::{Scheduler, YieldKind};
+use crate::util::XorShift64;
+
+/// Virtual nanoseconds a yield point costs. Large enough that timed waits
+/// (δ-starts, reader deadlines) resolve within a few dozen events, small
+/// enough that durations estimated from the virtual clock stay plausible.
+const YIELD_TICK: u64 = 25;
+
+/// Virtual nanoseconds a bare clock read costs. Strictly positive so the
+/// clock is strictly monotonic and every `while now() < deadline` loop
+/// terminates even if the scheduler never switches threads.
+const NOW_TICK: u64 = 1;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    /// No thread registered (or it deregistered).
+    Absent,
+    /// Registered and eligible to be scheduled.
+    Runnable,
+    /// Registered but waiting for the virtual clock to reach a deadline.
+    Blocked(u64),
+}
+
+#[derive(Debug)]
+struct DetState {
+    threads: Vec<Slot>,
+    registered: usize,
+    /// The start barrier has released: every participant arrived once.
+    started: bool,
+    /// The one thread allowed to run (`None` before start / after the
+    /// last deregistration).
+    current: Option<u32>,
+    vclock: u64,
+    rng: XorShift64,
+}
+
+impl DetState {
+    /// Picks the next thread to run. Sleepers whose deadline the virtual
+    /// clock has already passed are woken first (they became schedulable
+    /// the moment time caught up with them, even if other threads kept the
+    /// CPU busy meanwhile); when every registered thread is blocked on a
+    /// timer, the clock jumps to the earliest deadline (the all-asleep
+    /// rule of discrete-event simulation). Returns `None` only when no
+    /// threads are registered at all.
+    fn pick(&mut self) -> Option<u32> {
+        loop {
+            for s in &mut self.threads {
+                if matches!(s, Slot::Blocked(d) if *d <= self.vclock) {
+                    *s = Slot::Runnable;
+                }
+            }
+            let runnable: Vec<u32> = self
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| **s == Slot::Runnable)
+                .map(|(i, _)| i as u32)
+                .collect();
+            if !runnable.is_empty() {
+                let i = (self.rng.next_u64() % runnable.len() as u64) as usize;
+                return Some(runnable[i]);
+            }
+            let earliest = self
+                .threads
+                .iter()
+                .filter_map(|s| match s {
+                    Slot::Blocked(d) => Some(*d),
+                    _ => None,
+                })
+                .min()?;
+            self.vclock = self.vclock.max(earliest);
+        }
+    }
+
+    fn participates(&self, tid: u32) -> bool {
+        self.started
+            && (tid as usize) < self.threads.len()
+            && self.threads[tid as usize] != Slot::Absent
+    }
+}
+
+/// A fully serialized cooperative scheduler.
+///
+/// Exactly one simulated thread runs at any moment; at every yield point
+/// the running thread hands control to a successor drawn from a seeded
+/// [`XorShift64`], so the complete interleaving — and therefore every
+/// event trace, every conflict, every abort — is a pure function of
+/// `(workload seed, config, schedule seed)`.
+///
+/// Time is virtual: a counter that advances by [`NOW_TICK`] per clock read
+/// and [`YIELD_TICK`] per yield, and jumps forward when every thread is
+/// blocked on a timed wait. Wall time never enters the simulation.
+///
+/// # Contract
+///
+/// * Exactly `participants` OS threads must each claim one
+///   [`crate::ThreadCtx`]; registration blocks until all have arrived
+///   (a start barrier that erases OS spawn-order nondeterminism), so
+///   claiming fewer contexts than `participants` deadlocks by design.
+/// * Participating threads must not block on OS primitives the scheduler
+///   cannot see (condvars, channels, `std::sync::Barrier`) while they hold
+///   the virtual CPU — spin-and-snooze waits, which route through
+///   [`crate::clock::SpinWait`], are the supported shape. The stock
+///   mutex-and-condvar `PthreadRwLock` baseline is therefore excluded
+///   from deterministic torture runs.
+/// * Non-participating threads (e.g. a harness main thread doing setup
+///   before workers spawn, or inspecting memory after they join) bypass
+///   the scheduler entirely: their yield points are no-ops and their clock
+///   reads fall back to wall time.
+#[derive(Debug)]
+pub struct DetScheduler {
+    inner: Mutex<DetState>,
+    cv: Condvar,
+    participants: usize,
+}
+
+impl DetScheduler {
+    /// Creates a scheduler expecting exactly `participants` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `participants` is zero.
+    pub fn new(schedule_seed: u64, participants: usize) -> Self {
+        assert!(participants > 0, "a schedule needs at least one thread");
+        Self {
+            inner: Mutex::new(DetState {
+                threads: vec![Slot::Absent; participants],
+                registered: 0,
+                started: false,
+                current: None,
+                vclock: 0,
+                rng: XorShift64::new(schedule_seed),
+            }),
+            cv: Condvar::new(),
+            participants,
+        }
+    }
+
+    /// The virtual clock, without advancing it (tests, reporting).
+    pub fn vclock(&self) -> u64 {
+        self.inner.lock().vclock
+    }
+}
+
+impl Scheduler for DetScheduler {
+    /// Blocks until every participant has registered *and* the seeded
+    /// picker selects this thread for the first time.
+    fn register(&self, tid: u32) {
+        let mut st = self.inner.lock();
+        let i = tid as usize;
+        assert!(
+            i < self.participants,
+            "tid {tid} out of range for a {}-thread deterministic schedule",
+            self.participants
+        );
+        assert!(
+            st.threads[i] == Slot::Absent,
+            "thread {tid} registered twice"
+        );
+        st.threads[i] = Slot::Runnable;
+        st.registered += 1;
+        if st.registered == self.participants && !st.started {
+            st.started = true;
+            st.current = st.pick();
+            self.cv.notify_all();
+        }
+        while !(st.started && st.current == Some(tid)) {
+            self.cv.wait(&mut st);
+        }
+    }
+
+    fn deregister(&self, tid: u32) {
+        let mut st = self.inner.lock();
+        let i = tid as usize;
+        if i >= st.threads.len() || st.threads[i] == Slot::Absent {
+            return;
+        }
+        st.threads[i] = Slot::Absent;
+        st.registered -= 1;
+        if st.registered == 0 {
+            // Last one out resets the barrier so the scheduler could host
+            // a fresh wave of claims (harnesses normally build a new Htm
+            // per run instead).
+            st.started = false;
+            st.current = None;
+        } else if st.current == Some(tid) {
+            st.current = st.pick();
+        }
+        self.cv.notify_all();
+    }
+
+    fn yield_point(&self, tid: u32, _kind: YieldKind) {
+        let mut st = self.inner.lock();
+        if !st.participates(tid) || st.current != Some(tid) {
+            // Setup/teardown accesses from non-participants run unserialized.
+            return;
+        }
+        st.vclock += YIELD_TICK;
+        let next = st.pick().expect("the yielding thread is runnable");
+        if next != tid {
+            st.current = Some(next);
+            self.cv.notify_all();
+            while st.current != Some(tid) {
+                self.cv.wait(&mut st);
+            }
+        }
+    }
+
+    fn now(&self) -> u64 {
+        let mut st = self.inner.lock();
+        st.vclock += NOW_TICK;
+        st.vclock
+    }
+
+    fn wait_until(&self, tid: u32, deadline_ns: u64) {
+        let mut st = self.inner.lock();
+        if !st.participates(tid) || st.current != Some(tid) {
+            return;
+        }
+        if st.vclock >= deadline_ns {
+            st.vclock += YIELD_TICK; // an expired wait degrades to a yield
+        } else {
+            st.threads[tid as usize] = Slot::Blocked(deadline_ns);
+        }
+        let next = st.pick().expect("someone is schedulable");
+        if next != tid {
+            st.current = Some(next);
+            self.cv.notify_all();
+            while st.current != Some(tid) {
+                self.cv.wait(&mut st);
+            }
+        }
+        debug_assert_eq!(st.threads[tid as usize], Slot::Runnable);
+        debug_assert!(st.vclock >= deadline_ns, "woken before the deadline");
+    }
+
+    fn is_deterministic(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_thread_runs_without_blocking() {
+        let s = DetScheduler::new(1, 1);
+        s.register(0);
+        let t0 = s.now();
+        s.yield_point(0, YieldKind::Access);
+        assert!(s.now() > t0);
+        s.wait_until(0, t0 + 1_000_000);
+        assert!(s.vclock() >= t0 + 1_000_000, "clock jumped over the wait");
+        s.deregister(0);
+    }
+
+    #[test]
+    fn pick_stream_is_a_pure_function_of_the_seed() {
+        let run = |seed: u64| {
+            let mut st = DetState {
+                threads: vec![Slot::Runnable; 4],
+                registered: 4,
+                started: true,
+                current: None,
+                vclock: 0,
+                rng: XorShift64::new(seed),
+            };
+            (0..64).map(|_| st.pick().unwrap()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10), "different seeds, different schedules");
+    }
+
+    #[test]
+    fn all_blocked_jumps_to_earliest_deadline() {
+        let mut st = DetState {
+            threads: vec![Slot::Blocked(500), Slot::Blocked(300)],
+            registered: 2,
+            started: true,
+            current: None,
+            vclock: 100,
+            rng: XorShift64::new(3),
+        };
+        assert_eq!(st.pick(), Some(1), "only thread 1 unblocks at t=300");
+        assert_eq!(st.vclock, 300);
+        assert_eq!(st.threads[0], Slot::Blocked(500), "0 still asleep");
+    }
+
+    #[test]
+    fn two_threads_serialize_through_the_barrier() {
+        let s = Arc::new(DetScheduler::new(42, 2));
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mk = |tid: u32| {
+            let (s, log) = (Arc::clone(&s), Arc::clone(&log));
+            std::thread::spawn(move || {
+                s.register(tid);
+                for _ in 0..50 {
+                    log.lock().push(tid);
+                    s.yield_point(tid, YieldKind::Access);
+                }
+                s.deregister(tid);
+            })
+        };
+        let (a, b) = (mk(0), mk(1));
+        a.join().unwrap();
+        b.join().unwrap();
+        let log = log.lock();
+        assert_eq!(log.len(), 100);
+        assert!(log.contains(&0) && log.contains(&1), "both threads ran");
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_same_interleaving() {
+        let run = |seed: u64| {
+            let s = Arc::new(DetScheduler::new(seed, 2));
+            let log = Arc::new(Mutex::new(Vec::new()));
+            let mk = |tid: u32| {
+                let (s, log) = (Arc::clone(&s), Arc::clone(&log));
+                std::thread::spawn(move || {
+                    s.register(tid);
+                    for _ in 0..40 {
+                        log.lock().push(tid);
+                        s.yield_point(tid, YieldKind::Access);
+                    }
+                    s.deregister(tid);
+                })
+            };
+            let (a, b) = (mk(0), mk(1));
+            a.join().unwrap();
+            b.join().unwrap();
+            Arc::try_unwrap(log).unwrap().into_inner()
+        };
+        assert_eq!(run(7), run(7), "the interleaving is seed-determined");
+    }
+}

@@ -2,12 +2,14 @@
 //! [`Tx`] handle passed to transactional closures.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use crate::access::{Direct, Suspended};
-use crate::config::{CapacityProfile, ConflictPolicy, HtmConfig};
+use crate::config::{CapacityProfile, ConflictPolicy, HtmConfig, SchedulerKind};
 use crate::directory::Directory;
 use crate::memory::{CellId, LineId, SimMemory};
+use crate::sched::{self, DetScheduler, OsScheduler, Scheduler, YieldKind};
 use crate::slots::{
     Owner, TxTable, ST_ACTIVE, ST_COMMITTED, ST_COMMITTING, ST_DOOMED, ST_INACTIVE, ST_SUSPENDED,
 };
@@ -94,9 +96,9 @@ pub struct Htm {
     table: TxTable,
     cfg: HtmConfig,
     registered: Box<[AtomicBool]>,
-    /// Global event counter feeding the seeded schedule-shake hash (see
-    /// [`HtmConfig::sched_shake_prob`]).
-    shake_clock: AtomicU64,
+    /// The execution substrate: owns interleaving decisions and the clock
+    /// (see [`crate::sched`]).
+    sched: Arc<dyn Scheduler>,
 }
 
 impl Htm {
@@ -109,45 +111,25 @@ impl Htm {
         cfg.validate().expect("invalid HtmConfig");
         let mut registered = Vec::with_capacity(cfg.max_threads);
         registered.resize_with(cfg.max_threads, || AtomicBool::new(false));
+        let sched: Arc<dyn Scheduler> = match cfg.scheduler {
+            SchedulerKind::Os => Arc::new(OsScheduler::new(cfg.sched_shake_prob, cfg.seed)),
+            SchedulerKind::Deterministic { schedule_seed } => {
+                Arc::new(DetScheduler::new(schedule_seed, cfg.max_threads))
+            }
+        };
         Self {
             mem: SimMemory::new(memory_cells, cfg.cells_per_line),
             dir: Directory::new(),
             table: TxTable::new(cfg.max_threads),
             cfg,
             registered: registered.into_boxed_slice(),
-            shake_clock: AtomicU64::new(0),
+            sched,
         }
     }
 
-    /// Schedule-shake hook: with probability
-    /// [`HtmConfig::sched_shake_prob`], injects a short seeded-random delay
-    /// (an OS-thread yield or a bounded spin) to perturb the interleaving.
-    /// Called on every simulated memory access, transactional or untracked.
-    ///
-    /// The decision stream is a hash of `(seed, global event counter, tid)`
-    /// — deterministic per seed up to OS scheduling, which is the best any
-    /// harness over real threads can do.
-    #[inline]
-    pub(crate) fn maybe_shake(&self, tid: u32) {
-        let p = self.cfg.sched_shake_prob;
-        if p <= 0.0 {
-            return;
-        }
-        let n = self.shake_clock.fetch_add(1, Ordering::Relaxed);
-        let bits = crate::util::mix64(
-            self.cfg.seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ ((tid as u64 + 1) << 48),
-        );
-        let u = (bits >> 11) as f64 * (1.0 / ((1u64 << 53) as f64));
-        if u >= p {
-            return;
-        }
-        if bits & 3 == 0 {
-            std::thread::yield_now();
-        } else {
-            for _ in 0..(bits >> 2 & 0x7F) {
-                std::hint::spin_loop();
-            }
-        }
+    /// The execution substrate this runtime schedules through.
+    pub fn scheduler(&self) -> &Arc<dyn Scheduler> {
+        &self.sched
     }
 
     /// The simulated memory (for allocation and `peek`).
@@ -162,6 +144,14 @@ impl Htm {
 
     /// Claims the per-thread context for hardware thread `tid`.
     ///
+    /// Claiming registers the calling OS thread with the runtime's
+    /// [`Scheduler`] and binds it thread-locally, so [`crate::clock`]
+    /// reads and waits route through the scheduler until the context
+    /// drops. Under [`SchedulerKind::Deterministic`] registration is a
+    /// start barrier: the call blocks until all
+    /// [`HtmConfig::max_threads`] contexts have been claimed (from
+    /// distinct OS threads) and the seeded picker first selects this one.
+    ///
     /// # Panics
     ///
     /// Panics if `tid` is out of range or already claimed (contexts are
@@ -174,6 +164,8 @@ impl Htm {
         );
         let was = self.registered[tid].swap(true, Ordering::SeqCst);
         assert!(!was, "thread context {tid} is already claimed");
+        self.sched.register(tid as u32);
+        sched::bind(Arc::clone(&self.sched), tid as u32);
         ThreadCtx {
             htm: self,
             tid: tid as u32,
@@ -228,6 +220,8 @@ pub struct ThreadCtx<'h> {
 
 impl Drop for ThreadCtx<'_> {
     fn drop(&mut self) {
+        sched::unbind();
+        self.htm.sched.deregister(self.tid);
         self.htm.registered[self.tid as usize].store(false, Ordering::SeqCst);
     }
 }
@@ -290,6 +284,7 @@ impl<'h> ThreadCtx<'h> {
             tid: self.tid,
             epoch: self.epoch,
         };
+        self.htm.sched.yield_point(self.tid, YieldKind::TxBegin);
         self.htm.table.begin(me.tid, me.epoch);
         self.stats.on_begin(kind);
         self.last_conflict = None;
@@ -327,6 +322,12 @@ impl<'h> ThreadCtx<'h> {
                         .release(me, read_lines.iter(), write_lines.iter());
                     table.set(me.tid, me.epoch, ST_INACTIVE);
                     self.stats.on_commit(kind);
+                    // The commit window itself (Committing → flush →
+                    // Committed) deliberately contains no yield point:
+                    // peers observing `Committing` spin it out under a
+                    // directory shard lock, which a serialized scheduler
+                    // could never resolve if a switch landed inside.
+                    self.htm.sched.yield_point(self.tid, YieldKind::TxCommit);
                     return Ok(value);
                 }
                 Err(Abort::Conflict)
@@ -352,6 +353,7 @@ impl<'h> ThreadCtx<'h> {
             });
         }
         self.stats.on_abort(cause);
+        self.htm.sched.yield_point(self.tid, YieldKind::TxAbort);
         outcome
     }
 }
@@ -373,13 +375,16 @@ pub struct Tx<'a> {
 impl Tx<'_> {
     #[inline]
     fn check_alive(&mut self) -> TxResult<()> {
+        // Yield before the doom check: a peer scheduled here may conflict
+        // with (and doom) this transaction, which the check then observes —
+        // the interleavings a real context switch would expose.
+        self.htm.sched.yield_point(self.me.tid, YieldKind::TxAccess);
         if self.htm.table.is_doomed(self.me) {
             return Err(Abort::Conflict);
         }
         if self.rng.hit(self.htm.cfg.interrupt_prob) {
             return Err(Abort::Interrupt);
         }
-        self.htm.maybe_shake(self.me.tid);
         Ok(())
     }
 

@@ -1,15 +1,20 @@
 //! Command-line driver for the torture matrix.
 //!
 //! ```text
-//! cargo run -p sprwl-torture --release -- [--threads N] [--ops N] [--seed S] [--filter SUBSTR]
+//! cargo run -p sprwl-torture --release -- \
+//!     [--threads N] [--ops N] [--seed S] [--filter SUBSTR] [--det] [--sched-seed S]
 //! ```
 //!
 //! Runs every case in the default matrix (optionally filtered by name
 //! substring), prints a per-case summary line, and exits non-zero if any
 //! oracle violation is found. `TORTURE_SEED` overrides the base seed the
 //! same way it does for the test suite.
+//!
+//! `--det` switches to the deterministic matrix (serialized scheduler,
+//! bit-exact replay); `--sched-seed S` pins the schedule seed for every
+//! deterministic case, equivalent to setting `TORTURE_SCHED_SEED`.
 
-use sprwl_torture::{base_seed, default_matrix, run_case};
+use sprwl_torture::{base_seed, default_matrix, det_matrix, run_case};
 
 fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
     args.iter()
@@ -27,8 +32,20 @@ fn main() {
     let ops: usize = parse_flag(&args, "--ops").unwrap_or(250);
     let seed: u64 = parse_flag(&args, "--seed").unwrap_or_else(base_seed);
     let filter: Option<String> = parse_flag(&args, "--filter");
+    let det = args.iter().any(|a| a == "--det");
+    if let Some(s) = parse_flag::<String>(&args, "--sched-seed") {
+        // The library resolves schedule seeds through the env var (which
+        // accepts decimal or 0x-hex), so the flag just forwards the raw
+        // value — test-suite replays and binary replays share one
+        // mechanism, including the error message for malformed seeds.
+        std::env::set_var("TORTURE_SCHED_SEED", s);
+    }
 
-    let matrix = default_matrix(threads, ops);
+    let matrix = if det {
+        det_matrix(threads, ops)
+    } else {
+        default_matrix(threads, ops)
+    };
     let mut failures = 0usize;
     let mut ran = 0usize;
     let t_all = std::time::Instant::now();

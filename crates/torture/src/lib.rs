@@ -32,25 +32,42 @@
 //! # Determinism and replay
 //!
 //! All randomness — per-thread operation sequences, HTM interrupt
-//! injection, and the simulator's schedule shaking — derives from the
-//! case seed. A violation prints that seed; replay it with
+//! injection, and the simulator's schedule perturbation — derives from
+//! the case seed. A violation prints that seed; replay it with
 //!
 //! ```text
 //! TORTURE_SEED=0x<seed> cargo test -p sprwl-torture
 //! ```
 //!
-//! (or pass `--seed` to the `torture` binary). OS thread interleavings are
-//! of course not replayed bit-for-bit, but every checked invariant must
-//! hold under *any* interleaving, and the seeded schedule shake
+//! (or pass `--seed` to the `torture` binary). Under the free-running
+//! scheduler, OS thread interleavings are of course not replayed
+//! bit-for-bit, but every checked invariant must hold under *any*
+//! interleaving, and the seeded schedule shake
 //! ([`htm_sim::HtmConfig::sched_shake_prob`]) explores different
 //! interleaving families per seed.
+//!
+//! Cases run under [`htm_sim::SchedulerKind::Deterministic`] (the
+//! [`det_matrix`]) go further: the simulator serializes every thread
+//! through explicit yield points and picks the next runnable thread from
+//! a seeded PRNG, so the *entire interleaving* is a pure function of
+//! `(schedule seed, case seed, spec)`. The runner derives a per-case
+//! schedule seed from the case seed (override it with
+//! `TORTURE_SCHED_SEED`, same syntax as `TORTURE_SEED`); a violation
+//! prints both, and replaying with both re-executes the exact
+//! interleaving that failed — bit-identical per-thread event traces
+//! included. When a deterministic case fails, the runner immediately
+//! re-runs it and appends a determinism note to the report: either
+//! confirmation that the replay was bit-exact and re-triggered the same
+//! violation, or the first trace line where the two runs diverged (see
+//! [`first_divergence`]), which indicates a thread blocking outside the
+//! scheduler's view.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
 use std::fmt;
 
-use htm_sim::{Htm, HtmConfig};
+use htm_sim::{Htm, HtmConfig, SchedulerKind};
 use sprwl::{SpRwl, SprwlConfig};
 use sprwl_locks::{
     BrLock, CommitMode, LockThread, McsRwLock, PassiveRwLock, PhaseFairRwLock, PthreadRwLock, Role,
@@ -106,20 +123,66 @@ impl Prng {
     }
 }
 
+/// Salt mixed into a case seed to derive its default schedule seed, so the
+/// two seeded streams (workload randomness vs. thread interleaving) never
+/// collide even though both descend from the same case seed.
+const SCHED_SALT: u64 = 0x5EED_5C8E_D01E_D00D;
+
+/// Parses a `u64` env-var value, decimal or `0x…` hex.
+fn parse_seed_var(name: &str) -> Option<u64> {
+    let s = std::env::var(name).ok()?;
+    let s = s.trim();
+    let parsed = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    Some(parsed.unwrap_or_else(|_| panic!("{name} {s:?} is not a u64")))
+}
+
 /// The base seed for this process: `TORTURE_SEED` (decimal or `0x…` hex)
 /// if set, [`DEFAULT_SEED`] otherwise.
 pub fn base_seed() -> u64 {
-    match std::env::var("TORTURE_SEED") {
-        Ok(s) => {
-            let s = s.trim();
-            let parsed = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
-                u64::from_str_radix(hex, 16)
-            } else {
-                s.parse()
-            };
-            parsed.unwrap_or_else(|_| panic!("TORTURE_SEED {s:?} is not a u64"))
+    parse_seed_var("TORTURE_SEED").unwrap_or(DEFAULT_SEED)
+}
+
+/// The schedule-seed override for deterministic cases: `TORTURE_SCHED_SEED`
+/// (decimal or `0x…` hex) if set. When absent, each deterministic case
+/// derives its schedule seed from its case seed, so a plain `TORTURE_SEED`
+/// replay already reproduces the interleaving; the override exists to pin
+/// the schedule while varying the workload seed (or vice versa).
+pub fn sched_seed_override() -> Option<u64> {
+    parse_seed_var("TORTURE_SCHED_SEED")
+}
+
+/// The schedule seed a deterministic case runs under when
+/// `TORTURE_SCHED_SEED` is not set: a salted mix of the case seed.
+pub fn derived_sched_seed(case_seed: u64) -> u64 {
+    mix64(case_seed ^ SCHED_SALT)
+}
+
+/// Compares two JSONL trace dumps line by line and returns the first
+/// divergence as `(1-based line number, line from a, line from b)`, or
+/// `None` if the dumps are byte-identical. A side that ran out of lines
+/// reports `"<end of trace>"`. This is the in-process twin of
+/// `scripts/diff_traces.py`.
+pub fn first_divergence(a: &str, b: &str) -> Option<(usize, String, String)> {
+    const END: &str = "<end of trace>";
+    let (mut la, mut lb) = (a.lines(), b.lines());
+    let mut n = 0usize;
+    loop {
+        n += 1;
+        match (la.next(), lb.next()) {
+            (None, None) => return None,
+            (x, y) if x == y => {}
+            (x, y) => {
+                return Some((
+                    n,
+                    x.unwrap_or(END).to_string(),
+                    y.unwrap_or(END).to_string(),
+                ))
+            }
         }
-        Err(_) => DEFAULT_SEED,
     }
 }
 
@@ -206,6 +269,10 @@ pub struct Violation {
     pub seed: u64,
     /// The base seed the run started from (what `TORTURE_SEED` replays).
     pub base_seed: u64,
+    /// The schedule seed, when the case ran under the deterministic
+    /// scheduler (what `TORTURE_SCHED_SEED` replays). `None` for
+    /// free-running cases, whose interleavings are not replayable.
+    pub sched_seed: Option<u64>,
     /// What the oracle saw.
     pub detail: String,
     /// Where the per-thread event-trace postmortem was dumped (JSONL; the
@@ -214,12 +281,33 @@ pub struct Violation {
     pub postmortem: Option<std::path::PathBuf>,
 }
 
+impl Violation {
+    /// The exact shell prefix + command that replays this violation. For
+    /// deterministic cases it pins both seeds, so the replay re-executes
+    /// the failing interleaving bit-for-bit.
+    pub fn replay_cmd(&self) -> String {
+        match self.sched_seed {
+            Some(s) => format!(
+                "TORTURE_SEED={:#x} TORTURE_SCHED_SEED={s:#x} cargo test -p sprwl-torture",
+                self.base_seed
+            ),
+            None => format!(
+                "TORTURE_SEED={:#x} cargo test -p sprwl-torture",
+                self.base_seed
+            ),
+        }
+    }
+}
+
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "torture violation in case `{}`: {}\n  replay with: TORTURE_SEED={:#x} cargo test -p sprwl-torture\n  (case seed {:#x})",
-            self.case, self.detail, self.base_seed, self.seed
+            "torture violation in case `{}`: {}\n  replay with: {}\n  (case seed {:#x})",
+            self.case,
+            self.detail,
+            self.replay_cmd(),
+            self.seed
         )?;
         if let Some(p) = &self.postmortem {
             write!(f, "\n  postmortem trace: {}", p.display())?;
@@ -246,13 +334,18 @@ fn write_postmortem(v: &Violation, traces: &[ThreadTrace]) -> Option<std::path::
         "torture-{}-{:016x}.postmortem.jsonl",
         v.case, v.seed
     ));
+    let sched = match v.sched_seed {
+        Some(s) => format!("\"{s:#x}\""),
+        None => "null".to_string(),
+    };
     let mut body = format!(
-        "{{\"case\":{:?},\"detail\":{:?},\"base_seed\":\"{:#x}\",\"case_seed\":\"{:#x}\",\"replay\":\"TORTURE_SEED={:#x} cargo test -p sprwl-torture\",\"threads\":{}}}\n",
+        "{{\"case\":{:?},\"detail\":{:?},\"base_seed\":\"{:#x}\",\"case_seed\":\"{:#x}\",\"sched_seed\":{},\"replay\":{:?},\"threads\":{}}}\n",
         v.case,
         v.detail,
         v.base_seed,
         v.seed,
-        v.base_seed,
+        sched,
+        v.replay_cmd(),
         traces.len()
     );
     body.push_str(&export::jsonl(traces));
@@ -361,8 +454,220 @@ fn worker(
     }
 }
 
+/// Everything a finished case execution leaves behind, owned (no borrows
+/// of the torn-down `Htm`), so the runner can execute a case twice and
+/// compare the remains byte for byte.
+#[derive(Debug)]
+struct CaseRun {
+    outs: Vec<ThreadOut>,
+    /// Final `(A[p], B[p])` cell values per mirror pair.
+    pairs_final: Vec<(u64, u64)>,
+    /// Outcome of the lock's own post-run invariant check.
+    quiescence: Result<(), String>,
+}
+
+impl CaseRun {
+    fn traces(&self) -> Vec<ThreadTrace> {
+        self.outs.iter().map(|o| o.trace.clone()).collect()
+    }
+}
+
+/// Derives the per-case HTM configuration from a spec and base seed:
+/// thread count and workload seed are overwritten, and deterministic cases
+/// get their schedule seed resolved (`TORTURE_SCHED_SEED` override, else a
+/// nonzero seed pinned in the spec, else derivation from the case seed).
+/// Returns `(config, case_seed, sched_seed)`.
+fn resolve_case(spec: &TortureSpec, base_seed: u64) -> (HtmConfig, u64, Option<u64>) {
+    let case_seed = mix64(base_seed ^ fnv1a(&spec.name));
+    let mut cfg = spec.htm.clone();
+    cfg.max_threads = spec.threads;
+    cfg.seed = case_seed;
+    let sched_seed = match cfg.scheduler {
+        SchedulerKind::Deterministic { schedule_seed } => {
+            // Priority: env override > a nonzero seed pinned in the spec >
+            // per-case derivation. The matrices leave the spec seed at 0 so
+            // every case explores its own interleaving family per base seed.
+            let s = sched_seed_override().unwrap_or(if schedule_seed != 0 {
+                schedule_seed
+            } else {
+                derived_sched_seed(case_seed)
+            });
+            cfg.scheduler = SchedulerKind::Deterministic { schedule_seed: s };
+            Some(s)
+        }
+        SchedulerKind::Os => None,
+    };
+    (cfg, case_seed, sched_seed)
+}
+
+/// Builds the simulator, runs the workers, and collects everything the
+/// oracle needs as owned data. Infallible: violations are *judged* later
+/// by [`check_case`], never during execution.
+fn execute_case(
+    spec: &TortureSpec,
+    htm_cfg: &HtmConfig,
+    case_seed: u64,
+    build: &dyn Fn(&Htm) -> Box<dyn RwSync>,
+) -> CaseRun {
+    htm_cfg.validate().expect("torture case HtmConfig invalid");
+    let cells_per_line = htm_cfg.cells_per_line as usize;
+    let cells = (2 * spec.pairs + 8 * spec.threads + 128) * cells_per_line;
+    let htm = Htm::new(htm_cfg.clone(), cells);
+    let lock = build(&htm);
+    let bank_a = htm.memory().alloc_padded(spec.pairs);
+    let bank_b = htm.memory().alloc_padded(spec.pairs);
+
+    let outs: Vec<ThreadOut> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..spec.threads)
+            .map(|tid| {
+                let (lock, htm, bank_a, bank_b) = (&*lock, &htm, &bank_a[..], &bank_b[..]);
+                s.spawn(move || worker(lock, htm, spec, bank_a, bank_b, case_seed, tid))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("torture worker panicked"))
+            .collect()
+    });
+
+    let mem = htm.memory();
+    let pairs_final = (0..spec.pairs)
+        .map(|p| (mem.peek(bank_a[p]), mem.peek(bank_b[p])))
+        .collect();
+    let quiescence = lock.check_quiescent(mem).map_err(|e| e.to_string());
+    CaseRun {
+        outs,
+        pairs_final,
+        quiescence,
+    }
+}
+
+/// The oracle: checks every invariant against a finished run and returns
+/// either the aggregate summary or the first violation's detail string.
+fn check_case(run: &CaseRun) -> Result<RunSummary, String> {
+    // 1. Torn reads observed by committed sections.
+    for o in &run.outs {
+        if let Some(t) = &o.torn {
+            return Err(format!("torn read: {t}"));
+        }
+    }
+
+    // 2. Mirror pairs at rest: banks must match, and each counter must
+    //    equal the number of committed writer operations on that pair
+    //    (fewer = lost update, more = leaked speculative write).
+    let mut final_increments = 0u64;
+    for (p, &(a, b)) in run.pairs_final.iter().enumerate() {
+        if a != b {
+            return Err(format!("pair {p} torn at rest: A={a}, B={b}"));
+        }
+        let expected: u64 = run.outs.iter().map(|o| o.incr[p]).sum();
+        if a != expected {
+            let kind = if a < expected {
+                "lost update"
+            } else {
+                "ghost update"
+            };
+            return Err(format!(
+                "{kind} on pair {p}: counter {a}, committed increments {expected}"
+            ));
+        }
+        final_increments += a;
+    }
+
+    // 3. Quiescence: the lock's own post-run invariants.
+    if let Err(e) = &run.quiescence {
+        return Err(format!("quiescence check failed: {e}"));
+    }
+
+    // 4. Stats accounting: commits match the operations each thread
+    //    issued, and per-cause abort counts sum to the abort total.
+    let mut summary = RunSummary {
+        final_increments,
+        ..RunSummary::default()
+    };
+    for (tid, o) in run.outs.iter().enumerate() {
+        let reader_commits: u64 = CommitMode::ALL
+            .iter()
+            .map(|&m| o.stats.commits_by(Role::Reader, m))
+            .sum();
+        let writer_commits: u64 = CommitMode::ALL
+            .iter()
+            .map(|&m| o.stats.commits_by(Role::Writer, m))
+            .sum();
+        if reader_commits != o.reader_ops {
+            return Err(format!(
+                "thread {tid}: {reader_commits} reader commits recorded for {} reader ops",
+                o.reader_ops
+            ));
+        }
+        if writer_commits != o.writer_ops {
+            return Err(format!(
+                "thread {tid}: {writer_commits} writer commits recorded for {} writer ops",
+                o.writer_ops
+            ));
+        }
+        if o.stats.total_commits() != o.reader_ops + o.writer_ops {
+            return Err(format!(
+                "thread {tid}: total_commits {} != ops issued {}",
+                o.stats.total_commits(),
+                o.reader_ops + o.writer_ops
+            ));
+        }
+        let by_cause: u64 = sprwl_locks::AbortCause::ALL
+            .iter()
+            .map(|&c| o.stats.aborts_of(c))
+            .sum();
+        if by_cause != o.stats.total_aborts() {
+            return Err(format!(
+                "thread {tid}: per-cause aborts {by_cause} != total_aborts {}",
+                o.stats.total_aborts()
+            ));
+        }
+        summary.reader_commits += reader_commits;
+        summary.writer_commits += writer_commits;
+        summary.speculative_commits +=
+            o.stats.commits_in(CommitMode::Htm) + o.stats.commits_in(CommitMode::Rot);
+        summary.aborts += o.stats.total_aborts();
+    }
+
+    Ok(summary)
+}
+
+/// Compares a deterministic case's original failing run against its
+/// immediate in-process replay and renders the verdict that gets appended
+/// to the violation detail: bit-exact (the replay command will re-trigger
+/// the bug) or the first trace divergence (something escaped the
+/// scheduler's control, which is itself a harness bug worth chasing).
+fn determinism_note(
+    first: &CaseRun,
+    second: &CaseRun,
+    second_detail: Option<&str>,
+    first_detail: &str,
+) -> String {
+    let a = export::jsonl(&first.traces());
+    let b = export::jsonl(&second.traces());
+    let outcome = match second_detail {
+        Some(d) if d == first_detail => "re-triggered the same violation".to_string(),
+        Some(d) => format!("violated differently: {d}"),
+        None => "passed the oracle".to_string(),
+    };
+    match first_divergence(&a, &b) {
+        None => format!(
+            "\n  determinism: in-process replay was bit-exact ({} trace lines) and {outcome}",
+            a.lines().count()
+        ),
+        Some((n, la, lb)) => format!(
+            "\n  determinism: in-process replay DIVERGED at trace line {n} (and {outcome})\n    first : {la}\n    second: {lb}\n    (a thread is blocking or timing outside the scheduler's view)"
+        ),
+    }
+}
+
 /// Runs one torture case under the given base seed and checks every
 /// invariant the oracle knows about.
+///
+/// Deterministic cases that fail are immediately re-executed with the same
+/// seeds and the violation report gains a determinism note: bit-exact
+/// replay confirmation, or the first trace divergence.
 ///
 /// # Errors
 ///
@@ -393,139 +698,78 @@ pub fn run_case_with(
     base_seed: u64,
     build: &dyn Fn(&Htm) -> Box<dyn RwSync>,
 ) -> Result<RunSummary, Violation> {
-    let case_seed = mix64(base_seed ^ fnv1a(&spec.name));
-    let violation = |detail: String| Violation {
-        case: spec.name.clone(),
-        seed: case_seed,
-        base_seed,
-        detail,
-        postmortem: None,
-    };
-
-    let mut htm_cfg = spec.htm.clone();
-    htm_cfg.max_threads = spec.threads;
-    htm_cfg.seed = case_seed;
-    htm_cfg.validate().expect("torture case HtmConfig invalid");
-    let cells_per_line = htm_cfg.cells_per_line as usize;
-    let cells = (2 * spec.pairs + 8 * spec.threads + 128) * cells_per_line;
-    let htm = Htm::new(htm_cfg, cells);
-    let lock = build(&htm);
-    let bank_a = htm.memory().alloc_padded(spec.pairs);
-    let bank_b = htm.memory().alloc_padded(spec.pairs);
-
-    let outs: Vec<ThreadOut> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..spec.threads)
-            .map(|tid| {
-                let (lock, htm, bank_a, bank_b) = (&*lock, &htm, &bank_a[..], &bank_b[..]);
-                s.spawn(move || worker(lock, htm, spec, bank_a, bank_b, case_seed, tid))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("torture worker panicked"))
-            .collect()
-    });
-
-    // --- oracle --- (single exit: any violation gets the postmortem dump
-    // attached before it propagates)
-
-    let result = (|| {
-        // 1. Torn reads observed by committed sections.
-        for o in &outs {
-            if let Some(t) = &o.torn {
-                return Err(violation(format!("torn read: {t}")));
+    let (htm_cfg, case_seed, sched_seed) = resolve_case(spec, base_seed);
+    let run = execute_case(spec, &htm_cfg, case_seed, build);
+    match check_case(&run) {
+        Ok(summary) => Ok(summary),
+        Err(mut detail) => {
+            if sched_seed.is_some() {
+                let rerun = execute_case(spec, &htm_cfg, case_seed, build);
+                let rerun_detail = check_case(&rerun).err();
+                detail.push_str(&determinism_note(
+                    &run,
+                    &rerun,
+                    rerun_detail.as_deref(),
+                    &detail,
+                ));
             }
+            let mut v = Violation {
+                case: spec.name.clone(),
+                seed: case_seed,
+                base_seed,
+                sched_seed,
+                detail,
+                postmortem: None,
+            };
+            v.postmortem = write_postmortem(&v, &run.traces());
+            Err(v)
         }
+    }
+}
 
-        // 2. Mirror pairs at rest: banks must match, and each counter must
-        //    equal the number of committed writer operations on that pair
-        //    (fewer = lost update, more = leaked speculative write).
-        let mem = htm.memory();
-        let mut final_increments = 0u64;
-        for p in 0..spec.pairs {
-            let a = mem.peek(bank_a[p]);
-            let b = mem.peek(bank_b[p]);
-            if a != b {
-                return Err(violation(format!("pair {p} torn at rest: A={a}, B={b}")));
-            }
-            let expected: u64 = outs.iter().map(|o| o.incr[p]).sum();
-            if a != expected {
-                let kind = if a < expected {
-                    "lost update"
-                } else {
-                    "ghost update"
-                };
-                return Err(violation(format!(
-                    "{kind} on pair {p}: counter {a}, committed increments {expected}"
-                )));
-            }
-            final_increments += a;
-        }
+/// Everything a case leaves behind, owned and comparable: the raw material
+/// for determinism assertions (run a case twice, require equality) and for
+/// golden-trace regression tests.
+#[derive(Debug, Clone)]
+pub struct CaseArtifacts {
+    /// The seed the case ran under (already case-derived).
+    pub case_seed: u64,
+    /// The resolved schedule seed for deterministic cases, `None` otherwise.
+    pub sched_seed: Option<u64>,
+    /// Per-thread event traces (ring-buffered tails, in tid order).
+    pub traces: Vec<ThreadTrace>,
+    /// Per-thread session statistics, in tid order.
+    pub stats: Vec<SessionStats>,
+    /// Final `(A[p], B[p])` cell values per mirror pair.
+    pub pairs_final: Vec<(u64, u64)>,
+    /// What the oracle concluded: the summary, or the violation detail.
+    pub outcome: Result<RunSummary, String>,
+}
 
-        // 3. Quiescence: the lock's own post-run invariants.
-        if let Err(e) = lock.check_quiescent(mem) {
-            return Err(violation(format!("quiescence check failed: {e}")));
-        }
+impl CaseArtifacts {
+    /// The per-thread traces as one JSONL dump (what the golden-trace test
+    /// commits and what `scripts/diff_traces.py` consumes).
+    pub fn trace_jsonl(&self) -> String {
+        export::jsonl(&self.traces)
+    }
+}
 
-        // 4. Stats accounting: commits match the operations each thread
-        //    issued, and per-cause abort counts sum to the abort total.
-        let mut summary = RunSummary {
-            final_increments,
-            ..RunSummary::default()
-        };
-        for (tid, o) in outs.iter().enumerate() {
-            let reader_commits: u64 = CommitMode::ALL
-                .iter()
-                .map(|&m| o.stats.commits_by(Role::Reader, m))
-                .sum();
-            let writer_commits: u64 = CommitMode::ALL
-                .iter()
-                .map(|&m| o.stats.commits_by(Role::Writer, m))
-                .sum();
-            if reader_commits != o.reader_ops {
-                return Err(violation(format!(
-                    "thread {tid}: {reader_commits} reader commits recorded for {} reader ops",
-                    o.reader_ops
-                )));
-            }
-            if writer_commits != o.writer_ops {
-                return Err(violation(format!(
-                    "thread {tid}: {writer_commits} writer commits recorded for {} writer ops",
-                    o.writer_ops
-                )));
-            }
-            if o.stats.total_commits() != o.reader_ops + o.writer_ops {
-                return Err(violation(format!(
-                    "thread {tid}: total_commits {} != ops issued {}",
-                    o.stats.total_commits(),
-                    o.reader_ops + o.writer_ops
-                )));
-            }
-            let by_cause: u64 = sprwl_locks::AbortCause::ALL
-                .iter()
-                .map(|&c| o.stats.aborts_of(c))
-                .sum();
-            if by_cause != o.stats.total_aborts() {
-                return Err(violation(format!(
-                    "thread {tid}: per-cause aborts {by_cause} != total_aborts {}",
-                    o.stats.total_aborts()
-                )));
-            }
-            summary.reader_commits += reader_commits;
-            summary.writer_commits += writer_commits;
-            summary.speculative_commits +=
-                o.stats.commits_in(CommitMode::Htm) + o.stats.commits_in(CommitMode::Rot);
-            summary.aborts += o.stats.total_aborts();
-        }
-
-        Ok(summary)
-    })();
-
-    result.map_err(|mut v| {
-        let traces: Vec<ThreadTrace> = outs.iter().map(|o| o.trace.clone()).collect();
-        v.postmortem = write_postmortem(&v, &traces);
-        v
-    })
+/// Runs a case and returns everything it left behind instead of judging
+/// it. Two calls with the same `(spec, base_seed, TORTURE_SCHED_SEED)`
+/// under the deterministic scheduler must produce equal artifacts — that
+/// is the bit-exactness contract the determinism tests enforce.
+pub fn run_case_artifacts(spec: &TortureSpec, base_seed: u64) -> CaseArtifacts {
+    let (htm_cfg, case_seed, sched_seed) = resolve_case(spec, base_seed);
+    let run = execute_case(spec, &htm_cfg, case_seed, &|htm| spec.lock.build(htm));
+    let outcome = check_case(&run);
+    CaseArtifacts {
+        case_seed,
+        sched_seed,
+        traces: run.traces(),
+        stats: run.outs.iter().map(|o| o.stats.clone()).collect(),
+        pairs_final: run.pairs_final.clone(),
+        outcome,
+    }
 }
 
 /// The SpRWL variants the acceptance matrix must cover:
@@ -690,6 +934,113 @@ pub fn default_matrix(threads: usize, ops_per_thread: usize) -> Vec<TortureSpec>
     m
 }
 
+/// The deterministic torture matrix: the same lock coverage as
+/// [`default_matrix`] but serialized under
+/// [`SchedulerKind::Deterministic`], so every case's interleaving is a
+/// pure function of its seeds and violations replay bit-for-bit.
+///
+/// Each spec leaves `schedule_seed` at 0, which tells the runner to derive
+/// a per-case seed (see [`derived_sched_seed`]); `TORTURE_SCHED_SEED` or a
+/// nonzero spec seed pin it instead. Schedule shake is off — the deterministic
+/// scheduler ignores it, and its job (exploring interleaving families per
+/// seed) is done by the schedule seed itself.
+///
+/// `pthread-rw` is deliberately absent: [`LockKind::PthreadRw`] blocks on
+/// a real OS condvar the scheduler cannot see, which would deadlock a
+/// fully serialized schedule. It keeps its coverage in the free-running
+/// matrix.
+pub fn det_matrix(threads: usize, ops_per_thread: usize) -> Vec<TortureSpec> {
+    use htm_sim::CapacityProfile;
+
+    let det = HtmConfig {
+        scheduler: SchedulerKind::Deterministic { schedule_seed: 0 },
+        sched_shake_prob: 0.0,
+        ..HtmConfig::default()
+    };
+    let base = |name: String, lock: LockKind, htm: HtmConfig| TortureSpec {
+        name,
+        lock,
+        htm,
+        threads,
+        ops_per_thread,
+        pairs: 8,
+        write_pct: 30,
+        reader_span: 4,
+    };
+
+    let mut m = Vec::new();
+
+    for (name, cfg) in sprwl_matrix_configs() {
+        m.push(base(
+            format!("det-{name}"),
+            LockKind::Sprwl(cfg),
+            det.clone(),
+        ));
+    }
+
+    let versioned = SprwlConfig {
+        versioned_sgl: true,
+        ..SprwlConfig::default()
+    };
+    let mut spec = base(
+        "det-sprwl-versioned-sgl".into(),
+        LockKind::Sprwl(versioned),
+        det.clone(),
+    );
+    spec.write_pct = 70;
+    m.push(spec);
+
+    let unins_readers = SprwlConfig {
+        readers_try_htm: false,
+        ..SprwlConfig::default()
+    };
+    m.push(base(
+        "det-sprwl-unins-readers".into(),
+        LockKind::Sprwl(unins_readers),
+        det.clone(),
+    ));
+
+    // Fault axes stay meaningful under determinism: interrupt injection
+    // and capacity pressure both draw from seeded streams, so a failing
+    // seed replays the same aborts at the same points.
+    m.push(base(
+        "det-sprwl-full-int5".into(),
+        LockKind::Sprwl(SprwlConfig::default()),
+        HtmConfig {
+            interrupt_prob: 0.05,
+            ..det.clone()
+        },
+    ));
+    m.push(base(
+        "det-sprwl-full-tiny-capacity".into(),
+        LockKind::Sprwl(SprwlConfig::default()),
+        HtmConfig {
+            capacity: CapacityProfile::TINY,
+            ..det.clone()
+        },
+    ));
+
+    m.push(base("det-tle".into(), LockKind::Tle, det.clone()));
+    m.push(base(
+        "det-rwle-power8".into(),
+        LockKind::RwLe,
+        HtmConfig {
+            capacity: CapacityProfile::POWER8_SIM,
+            ..det.clone()
+        },
+    ));
+    m.push(base("det-mcs-rwl".into(), LockKind::McsRw, det.clone()));
+    m.push(base("det-brlock".into(), LockKind::BrLock, det.clone()));
+    m.push(base(
+        "det-phase-fair".into(),
+        LockKind::PhaseFair,
+        det.clone(),
+    ));
+    m.push(base("det-passive".into(), LockKind::Passive, det));
+
+    m
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -709,18 +1060,69 @@ mod tests {
             case: "demo".into(),
             seed: 0xABCD,
             base_seed: 0x1234,
+            sched_seed: None,
             detail: "something broke".into(),
             postmortem: None,
         };
         let s = v.to_string();
         assert!(s.contains("TORTURE_SEED=0x1234"), "{s}");
+        assert!(!s.contains("TORTURE_SCHED_SEED"), "{s}");
         assert!(s.contains("demo"), "{s}");
         let with_dump = Violation {
             postmortem: Some(std::path::PathBuf::from("/tmp/x.jsonl")),
-            ..v
+            ..v.clone()
         };
         let s = with_dump.to_string();
         assert!(s.contains("postmortem trace: /tmp/x.jsonl"), "{s}");
+        let det = Violation {
+            sched_seed: Some(0xBEEF),
+            ..v
+        };
+        let s = det.to_string();
+        assert!(
+            s.contains("TORTURE_SEED=0x1234 TORTURE_SCHED_SEED=0xbeef"),
+            "{s}"
+        );
+    }
+
+    #[test]
+    fn first_divergence_finds_the_first_differing_line() {
+        assert_eq!(first_divergence("a\nb\nc", "a\nb\nc"), None);
+        assert_eq!(
+            first_divergence("a\nb\nc", "a\nX\nc"),
+            Some((2, "b".into(), "X".into()))
+        );
+        assert_eq!(
+            first_divergence("a\nb", "a"),
+            Some((2, "b".into(), "<end of trace>".into()))
+        );
+        assert_eq!(first_divergence("", ""), None);
+    }
+
+    #[test]
+    fn derived_sched_seed_is_stable_and_distinct_from_case_seed() {
+        let c = mix64(1 ^ fnv1a("case-a"));
+        assert_eq!(derived_sched_seed(c), derived_sched_seed(c));
+        assert_ne!(derived_sched_seed(c), c);
+    }
+
+    #[test]
+    fn det_matrix_serializes_every_case_and_skips_pthread() {
+        let m = det_matrix(2, 10);
+        assert!(!m.is_empty());
+        for spec in &m {
+            assert!(
+                matches!(spec.htm.scheduler, SchedulerKind::Deterministic { .. }),
+                "{} is not deterministic",
+                spec.name
+            );
+            assert!(
+                !matches!(spec.lock, LockKind::PthreadRw),
+                "{} blocks on a real condvar",
+                spec.name
+            );
+            assert!(spec.name.starts_with("det-"), "{}", spec.name);
+        }
     }
 
     #[test]

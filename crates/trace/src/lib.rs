@@ -301,6 +301,13 @@ impl TraceBuffer {
 
     /// Records one event, timestamped now. Wait-free; overwrites the oldest
     /// event once the ring is full; no-op when tracing is off.
+    ///
+    /// Timestamps come from the recording thread's scheduler clock
+    /// (`htm_sim::clock::now`): wall nanoseconds on free-running threads,
+    /// virtual time on threads bound to the deterministic scheduler — which
+    /// is what makes two same-seed deterministic runs export byte-identical
+    /// JSONL. The clock is only consulted *after* the enabled check, so
+    /// `TraceConfig::Off` never touches it.
     #[cfg(feature = "record")]
     #[inline]
     pub fn push(&mut self, kind: EventKind) {

@@ -19,6 +19,9 @@ cargo test -q --offline
 echo "==> torture smoke (full matrix, reduced depth)"
 cargo run -q --release --offline -p sprwl-torture -- --threads 2 --ops 100
 
+echo "==> deterministic torture smoke (serialized scheduler, bit-exact replay)"
+cargo run -q --release --offline -p sprwl-torture -- --det --threads 2 --ops 100
+
 echo "==> trace smoke (fig3 --trace produces a non-empty Chrome trace)"
 # Benches run with cwd at the package root, so hand them an absolute path.
 SPRWL_BENCH_SECS=0.05 SPRWL_BENCH_THREADS=2 \

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Compare two JSONL event-trace dumps and report the first divergence.
+
+Usage:
+    scripts/diff_traces.py A.jsonl B.jsonl [--context N]
+
+The inputs are the per-thread trace dumps the torture harness and the
+golden-trace test produce (`export::jsonl` in `sprwl-trace`): one JSON
+object per line. Torture postmortems carry a metadata object on the first
+line; it is compared like any other line, so two postmortems of the same
+violation also diff cleanly.
+
+Two runs of a deterministic-scheduler case with the same seeds must be
+byte-identical; the first differing line is where the schedules forked,
+which is the interesting line for debugging (everything after it is
+downstream noise). Exit status: 0 when identical, 1 on divergence, 2 on
+usage errors — so the script doubles as a CI assertion.
+
+This is the offline twin of `sprwl_torture::first_divergence`.
+"""
+
+import argparse
+import itertools
+import json
+import sys
+
+
+def load_lines(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return f.read().splitlines()
+    except OSError as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def describe(line):
+    """One-phrase summary of an event line, best-effort."""
+    if line == "<end of trace>":
+        return "(trace ended early)"
+    try:
+        ev = json.loads(line)
+    except (json.JSONDecodeError, ValueError):
+        return "(unparseable line)"
+    if "ev" in ev:
+        return f"tid={ev.get('tid')} ts={ev.get('ts')} ev={ev.get('ev')}"
+    return "(metadata line)"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("a", help="first trace dump (JSONL)")
+    ap.add_argument("b", help="second trace dump (JSONL)")
+    ap.add_argument(
+        "--context",
+        type=int,
+        default=2,
+        metavar="N",
+        help="matching lines to show before the divergence (default 2)",
+    )
+    args = ap.parse_args()
+
+    la, lb = load_lines(args.a), load_lines(args.b)
+    end = "<end of trace>"
+    for n, (x, y) in enumerate(itertools.zip_longest(la, lb), start=1):
+        if x == y:
+            continue
+        x = end if x is None else x
+        y = end if y is None else y
+        lo = max(0, n - 1 - args.context)
+        for i in range(lo, n - 1):
+            print(f"  {i + 1:>6}  = {la[i]}")
+        print(f"  {n:>6}  < {x}")
+        print(f"  {'':>6}  > {y}")
+        print()
+        print(f"first divergence at line {n}:")
+        print(f"  {args.a}: {describe(x)}")
+        print(f"  {args.b}: {describe(y)}")
+        same = len(la) == len(lb)
+        if not same:
+            print(f"  (lengths differ: {len(la)} vs {len(lb)} lines)")
+        return 1
+
+    print(f"identical: {len(la)} lines")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

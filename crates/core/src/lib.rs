@@ -54,6 +54,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod adaptive;
+mod composed;
 pub mod config;
 pub mod estimator;
 mod lock;
@@ -61,6 +62,7 @@ pub mod packed;
 mod reader;
 mod writer;
 
+pub use composed::{InnerMode, SpRwlPair};
 pub use config::{DeltaPolicy, ReaderTracking, Scheduling, SprwlConfig};
 pub use estimator::DurationEstimator;
 pub use lock::SpRwl;

@@ -228,7 +228,7 @@ impl SpRwl {
 
     /// Alg. 1 line 29 (plus the §3.3 versioned extension): may an announced
     /// reader enter, or must it defer to a fallback-lock writer?
-    fn reader_may_proceed(&self, tid: usize, mem: &htm_sim::SimMemory) -> bool {
+    pub(crate) fn reader_may_proceed(&self, tid: usize, mem: &htm_sim::SimMemory) -> bool {
         let (version, locked) = self.fallback.peek(mem);
         if !locked {
             self.waiting_version[tid].store(NONE);
@@ -256,7 +256,7 @@ impl SpRwl {
 
     /// Wait until the fallback lock frees (or, versioned, until its version
     /// advances past our registration so we may bypass).
-    fn reader_wait_for_gl(&self, tid: usize, mem: &htm_sim::SimMemory) {
+    pub(crate) fn reader_wait_for_gl(&self, tid: usize, mem: &htm_sim::SimMemory) {
         let mut spin = clock::SpinWait::new();
         loop {
             let (version, locked) = self.fallback.peek(mem);

@@ -178,7 +178,7 @@ impl SpRwl {
     /// §3.3 versioned-SGL writer side: before executing under the lock,
     /// defer to readers that registered while an *earlier* holder was in —
     /// they are entitled to bypass us.
-    fn wait_for_bypassing_readers(&self, my_version: u64, trace: &mut TraceBuffer) {
+    pub(crate) fn wait_for_bypassing_readers(&self, my_version: u64, trace: &mut TraceBuffer) {
         let mut spin = clock::SpinWait::new();
         let mut noted = false;
         loop {

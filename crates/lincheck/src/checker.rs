@@ -1,0 +1,397 @@
+//! The Wing–Gong search: DFS over the pending-operation frontier with
+//! memoized progress vectors and a node budget.
+
+use std::collections::HashSet;
+
+use crate::History;
+
+/// Checker limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckConfig {
+    /// Maximum candidate applications before the search gives up with
+    /// [`Verdict::Unknown`]. Lock-guarded histories are heavily ordered in
+    /// real time, so the default is far beyond anything a green torture
+    /// case needs while still bounding pathological inputs.
+    pub max_nodes: u64,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        Self {
+            max_nodes: 2_000_000,
+        }
+    }
+}
+
+/// The checker's answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// A linearization exists: the history is consistent with some atomic
+    /// sequential execution.
+    Linearizable,
+    /// No order satisfying program order, real time, and the sequential
+    /// model exists. The string describes the deepest frontier the search
+    /// reached and why each pending operation is stuck there.
+    NonLinearizable(String),
+    /// The checker could not decide: the history is incomplete (ring
+    /// overwrite holes) or the search exceeded its node budget.
+    Unknown(String),
+}
+
+impl Verdict {
+    /// `true` for [`Verdict::Linearizable`].
+    pub fn is_linearizable(&self) -> bool {
+        matches!(self, Verdict::Linearizable)
+    }
+
+    /// `true` for [`Verdict::NonLinearizable`].
+    pub fn is_violation(&self) -> bool {
+        matches!(self, Verdict::NonLinearizable(_))
+    }
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Verdict::Linearizable => write!(f, "linearizable"),
+            Verdict::NonLinearizable(d) => write!(f, "NON-LINEARIZABLE: {d}"),
+            Verdict::Unknown(r) => write!(f, "unknown: {r}"),
+        }
+    }
+}
+
+/// Whether `op` replays correctly against the current register bank: every
+/// read sees the register's value, every increment sees it as the old
+/// value. All observations are against the pre-state — the op is atomic
+/// and each register appears at most once per op in our recorders.
+fn applies(op: &crate::Op, state: &[u64]) -> bool {
+    op.reads.iter().all(|&(r, v)| state[r as usize] == v)
+        && op.incrs.iter().all(|&(r, old)| state[r as usize] == old)
+}
+
+/// One-phrase explanation of why `op` cannot be linearized next.
+fn stuck_reason(op: &crate::Op, state: &[u64]) -> Option<String> {
+    for &(r, v) in &op.reads {
+        if state[r as usize] != v {
+            return Some(format!(
+                "read of register {r} observed {v}, model holds {}",
+                state[r as usize]
+            ));
+        }
+    }
+    for &(r, old) in &op.incrs {
+        if state[r as usize] != old {
+            return Some(format!(
+                "increment on register {r} observed old {old}, model holds {}",
+                state[r as usize]
+            ));
+        }
+    }
+    None
+}
+
+/// Searches for a linearization of `h`.
+///
+/// Candidates at each step are each thread's *next* pending operation
+/// (program order); a candidate is real-time eligible iff no other
+/// thread's next pending op responded strictly before the candidate's
+/// invocation — per-thread response timestamps are monotone, so checking
+/// only the heads is sufficient. The register bank after any prefix is a
+/// pure function of the per-thread progress vector, so visited vectors are
+/// memoized and never re-expanded.
+///
+/// Deterministic: candidate order is fixed (thread index), and the memo
+/// set is only queried for membership — the verdict for a given history
+/// and config never varies between runs.
+pub fn check(h: &History, cfg: &CheckConfig) -> Verdict {
+    if h.dropped_events > 0 {
+        return Verdict::Unknown(format!(
+            "incomplete history: {} events lost to trace-ring overwrite \
+             (enlarge the ring to check this run)",
+            h.dropped_events
+        ));
+    }
+    let n = h.threads.len();
+    let total = h.total_ops();
+    if total == 0 {
+        return Verdict::Linearizable;
+    }
+    let mut state = vec![0u64; h.num_registers()];
+    // Progress vector: ops linearized per thread. u32 indices keep the
+    // memo set compact.
+    let mut idx = vec![0u32; n];
+    let mut visited: HashSet<Vec<u32>> = HashSet::new();
+    visited.insert(idx.clone());
+
+    // Explicit DFS stack: the thread applied at each depth, plus the
+    // candidate cursor to resume from when backtracking to that depth.
+    let mut chosen: Vec<usize> = Vec::with_capacity(total);
+    let mut cursors: Vec<usize> = Vec::with_capacity(total);
+    let mut cursor = 0usize;
+    let mut nodes = 0u64;
+
+    // Deepest dead-end frontier seen, for the violation report.
+    let mut best: Option<(usize, String)> = None;
+
+    loop {
+        if chosen.len() == total {
+            return Verdict::Linearizable;
+        }
+
+        let mut advanced = false;
+        while cursor < n {
+            let c = cursor;
+            cursor += 1;
+            let Some(op) = h.threads[c].get(idx[c] as usize) else {
+                continue;
+            };
+            // Real-time order: another thread's pending head that responded
+            // before our invocation must linearize first.
+            let precluded = (0..n).any(|u| {
+                u != c
+                    && h.threads[u]
+                        .get(idx[u] as usize)
+                        .is_some_and(|p| p.resp < op.inv)
+            });
+            if precluded {
+                continue;
+            }
+            nodes += 1;
+            if nodes > cfg.max_nodes {
+                return Verdict::Unknown(format!(
+                    "node budget exhausted ({} candidate applications, {}/{} ops placed)",
+                    cfg.max_nodes,
+                    chosen.len(),
+                    total
+                ));
+            }
+            if !applies(op, &state) {
+                continue;
+            }
+            for &(r, _) in &op.incrs {
+                state[r as usize] += 1;
+            }
+            idx[c] += 1;
+            if !visited.insert(idx.clone()) {
+                idx[c] -= 1;
+                for &(r, _) in &op.incrs {
+                    state[r as usize] -= 1;
+                }
+                continue;
+            }
+            chosen.push(c);
+            cursors.push(cursor);
+            cursor = 0;
+            advanced = true;
+            break;
+        }
+        if advanced {
+            continue;
+        }
+
+        // Dead end: remember the deepest one for diagnostics.
+        if best.as_ref().is_none_or(|(d, _)| chosen.len() > *d) {
+            best = Some((chosen.len(), frontier_report(h, &idx, &state)));
+        }
+
+        match chosen.pop() {
+            None => {
+                let (depth, report) = best.expect("at least one dead end recorded");
+                return Verdict::NonLinearizable(format!(
+                    "no linearization exists; deepest frontier placed {depth}/{total} ops:\n{report}"
+                ));
+            }
+            Some(c) => {
+                idx[c] -= 1;
+                let op = &h.threads[c][idx[c] as usize];
+                for &(r, _) in &op.incrs {
+                    state[r as usize] -= 1;
+                }
+                cursor = cursors.pop().expect("cursor stack in sync");
+            }
+        }
+    }
+}
+
+/// Describes each thread's pending head at a stuck frontier.
+fn frontier_report(h: &History, idx: &[u32], state: &[u64]) -> String {
+    let n = h.threads.len();
+    let mut out = String::new();
+    for (c, ops) in h.threads.iter().enumerate() {
+        let Some(op) = ops.get(idx[c] as usize) else {
+            continue;
+        };
+        let precluded = (0..n).any(|u| {
+            u != c
+                && h.threads[u]
+                    .get(idx[u] as usize)
+                    .is_some_and(|p| p.resp < op.inv)
+        });
+        let why = if precluded {
+            "blocked by real-time order (another pending op responded first)".to_string()
+        } else {
+            match stuck_reason(op, state) {
+                Some(r) => r,
+                None => "applies, but every successor state was already explored".to_string(),
+            }
+        };
+        out.push_str(&format!(
+            "    thread {} op {} (kind {}, inv {}, resp {}): {}\n",
+            op.tid, op.seq, op.kind, op.inv, op.resp, why
+        ));
+    }
+    if out.is_empty() {
+        out.push_str("    (no pending operations)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Op;
+
+    fn op(
+        tid: u32,
+        seq: u64,
+        inv: u64,
+        resp: u64,
+        reads: Vec<(u32, u64)>,
+        incrs: Vec<(u32, u64)>,
+    ) -> Op {
+        Op {
+            tid,
+            seq,
+            kind: 0,
+            inv,
+            resp,
+            reads,
+            incrs,
+        }
+    }
+
+    fn hist(threads: Vec<Vec<Op>>) -> History {
+        History {
+            threads,
+            dropped_events: 0,
+            truncated_ops: 0,
+        }
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        assert!(check(&hist(vec![]), &CheckConfig::default()).is_linearizable());
+    }
+
+    #[test]
+    fn sequential_counter_is_linearizable() {
+        // One thread: incr old 0, incr old 1, read 2.
+        let h = hist(vec![vec![
+            op(0, 0, 1, 2, vec![], vec![(0, 0)]),
+            op(0, 1, 3, 4, vec![], vec![(0, 1)]),
+            op(0, 2, 5, 6, vec![(0, 2)], vec![]),
+        ]]);
+        assert!(check(&h, &CheckConfig::default()).is_linearizable());
+    }
+
+    #[test]
+    fn concurrent_ops_may_reorder_against_timestamps() {
+        // T0 increments (old 1) *while* T1 increments (old 0): overlapping
+        // intervals, so the checker must place T1 first even though T0's
+        // interval starts earlier.
+        let h = hist(vec![
+            vec![op(0, 0, 1, 10, vec![], vec![(0, 1)])],
+            vec![op(1, 0, 2, 9, vec![], vec![(0, 0)])],
+        ]);
+        assert!(check(&h, &CheckConfig::default()).is_linearizable());
+    }
+
+    #[test]
+    fn real_time_order_is_enforced() {
+        // T0's increment (old 1) finished strictly before T1's (old 0)
+        // began — the model order contradicts real time.
+        let h = hist(vec![
+            vec![op(0, 0, 1, 2, vec![], vec![(0, 1)])],
+            vec![op(1, 0, 5, 6, vec![], vec![(0, 0)])],
+        ]);
+        let v = check(&h, &CheckConfig::default());
+        assert!(v.is_violation(), "{v}");
+    }
+
+    #[test]
+    fn stale_read_is_a_violation() {
+        // A read of 0 after an increment (old 0) completed in real time.
+        let h = hist(vec![
+            vec![op(0, 0, 1, 2, vec![], vec![(0, 0)])],
+            vec![op(1, 0, 5, 6, vec![(0, 0)], vec![])],
+        ]);
+        let v = check(&h, &CheckConfig::default());
+        assert!(v.is_violation(), "{v}");
+        let Verdict::NonLinearizable(d) = v else {
+            unreachable!()
+        };
+        assert!(d.contains("read of register 0"), "{d}");
+    }
+
+    #[test]
+    fn torn_multi_register_read_is_a_violation() {
+        // A writer increments registers 0 and 1 in one atomic op; a
+        // concurrent reader sees 0 updated but 1 not — impossible atomically.
+        let h = hist(vec![
+            vec![op(0, 0, 1, 10, vec![], vec![(0, 0), (1, 0)])],
+            vec![op(1, 0, 2, 9, vec![(0, 1), (1, 0)], vec![])],
+        ]);
+        let v = check(&h, &CheckConfig::default());
+        assert!(v.is_violation(), "{v}");
+    }
+
+    #[test]
+    fn duplicate_old_values_are_a_violation() {
+        // Two increments both claiming old 0 on one register: a lost update.
+        let h = hist(vec![
+            vec![op(0, 0, 1, 10, vec![], vec![(0, 0)])],
+            vec![op(1, 0, 2, 9, vec![], vec![(0, 0)])],
+        ]);
+        assert!(check(&h, &CheckConfig::default()).is_violation());
+    }
+
+    #[test]
+    fn dropped_events_answer_unknown() {
+        let mut h = hist(vec![vec![op(0, 0, 1, 2, vec![], vec![(0, 0)])]]);
+        h.dropped_events = 3;
+        assert!(matches!(
+            check(&h, &CheckConfig::default()),
+            Verdict::Unknown(_)
+        ));
+    }
+
+    #[test]
+    fn node_budget_answers_unknown() {
+        let h = hist(vec![
+            vec![op(0, 0, 1, 10, vec![], vec![(0, 0)])],
+            vec![op(1, 0, 1, 10, vec![], vec![(1, 0)])],
+        ]);
+        assert!(matches!(
+            check(&h, &CheckConfig { max_nodes: 1 }),
+            Verdict::Unknown(_)
+        ));
+    }
+
+    #[test]
+    fn verdict_is_deterministic() {
+        let h = hist(vec![
+            vec![
+                op(0, 0, 1, 10, vec![], vec![(0, 1)]),
+                op(0, 1, 12, 14, vec![(0, 2), (1, 1)], vec![]),
+            ],
+            vec![
+                op(1, 0, 2, 9, vec![], vec![(0, 0)]),
+                op(1, 1, 11, 13, vec![], vec![(1, 0)]),
+            ],
+        ]);
+        let a = check(&h, &CheckConfig::default());
+        for _ in 0..5 {
+            assert_eq!(a, check(&h, &CheckConfig::default()));
+        }
+    }
+}

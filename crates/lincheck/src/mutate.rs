@@ -1,0 +1,223 @@
+//! History mutators for checker self-tests: each mutation models a real
+//! synchronization-bug symptom and is constructed so that applying it to a
+//! valid history *must* flip the verdict to non-linearizable.
+//!
+//! Why each mutation is guaranteed to flip (given a history where the
+//! observed old values on some register form the chain `0, 1, 2, …`, as
+//! every real fetch-and-add history does):
+//!
+//! - **DropCommit** removes an increment observing old `k` on a register
+//!   where some *other* op observed a value `≥ k+1` — with the increment
+//!   gone, the model can never raise the register past `k`, so that
+//!   observation is unsatisfiable (a lost update).
+//! - **SwapCommits** exchanges the observed old values of two increments
+//!   on one register from *different threads* that are ordered in real
+//!   time — after the swap, the model order required by the old-value
+//!   chain contradicts the real-time order (a reordered commit).
+//! - **DuplicateRead** appends a new single-read op observing a *stale*
+//!   value of a register after every other op has responded — by then the
+//!   register has moved past the stale value, and real time forces the
+//!   duplicate to linearize last (a use-after-unlock / torn republish).
+
+use crate::{History, Op};
+
+/// The mutation kinds, each modeling one bug symptom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Remove a committed increment another op's observation depends on.
+    DropCommit,
+    /// Swap the observed old values of two real-time-ordered increments
+    /// on one register across threads.
+    SwapCommits,
+    /// Append a stale read of a register after the full history completed.
+    DuplicateRead,
+}
+
+impl Mutation {
+    /// All mutation kinds, for exhaustive self-tests.
+    pub const ALL: [Mutation; 3] = [
+        Mutation::DropCommit,
+        Mutation::SwapCommits,
+        Mutation::DuplicateRead,
+    ];
+
+    /// Stable CLI/diagnostic name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mutation::DropCommit => "drop-commit",
+            Mutation::SwapCommits => "swap-commits",
+            Mutation::DuplicateRead => "duplicate-read",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|m| m.name() == s)
+    }
+}
+
+/// Flat handle to one op: `(thread index, op index)`.
+type Loc = (usize, usize);
+
+fn ops(h: &History) -> impl Iterator<Item = (Loc, &Op)> + '_ {
+    h.threads
+        .iter()
+        .enumerate()
+        .flat_map(|(t, v)| v.iter().enumerate().map(move |(i, o)| ((t, i), o)))
+}
+
+/// Applies `m` to a copy of `h`, choosing among the eligible sites by
+/// `seed`. Returns `None` when the history has no eligible site (e.g. no
+/// two cross-thread increments on a common register). Deterministic in
+/// `(h, m, seed)`.
+pub fn apply(h: &History, m: Mutation, seed: u64) -> Option<History> {
+    match m {
+        Mutation::DropCommit => drop_commit(h, seed),
+        Mutation::SwapCommits => swap_commits(h, seed),
+        Mutation::DuplicateRead => duplicate_read(h, seed),
+    }
+}
+
+fn pick<T>(cands: Vec<T>, seed: u64) -> Option<T> {
+    if cands.is_empty() {
+        return None;
+    }
+    let i = (seed % cands.len() as u64) as usize;
+    cands.into_iter().nth(i)
+}
+
+/// Highest value of register `r` observed anywhere in `h` (reads see the
+/// post-state history too, increments their old value).
+fn max_observation(h: &History, r: u32) -> u64 {
+    ops(h)
+        .flat_map(|(_, o)| o.reads.iter().chain(o.incrs.iter()))
+        .filter(|&&(reg, _)| reg == r)
+        .map(|&(_, v)| v)
+        .max()
+        .unwrap_or(0)
+}
+
+fn drop_commit(h: &History, seed: u64) -> Option<History> {
+    // Eligible: an increment observing old k on r, where some *other* op
+    // observed ≥ k+1 on r (so the drop is noticed).
+    let mut cands: Vec<Loc> = Vec::new();
+    for (loc, o) in ops(h) {
+        for &(r, k) in &o.incrs {
+            let depended = ops(h)
+                .filter(|&(l2, _)| l2 != loc)
+                .flat_map(|(_, o2)| o2.reads.iter().chain(o2.incrs.iter()))
+                .any(|&(r2, v2)| r2 == r && v2 > k);
+            if depended {
+                cands.push(loc);
+                break;
+            }
+        }
+    }
+    let (t, i) = pick(cands, seed)?;
+    let mut out = h.clone();
+    out.threads[t].remove(i);
+    for (seq, o) in out.threads[t].iter_mut().enumerate() {
+        o.seq = seq as u64; // keep per-thread numbering dense
+    }
+    Some(out)
+}
+
+fn swap_commits(h: &History, seed: u64) -> Option<History> {
+    // Eligible: two increments on one register, different threads, with
+    // distinct old values, strictly ordered in real time.
+    let mut cands: Vec<(Loc, usize, Loc, usize)> = Vec::new();
+    for (la, a) in ops(h) {
+        for (ia, &(ra, olda)) in a.incrs.iter().enumerate() {
+            for (lb, b) in ops(h) {
+                if lb.0 == la.0 || a.resp >= b.inv {
+                    continue; // same thread, or not real-time ordered a → b
+                }
+                for (ib, &(rb, oldb)) in b.incrs.iter().enumerate() {
+                    if ra == rb && olda != oldb {
+                        cands.push((la, ia, lb, ib));
+                    }
+                }
+            }
+        }
+    }
+    let ((ta, ia_op), ia, (tb, ib_op), ib) = pick(cands, seed)?;
+    let mut out = h.clone();
+    let olda = out.threads[ta][ia_op].incrs[ia].1;
+    let oldb = out.threads[tb][ib_op].incrs[ib].1;
+    out.threads[ta][ia_op].incrs[ia].1 = oldb;
+    out.threads[tb][ib_op].incrs[ib].1 = olda;
+    Some(out)
+}
+
+fn duplicate_read(h: &History, seed: u64) -> Option<History> {
+    // Eligible: any register some increment moved past 0 — the appended
+    // "reader depart replayed late" observes the stale pre-history value 0
+    // after everything else responded.
+    let mut regs: Vec<u32> = ops(h)
+        .flat_map(|(_, o)| o.incrs.iter())
+        .map(|&(r, _)| r)
+        .collect();
+    regs.sort_unstable();
+    regs.dedup();
+    regs.retain(|&r| max_observation(h, r) >= 1);
+    let r = pick(regs, seed)?;
+    let mut out = h.clone();
+    let after = ops(h).map(|(_, o)| o.resp).max().unwrap_or(0) + 10;
+    let tid = out.threads.len() as u32;
+    out.threads.push(vec![Op {
+        tid,
+        seq: 0,
+        kind: 2,
+        inv: after,
+        resp: after + 1,
+        reads: vec![(r, 0)],
+        incrs: Vec::new(),
+    }]);
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::synth_history;
+    use crate::{check, CheckConfig};
+
+    #[test]
+    fn every_mutation_has_sites_on_a_real_history() {
+        let h = synth_history(3, 3, 16, 4, 50);
+        for m in Mutation::ALL {
+            assert!(apply(&h, m, 0).is_some(), "{} found no site", m.name());
+        }
+    }
+
+    #[test]
+    fn mutations_flip_the_verdict() {
+        let h = synth_history(11, 3, 16, 4, 50);
+        assert!(check(&h, &CheckConfig::default()).is_linearizable());
+        for m in Mutation::ALL {
+            for seed in 0..4 {
+                let Some(bad) = apply(&h, m, seed) else {
+                    continue;
+                };
+                let v = check(&bad, &CheckConfig::default());
+                assert!(v.is_violation(), "{} seed {seed}: {v}", m.name());
+            }
+        }
+    }
+
+    #[test]
+    fn apply_is_deterministic() {
+        let h = synth_history(5, 2, 10, 3, 60);
+        for m in Mutation::ALL {
+            assert_eq!(apply(&h, m, 9), apply(&h, m, 9));
+        }
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for m in Mutation::ALL {
+            assert_eq!(Mutation::parse(m.name()), Some(m));
+        }
+        assert_eq!(Mutation::parse("bogus"), None);
+    }
+}

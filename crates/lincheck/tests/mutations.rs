@@ -1,0 +1,87 @@
+//! Mutation self-tests (checker soundness): every seeded corruption of a
+//! valid history must flip the verdict to non-linearizable, across many
+//! seeds and history shapes. A checker that misses any of these would
+//! also miss the corresponding real lock bug.
+
+use sprwl_lincheck::mutate::{apply, Mutation};
+use sprwl_lincheck::synth::synth_history;
+use sprwl_lincheck::{check, CheckConfig, Verdict};
+
+fn shapes() -> Vec<(u64, usize, usize, usize, u32)> {
+    vec![
+        // (seed, threads, ops/thread, pairs, write_pct)
+        (0xA11CE, 2, 12, 2, 50),
+        (0xB0B, 3, 16, 4, 40),
+        (0xC0FFEE, 4, 10, 3, 70),
+        (0xD00D, 3, 20, 5, 30),
+    ]
+}
+
+#[test]
+fn baselines_are_linearizable() {
+    for (seed, t, n, p, w) in shapes() {
+        let h = synth_history(seed, t, n, p, w);
+        let v = check(&h, &CheckConfig::default());
+        assert!(v.is_linearizable(), "shape seed {seed:#x}: {v}");
+    }
+}
+
+#[test]
+fn drop_commit_flips_verdict() {
+    assert_mutation_flips(Mutation::DropCommit);
+}
+
+#[test]
+fn swap_commits_flips_verdict() {
+    assert_mutation_flips(Mutation::SwapCommits);
+}
+
+#[test]
+fn duplicate_read_flips_verdict() {
+    assert_mutation_flips(Mutation::DuplicateRead);
+}
+
+fn assert_mutation_flips(m: Mutation) {
+    let mut applied = 0u32;
+    for (seed, t, n, p, w) in shapes() {
+        let h = synth_history(seed, t, n, p, w);
+        for mseed in 0..8u64 {
+            let Some(bad) = apply(&h, m, mseed) else {
+                continue;
+            };
+            applied += 1;
+            let v = check(&bad, &CheckConfig::default());
+            assert!(
+                v.is_violation(),
+                "{} (shape {seed:#x}, mutation seed {mseed}) went undetected: {v}",
+                m.name()
+            );
+        }
+    }
+    assert!(applied >= 8, "{}: only {applied} eligible sites", m.name());
+}
+
+#[test]
+fn violation_reports_name_the_stuck_operation() {
+    let h = synth_history(0xF00D, 3, 14, 3, 50);
+    let bad = apply(&h, Mutation::DuplicateRead, 1).expect("eligible site");
+    match check(&bad, &CheckConfig::default()) {
+        Verdict::NonLinearizable(d) => {
+            assert!(d.contains("thread"), "diagnostic lacks thread info: {d}");
+            assert!(d.contains("deepest frontier"), "{d}");
+        }
+        v => panic!("expected violation, got {v}"),
+    }
+}
+
+#[test]
+fn mutated_verdicts_are_deterministic() {
+    let h = synth_history(0xDEED, 3, 12, 3, 50);
+    for m in Mutation::ALL {
+        let Some(bad) = apply(&h, m, 2) else { continue };
+        let first = check(&bad, &CheckConfig::default());
+        for _ in 0..3 {
+            assert_eq!(first, check(&bad, &CheckConfig::default()));
+        }
+    }
+}

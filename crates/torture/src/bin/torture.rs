@@ -59,13 +59,14 @@ fn main() {
         let t_case = std::time::Instant::now();
         match run_case(spec, seed) {
             Ok(s) => println!(
-                "ok   {:<28} {:>6} ops  r={:<6} w={:<6} spec={:<6} aborts={:<6} {:>7.1}ms",
+                "ok   {:<28} {:>6} ops  r={:<6} w={:<6} spec={:<6} aborts={:<6} lin={:<7} {:>7.1}ms",
                 spec.name,
                 spec.total_ops(),
                 s.reader_commits,
                 s.writer_commits,
                 s.speculative_commits,
                 s.aborts,
+                s.lincheck.label(),
                 t_case.elapsed().as_secs_f64() * 1e3,
             ),
             Err(v) => {

@@ -68,7 +68,8 @@
 use std::fmt;
 
 use htm_sim::{Htm, HtmConfig, SchedulerKind};
-use sprwl::{SpRwl, SprwlConfig};
+use sprwl::{InnerMode, SpRwl, SpRwlPair, SprwlConfig};
+use sprwl_lincheck::{check, labels, CheckConfig, History, Verdict};
 use sprwl_locks::{
     BrLock, CommitMode, LockThread, McsRwLock, PassiveRwLock, PhaseFairRwLock, PthreadRwLock, Role,
     RwLe, RwSync, SectionId, SessionStats, Tle,
@@ -84,6 +85,7 @@ const POISON: u64 = u64::MAX;
 /// its per-section statistics on these).
 const SEC_READ: SectionId = SectionId(0);
 const SEC_WRITE: SectionId = SectionId(1);
+const SEC_CROSS: SectionId = SectionId(2);
 
 /// Default base seed when `TORTURE_SEED` is not set.
 pub const DEFAULT_SEED: u64 = 0x0070_D70C_AB1E_5EED;
@@ -230,6 +232,30 @@ impl LockKind {
     }
 }
 
+/// Which inner role the composed sections of a cross-lock case take (the
+/// outer role is always writer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrossNesting {
+    /// Every composed section nests a reader in a writer.
+    ReadInWriter,
+    /// Every composed section nests a writer in a writer.
+    WriteInWriter,
+    /// Composed sections alternate between both nestings, seeded.
+    Mixed,
+}
+
+/// The operation shape a torture case drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// The classic single-lock mirror-pair workload.
+    Mirror,
+    /// Two SpRWL locks guarding disjoint mirror banks, with plain
+    /// single-lock sections on each plus *composed* sections that acquire
+    /// both in one critical section (see [`sprwl::SpRwlPair`]). Requires
+    /// [`LockKind::Sprwl`]; the same config instantiates both locks.
+    CrossBank(CrossNesting),
+}
+
 /// One torture case: a lock, a fault model, and a workload shape.
 #[derive(Debug, Clone)]
 pub struct TortureSpec {
@@ -245,12 +271,19 @@ pub struct TortureSpec {
     pub threads: usize,
     /// Operations (critical sections) issued per thread.
     pub ops_per_thread: usize,
-    /// Mirror pairs in the shared bank.
+    /// Mirror pairs in the shared bank (per lock, for cross-bank cases).
     pub pairs: usize,
     /// Percentage (0–100) of operations that are writes.
     pub write_pct: u32,
     /// Mirror pairs each read section scans.
     pub reader_span: usize,
+    /// The operation shape (single-lock mirror or two-lock cross-bank).
+    pub workload: Workload,
+    /// Record a `lin-*` operation history in each worker's trace and run
+    /// the offline linearizability checker as a second verdict after the
+    /// end-state oracle. Enlarges the per-thread trace ring so the whole
+    /// history fits.
+    pub lincheck: bool,
 }
 
 impl TortureSpec {
@@ -352,6 +385,29 @@ fn write_postmortem(v: &Violation, traces: &[ThreadTrace]) -> Option<std::path::
     std::fs::write(&path, body).ok().map(|()| path)
 }
 
+/// What the linearizability checker concluded about a clean run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum LincheckStatus {
+    /// The case did not record a history (`lincheck: false`).
+    #[default]
+    NotRun,
+    /// A linearization of the recorded history exists.
+    Linearizable,
+    /// The checker could not decide (incomplete history or node budget).
+    Unknown,
+}
+
+impl LincheckStatus {
+    /// Short label for report lines.
+    pub fn label(self) -> &'static str {
+        match self {
+            LincheckStatus::NotRun => "off",
+            LincheckStatus::Linearizable => "ok",
+            LincheckStatus::Unknown => "unknown",
+        }
+    }
+}
+
 /// Aggregate outcome of a clean run (for reporting and smoke assertions).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RunSummary {
@@ -365,6 +421,10 @@ pub struct RunSummary {
     pub aborts: u64,
     /// Sum of all mirror-pair counters at the end of the run.
     pub final_increments: u64,
+    /// The linearizability checker's verdict on the recorded history (a
+    /// non-linearizable history never reaches a summary — it is a
+    /// violation).
+    pub lincheck: LincheckStatus,
 }
 
 /// Per-thread output collected after the workers join.
@@ -378,6 +438,26 @@ struct ThreadOut {
     trace: ThreadTrace,
 }
 
+/// Trace-ring capacity for a worker: history-recording cases need the
+/// *whole* run to fit (inv/effect/ret marks plus the lock's own lifecycle
+/// events, with a generous per-op allowance for retries), postmortem-only
+/// cases just keep a tail.
+fn worker_ring(spec: &TortureSpec) -> usize {
+    if spec.lincheck {
+        spec.ops_per_thread * 96 + POSTMORTEM_RING
+    } else {
+        POSTMORTEM_RING
+    }
+}
+
+/// In the linearizability history, a mirror pair is **one register** of
+/// the sequential model: a committed write section is a fetch-and-add
+/// returning the pre-value, a read section observes one value per pair.
+/// Cross-bank cases namespace the inner lock's pairs after the outer's.
+fn reg_of(bank: usize, pair: usize, pairs: usize) -> u64 {
+    (bank * pairs + pair) as u64
+}
+
 fn worker(
     lock: &dyn RwSync,
     htm: &Htm,
@@ -387,17 +467,20 @@ fn worker(
     case_seed: u64,
     tid: usize,
 ) -> ThreadOut {
-    // Every worker keeps a small event ring so an oracle violation can dump
-    // the tail of what each thread was doing — the lock's own lifecycle
-    // events (for the instrumented schemes) plus one mark per issued op.
-    let mut t = LockThread::with_trace(htm.thread(tid), TraceConfig::ring(POSTMORTEM_RING));
+    // Every worker keeps an event ring so an oracle violation can dump the
+    // tail of what each thread was doing — the lock's own lifecycle events
+    // (for the instrumented schemes) plus one mark per issued op — and, for
+    // lincheck cases, the full `lin-*` operation history.
+    let mut t = LockThread::with_trace(htm.thread(tid), TraceConfig::ring(worker_ring(spec)));
     let mut rng = Prng::new(mix64(case_seed ^ ((tid as u64 + 1) << 32)));
     let mut incr = vec![0u64; spec.pairs];
     let mut reader_ops = 0u64;
     let mut writer_ops = 0u64;
     let mut torn = None;
+    let lin = spec.lincheck;
+    let mut obs: Vec<(usize, u64)> = Vec::with_capacity(spec.pairs);
 
-    for _ in 0..spec.ops_per_thread {
+    for seq in 0..spec.ops_per_thread as u64 {
         let is_write = rng.next() % 100 < u64::from(spec.write_pct);
         let p = (rng.next() as usize) % spec.pairs;
         t.trace.push(EventKind::Mark {
@@ -407,6 +490,15 @@ fn worker(
         });
         if is_write {
             let (pa, pb) = (bank_a[p], bank_b[p]);
+            if lin {
+                // Invocation mark *before* the section call, so the
+                // recorded interval contains the true one.
+                t.trace.push(EventKind::Mark {
+                    label: labels::INV,
+                    a: seq,
+                    b: 1,
+                });
+            }
             let r = lock.write_section(&mut t, SEC_WRITE, &mut |acc| {
                 let a = acc.read(pa)?;
                 let b = acc.read(pb)?;
@@ -415,15 +507,42 @@ fn worker(
                 Ok(if a == b { a } else { POISON })
             });
             if r == POISON {
+                // No lin-ret: the op stays pending and the extractor drops
+                // it (the case is already failing the end-state oracle).
                 torn = Some(format!("writer {tid} entered on torn pair {p}"));
                 break;
+            }
+            if lin {
+                // The section's return value *is* the committed attempt's
+                // observed pre-value (aborted attempts never return).
+                t.trace.push(EventKind::Mark {
+                    label: labels::WRITE,
+                    a: reg_of(0, p, spec.pairs),
+                    b: r,
+                });
+                t.trace.push(EventKind::Mark {
+                    label: labels::RET,
+                    a: seq,
+                    b: 0,
+                });
             }
             incr[p] += 1;
             writer_ops += 1;
         } else {
             let span = spec.reader_span.min(spec.pairs).max(1);
             let start = (rng.next() as usize) % spec.pairs;
+            if lin {
+                t.trace.push(EventKind::Mark {
+                    label: labels::INV,
+                    a: seq,
+                    b: 0,
+                });
+            }
             let r = lock.read_section(&mut t, SEC_READ, &mut |acc| {
+                // The side buffer is reset at the top of every attempt, so
+                // after the call it holds exactly the *committed* attempt's
+                // observations (retried attempts overwrite it).
+                obs.clear();
                 let mut sum = 0u64;
                 for k in 0..span {
                     let i = (start + k) % spec.pairs;
@@ -432,6 +551,7 @@ fn worker(
                     if a != b {
                         return Ok(POISON);
                     }
+                    obs.push((i, a));
                     sum = sum.wrapping_add(a);
                 }
                 Ok(sum)
@@ -439,6 +559,237 @@ fn worker(
             if r == POISON {
                 torn = Some(format!("reader {tid} saw a torn pair near {start}"));
                 break;
+            }
+            if lin {
+                for &(i, v) in &obs {
+                    t.trace.push(EventKind::Mark {
+                        label: labels::READ,
+                        a: reg_of(0, i, spec.pairs),
+                        b: v,
+                    });
+                }
+                t.trace.push(EventKind::Mark {
+                    label: labels::RET,
+                    a: seq,
+                    b: 0,
+                });
+            }
+            reader_ops += 1;
+        }
+    }
+
+    ThreadOut {
+        incr,
+        reader_ops,
+        writer_ops,
+        torn,
+        trace: t.trace.snapshot(),
+        stats: t.stats,
+    }
+}
+
+/// The cross-bank worker: plain single-lock sections on each of the two
+/// locks plus composed two-lock sections, all recorded into one history
+/// over the union of both register banks.
+#[allow(clippy::too_many_arguments)]
+fn worker_cross(
+    pair: &SpRwlPair,
+    htm: &Htm,
+    spec: &TortureSpec,
+    nesting: CrossNesting,
+    banks: &[Vec<htm_sim::CellId>; 4],
+    case_seed: u64,
+    tid: usize,
+) -> ThreadOut {
+    let [a1, b1, a2, b2] = banks;
+    let mut t = LockThread::with_trace(htm.thread(tid), TraceConfig::ring(worker_ring(spec)));
+    let mut rng = Prng::new(mix64(case_seed ^ ((tid as u64 + 1) << 32)));
+    // Outer-lock pairs occupy registers [0, pairs), inner [pairs, 2*pairs).
+    let mut incr = vec![0u64; 2 * spec.pairs];
+    let mut reader_ops = 0u64;
+    let mut writer_ops = 0u64;
+    let mut torn = None;
+    let lin = spec.lincheck;
+    let mut obs: Vec<(usize, u64)> = Vec::with_capacity(spec.pairs);
+
+    for seq in 0..spec.ops_per_thread as u64 {
+        let roll = rng.next() % 100;
+        if roll < 30 {
+            // Composed section: outer write + inner read or write.
+            let mode = match nesting {
+                CrossNesting::ReadInWriter => InnerMode::Read,
+                CrossNesting::WriteInWriter => InnerMode::Write,
+                CrossNesting::Mixed => {
+                    if rng.next().is_multiple_of(2) {
+                        InnerMode::Read
+                    } else {
+                        InnerMode::Write
+                    }
+                }
+            };
+            let p1 = (rng.next() as usize) % spec.pairs;
+            let p2 = (rng.next() as usize) % spec.pairs;
+            t.trace.push(EventKind::Mark {
+                label: "torture-cross",
+                a: p1 as u64,
+                b: p2 as u64,
+            });
+            if lin {
+                t.trace.push(EventKind::Mark {
+                    label: labels::INV,
+                    a: seq,
+                    b: 2 + u64::from(mode == InnerMode::Write),
+                });
+            }
+            let (pa1, pb1, pa2, pb2) = (a1[p1], b1[p1], a2[p2], b2[p2]);
+            let mut inner_obs = 0u64;
+            let r = pair.composed_section(&mut t, SEC_CROSS, mode, &mut |acc| {
+                let va1 = acc.read(pa1)?;
+                let vb1 = acc.read(pb1)?;
+                acc.write(pa1, va1 + 1)?;
+                acc.write(pb1, vb1 + 1)?;
+                let va2 = acc.read(pa2)?;
+                let vb2 = acc.read(pb2)?;
+                if mode == InnerMode::Write {
+                    acc.write(pa2, va2 + 1)?;
+                    acc.write(pb2, vb2 + 1)?;
+                }
+                inner_obs = va2;
+                Ok(if va1 == vb1 && va2 == vb2 {
+                    va1
+                } else {
+                    POISON
+                })
+            });
+            if r == POISON {
+                torn = Some(format!(
+                    "composed writer {tid} saw a torn pair (outer {p1} / inner {p2})"
+                ));
+                break;
+            }
+            if lin {
+                t.trace.push(EventKind::Mark {
+                    label: labels::WRITE,
+                    a: reg_of(0, p1, spec.pairs),
+                    b: r,
+                });
+                t.trace.push(EventKind::Mark {
+                    label: if mode == InnerMode::Write {
+                        labels::WRITE
+                    } else {
+                        labels::READ
+                    },
+                    a: reg_of(1, p2, spec.pairs),
+                    b: inner_obs,
+                });
+                t.trace.push(EventKind::Mark {
+                    label: labels::RET,
+                    a: seq,
+                    b: 0,
+                });
+            }
+            incr[p1] += 1;
+            if mode == InnerMode::Write {
+                incr[spec.pairs + p2] += 1;
+            }
+            writer_ops += 1;
+            continue;
+        }
+
+        // Plain single-lock section on one of the two locks.
+        let on_inner = rng.next() % 2 == 1;
+        let (lock, bank, ba, bb): (&dyn RwSync, usize, _, _) = if on_inner {
+            (&pair.inner, 1, a2, b2)
+        } else {
+            (&pair.outer, 0, a1, b1)
+        };
+        let is_write = rng.next() % 100 < u64::from(spec.write_pct);
+        let p = (rng.next() as usize) % spec.pairs;
+        t.trace.push(EventKind::Mark {
+            label: "torture-op",
+            a: reg_of(bank, p, spec.pairs),
+            b: u64::from(is_write),
+        });
+        if is_write {
+            let (pa, pb) = (ba[p], bb[p]);
+            if lin {
+                t.trace.push(EventKind::Mark {
+                    label: labels::INV,
+                    a: seq,
+                    b: 1,
+                });
+            }
+            let r = lock.write_section(&mut t, SEC_WRITE, &mut |acc| {
+                let a = acc.read(pa)?;
+                let b = acc.read(pb)?;
+                acc.write(pa, a + 1)?;
+                acc.write(pb, b + 1)?;
+                Ok(if a == b { a } else { POISON })
+            });
+            if r == POISON {
+                torn = Some(format!(
+                    "writer {tid} entered on torn pair {p} (bank {bank})"
+                ));
+                break;
+            }
+            if lin {
+                t.trace.push(EventKind::Mark {
+                    label: labels::WRITE,
+                    a: reg_of(bank, p, spec.pairs),
+                    b: r,
+                });
+                t.trace.push(EventKind::Mark {
+                    label: labels::RET,
+                    a: seq,
+                    b: 0,
+                });
+            }
+            incr[bank * spec.pairs + p] += 1;
+            writer_ops += 1;
+        } else {
+            let span = spec.reader_span.min(spec.pairs).max(1);
+            let start = (rng.next() as usize) % spec.pairs;
+            if lin {
+                t.trace.push(EventKind::Mark {
+                    label: labels::INV,
+                    a: seq,
+                    b: 0,
+                });
+            }
+            let r = lock.read_section(&mut t, SEC_READ, &mut |acc| {
+                obs.clear();
+                let mut sum = 0u64;
+                for k in 0..span {
+                    let i = (start + k) % spec.pairs;
+                    let a = acc.read(ba[i])?;
+                    let b = acc.read(bb[i])?;
+                    if a != b {
+                        return Ok(POISON);
+                    }
+                    obs.push((i, a));
+                    sum = sum.wrapping_add(a);
+                }
+                Ok(sum)
+            });
+            if r == POISON {
+                torn = Some(format!(
+                    "reader {tid} saw a torn pair near {start} (bank {bank})"
+                ));
+                break;
+            }
+            if lin {
+                for &(i, v) in &obs {
+                    t.trace.push(EventKind::Mark {
+                        label: labels::READ,
+                        a: reg_of(bank, i, spec.pairs),
+                        b: v,
+                    });
+                }
+                t.trace.push(EventKind::Mark {
+                    label: labels::RET,
+                    a: seq,
+                    b: 0,
+                });
             }
             reader_ops += 1;
         }
@@ -502,7 +853,7 @@ fn resolve_case(spec: &TortureSpec, base_seed: u64) -> (HtmConfig, u64, Option<u
 
 /// Builds the simulator, runs the workers, and collects everything the
 /// oracle needs as owned data. Infallible: violations are *judged* later
-/// by [`check_case`], never during execution.
+/// by [`judge_case`], never during execution.
 fn execute_case(
     spec: &TortureSpec,
     htm_cfg: &HtmConfig,
@@ -510,6 +861,18 @@ fn execute_case(
     build: &dyn Fn(&Htm) -> Box<dyn RwSync>,
 ) -> CaseRun {
     htm_cfg.validate().expect("torture case HtmConfig invalid");
+    match spec.workload {
+        Workload::Mirror => execute_mirror(spec, htm_cfg, case_seed, build),
+        Workload::CrossBank(nesting) => execute_cross(spec, htm_cfg, case_seed, nesting),
+    }
+}
+
+fn execute_mirror(
+    spec: &TortureSpec,
+    htm_cfg: &HtmConfig,
+    case_seed: u64,
+    build: &dyn Fn(&Htm) -> Box<dyn RwSync>,
+) -> CaseRun {
     let cells_per_line = htm_cfg.cells_per_line as usize;
     let cells = (2 * spec.pairs + 8 * spec.threads + 128) * cells_per_line;
     let htm = Htm::new(htm_cfg.clone(), cells);
@@ -535,6 +898,61 @@ fn execute_case(
         .map(|p| (mem.peek(bank_a[p]), mem.peek(bank_b[p])))
         .collect();
     let quiescence = lock.check_quiescent(mem).map_err(|e| e.to_string());
+    CaseRun {
+        outs,
+        pairs_final,
+        quiescence,
+    }
+}
+
+/// Cross-bank execution: two SpRWL locks over disjoint mirror banks. The
+/// oracle data generalizes cleanly — `pairs_final` and each thread's
+/// per-pair increment counts simply cover `2 * pairs` entries (outer bank
+/// first), and every end-state invariant applies unchanged.
+fn execute_cross(
+    spec: &TortureSpec,
+    htm_cfg: &HtmConfig,
+    case_seed: u64,
+    nesting: CrossNesting,
+) -> CaseRun {
+    let LockKind::Sprwl(lock_cfg) = &spec.lock else {
+        panic!(
+            "cross-bank torture case `{}` requires LockKind::Sprwl",
+            spec.name
+        );
+    };
+    let cells_per_line = htm_cfg.cells_per_line as usize;
+    let cells = (4 * spec.pairs + 16 * spec.threads + 256) * cells_per_line;
+    let htm = Htm::new(htm_cfg.clone(), cells);
+    let pair = SpRwlPair::new(&htm, lock_cfg.clone(), lock_cfg.clone());
+    let banks: [Vec<htm_sim::CellId>; 4] = [
+        htm.memory().alloc_padded(spec.pairs),
+        htm.memory().alloc_padded(spec.pairs),
+        htm.memory().alloc_padded(spec.pairs),
+        htm.memory().alloc_padded(spec.pairs),
+    ];
+
+    let outs: Vec<ThreadOut> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..spec.threads)
+            .map(|tid| {
+                let (pair, htm, banks) = (&pair, &htm, &banks);
+                s.spawn(move || worker_cross(pair, htm, spec, nesting, banks, case_seed, tid))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("torture worker panicked"))
+            .collect()
+    });
+
+    let mem = htm.memory();
+    let mut pairs_final = Vec::with_capacity(2 * spec.pairs);
+    for bank in [0, 2] {
+        for (&a, &b) in banks[bank].iter().zip(&banks[bank + 1]) {
+            pairs_final.push((mem.peek(a), mem.peek(b)));
+        }
+    }
+    let quiescence = pair.check_quiescent(mem).map_err(|e| e.to_string());
     CaseRun {
         outs,
         pairs_final,
@@ -633,6 +1051,48 @@ fn check_case(run: &CaseRun) -> Result<RunSummary, String> {
     Ok(summary)
 }
 
+/// Runs the linearizability checker over a finished run's recorded
+/// history.
+fn lincheck_verdict(run: &CaseRun) -> Result<Verdict, String> {
+    let traces = run.traces();
+    let hist = History::from_traces(&traces)
+        .map_err(|e| format!("lincheck: malformed recorded history: {e}"))?;
+    Ok(check(&hist, &CheckConfig::default()))
+}
+
+/// The full verdict on a finished run: the end-state oracle first, then —
+/// for history-recording cases — the linearizability checker as a second,
+/// independent judge. A non-linearizable history is a violation even when
+/// every end-state invariant holds (that is the checker's whole point);
+/// when the oracle already failed, the checker's verdict is appended to
+/// the detail as corroborating evidence.
+fn judge_case(spec: &TortureSpec, run: &CaseRun) -> Result<RunSummary, String> {
+    let oracle = check_case(run);
+    if !spec.lincheck {
+        return oracle;
+    }
+    match oracle {
+        Ok(mut summary) => {
+            match lincheck_verdict(run)? {
+                Verdict::Linearizable => summary.lincheck = LincheckStatus::Linearizable,
+                Verdict::Unknown(_) => summary.lincheck = LincheckStatus::Unknown,
+                Verdict::NonLinearizable(d) => {
+                    return Err(format!("non-linearizable history: {d}"))
+                }
+            }
+            Ok(summary)
+        }
+        Err(mut detail) => {
+            let verdict = match lincheck_verdict(run) {
+                Ok(v) => v.to_string(),
+                Err(e) => e,
+            };
+            detail.push_str(&format!("\n  lincheck verdict: {verdict}"));
+            Err(detail)
+        }
+    }
+}
+
 /// Compares a deterministic case's original failing run against its
 /// immediate in-process replay and renders the verdict that gets appended
 /// to the violation detail: bit-exact (the replay command will re-trigger
@@ -700,12 +1160,12 @@ pub fn run_case_with(
 ) -> Result<RunSummary, Violation> {
     let (htm_cfg, case_seed, sched_seed) = resolve_case(spec, base_seed);
     let run = execute_case(spec, &htm_cfg, case_seed, build);
-    match check_case(&run) {
+    match judge_case(spec, &run) {
         Ok(summary) => Ok(summary),
         Err(mut detail) => {
             if sched_seed.is_some() {
                 let rerun = execute_case(spec, &htm_cfg, case_seed, build);
-                let rerun_detail = check_case(&rerun).err();
+                let rerun_detail = judge_case(spec, &rerun).err();
                 detail.push_str(&determinism_note(
                     &run,
                     &rerun,
@@ -761,7 +1221,7 @@ impl CaseArtifacts {
 pub fn run_case_artifacts(spec: &TortureSpec, base_seed: u64) -> CaseArtifacts {
     let (htm_cfg, case_seed, sched_seed) = resolve_case(spec, base_seed);
     let run = execute_case(spec, &htm_cfg, case_seed, &|htm| spec.lock.build(htm));
-    let outcome = check_case(&run);
+    let outcome = judge_case(spec, &run);
     CaseArtifacts {
         case_seed,
         sched_seed,
@@ -814,6 +1274,8 @@ pub fn default_matrix(threads: usize, ops_per_thread: usize) -> Vec<TortureSpec>
         pairs: 8,
         write_pct: 30,
         reader_span: 4,
+        workload: Workload::Mirror,
+        lincheck: false,
     };
     let quiet = HtmConfig::default();
     let shaken = HtmConfig {
@@ -931,6 +1393,35 @@ pub fn default_matrix(threads: usize, ops_per_thread: usize) -> Vec<TortureSpec>
     m.push(base("passive", LockKind::Passive, quiet.clone()));
     m.push(base("pthread-rw", LockKind::PthreadRw, quiet));
 
+    // Cross-lock composition: two SpRWLs, plain sections on each plus
+    // composed sections in both nestings, with the full history checked
+    // for linearizability over the two-lock product model.
+    for (name, nesting, htm) in [
+        ("cross-rw", CrossNesting::ReadInWriter, shaken.clone()),
+        ("cross-ww", CrossNesting::WriteInWriter, shaken.clone()),
+        (
+            "cross-rw-int5",
+            CrossNesting::ReadInWriter,
+            HtmConfig {
+                interrupt_prob: 0.05,
+                ..shaken.clone()
+            },
+        ),
+        (
+            "cross-ww-int5",
+            CrossNesting::WriteInWriter,
+            HtmConfig {
+                interrupt_prob: 0.05,
+                ..shaken
+            },
+        ),
+    ] {
+        let mut spec = base(name, LockKind::Sprwl(SprwlConfig::default()), htm);
+        spec.workload = Workload::CrossBank(nesting);
+        spec.lincheck = true;
+        m.push(spec);
+    }
+
     m
 }
 
@@ -957,6 +1448,9 @@ pub fn det_matrix(threads: usize, ops_per_thread: usize) -> Vec<TortureSpec> {
         sched_shake_prob: 0.0,
         ..HtmConfig::default()
     };
+    // Every deterministic case records its operation history and runs the
+    // linearizability checker as a second verdict — the interleaving is a
+    // pure function of the seeds, so the history (and the verdict) is too.
     let base = |name: String, lock: LockKind, htm: HtmConfig| TortureSpec {
         name,
         lock,
@@ -966,6 +1460,8 @@ pub fn det_matrix(threads: usize, ops_per_thread: usize) -> Vec<TortureSpec> {
         pairs: 8,
         write_pct: 30,
         reader_span: 4,
+        workload: Workload::Mirror,
+        lincheck: true,
     };
 
     let mut m = Vec::new();
@@ -1036,7 +1532,26 @@ pub fn det_matrix(threads: usize, ops_per_thread: usize) -> Vec<TortureSpec> {
         LockKind::PhaseFair,
         det.clone(),
     ));
-    m.push(base("det-passive".into(), LockKind::Passive, det));
+    m.push(base("det-passive".into(), LockKind::Passive, det.clone()));
+
+    // Cross-lock composition under the deterministic scheduler: the
+    // composed histories replay bit-for-bit, checker verdict included.
+    for (name, nesting, htm) in [
+        ("det-cross-rw", CrossNesting::ReadInWriter, det.clone()),
+        ("det-cross-ww", CrossNesting::WriteInWriter, det.clone()),
+        (
+            "det-cross-rw-int5",
+            CrossNesting::ReadInWriter,
+            HtmConfig {
+                interrupt_prob: 0.05,
+                ..det
+            },
+        ),
+    ] {
+        let mut spec = base(name.into(), LockKind::Sprwl(SprwlConfig::default()), htm);
+        spec.workload = Workload::CrossBank(nesting);
+        m.push(spec);
+    }
 
     m
 }
@@ -1151,6 +1666,8 @@ mod tests {
             pairs: 4,
             write_pct: 50,
             reader_span: 4,
+            workload: Workload::Mirror,
+            lincheck: true,
         };
         let a = run_case(&spec, 7).expect("single-threaded run must be clean");
         let b = run_case(&spec, 7).expect("single-threaded run must be clean");

@@ -12,7 +12,7 @@
 use htm_sim::{HtmConfig, SchedulerKind};
 use sprwl::SprwlConfig;
 use sprwl_torture::{
-    det_matrix, first_divergence, run_case_artifacts, LockKind, TortureSpec, DEFAULT_SEED,
+    det_matrix, first_divergence, run_case_artifacts, LockKind, TortureSpec, Workload, DEFAULT_SEED,
 };
 
 /// Asserts that two executions of `spec` under `base_seed` left identical
@@ -77,6 +77,8 @@ fn pinned_spec(schedule_seed: u64) -> TortureSpec {
         pairs: 4,
         write_pct: 60,
         reader_span: 4,
+        workload: Workload::Mirror,
+        lincheck: true,
     }
 }
 

@@ -14,11 +14,18 @@
 
 use htm_sim::{HtmConfig, SchedulerKind};
 use sprwl::SprwlConfig;
-use sprwl_torture::{first_divergence, run_case_artifacts, LockKind, TortureSpec};
+use sprwl_torture::{
+    first_divergence, run_case_artifacts, CrossNesting, LockKind, TortureSpec, Workload,
+};
 
 const GOLDEN_PATH: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
     "/tests/golden/det_smoke.trace.jsonl"
+);
+
+const CROSS_GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/det_cross_smoke.trace.jsonl"
 );
 
 /// Base seed for the golden case; arbitrary but fixed forever.
@@ -42,35 +49,88 @@ fn golden_spec() -> TortureSpec {
         pairs: 4,
         write_pct: 50,
         reader_span: 2,
+        // `lincheck: false` keeps the committed trace free of `lin-*`
+        // marks, so the golden bytes predate — and are unaffected by —
+        // the history recorder.
+        workload: Workload::Mirror,
+        lincheck: false,
     }
 }
 
-#[test]
-fn deterministic_trace_matches_the_committed_golden_file() {
-    let art = run_case_artifacts(&golden_spec(), GOLDEN_BASE_SEED);
-    art.outcome
+/// The cross-lock pinned case: two composed `SpRwl` locks over disjoint
+/// banks, mixed nestings, with the history recorder *on* — so the golden
+/// bytes also pin the `lin-*` mark format the linearizability checker
+/// consumes.
+fn cross_golden_spec() -> TortureSpec {
+    TortureSpec {
+        name: "det-golden-cross".into(),
+        lock: LockKind::Sprwl(SprwlConfig::default()),
+        htm: HtmConfig {
+            scheduler: SchedulerKind::Deterministic {
+                schedule_seed: 0x601D_C705,
+            },
+            ..HtmConfig::default()
+        },
+        threads: 2,
+        ops_per_thread: 10,
+        pairs: 3,
+        write_pct: 50,
+        reader_span: 2,
+        workload: Workload::CrossBank(CrossNesting::Mixed),
+        lincheck: true,
+    }
+}
+
+fn assert_matches_golden(spec: &TortureSpec, path: &str, base_seed: u64, check_history: bool) {
+    let art = run_case_artifacts(spec, base_seed);
+    let summary = art
+        .outcome
         .as_ref()
-        .expect("the golden case must pass the oracle");
+        .unwrap_or_else(|e| panic!("{}: the golden case must pass the oracle: {e}", spec.name));
+    if check_history {
+        assert_eq!(
+            summary.lincheck.label(),
+            "ok",
+            "{}: recorded history must be linearizable",
+            spec.name
+        );
+    }
     let got = art.trace_jsonl();
 
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
-        std::fs::write(GOLDEN_PATH, &got).expect("failed to write golden file");
+        std::fs::write(path, &got).expect("failed to write golden file");
         return;
     }
 
-    let want = std::fs::read_to_string(GOLDEN_PATH).unwrap_or_else(|e| {
+    let want = std::fs::read_to_string(path).unwrap_or_else(|e| {
         panic!(
-            "golden file {GOLDEN_PATH} unreadable ({e}); regenerate with \
+            "golden file {path} unreadable ({e}); regenerate with \
              UPDATE_GOLDEN=1 cargo test -p sprwl-torture --test golden_trace"
         )
     });
     if let Some((line, g, c)) = first_divergence(&want, &got) {
         panic!(
-            "deterministic trace diverged from the golden file at line {line}\n  \
+            "{}: deterministic trace diverged from the golden file at line {line}\n  \
              golden : {g}\n  current: {c}\n\
              If this change is intentional, regenerate with\n  \
              UPDATE_GOLDEN=1 cargo test -p sprwl-torture --test golden_trace\n\
-             and review the diff (scripts/diff_traces.py shows the full divergence)."
+             and review the diff (scripts/diff_traces.py shows the full divergence).",
+            spec.name
         );
     }
+}
+
+#[test]
+fn deterministic_trace_matches_the_committed_golden_file() {
+    assert_matches_golden(&golden_spec(), GOLDEN_PATH, GOLDEN_BASE_SEED, false);
+}
+
+#[test]
+fn cross_lock_trace_matches_the_committed_golden_file() {
+    assert_matches_golden(
+        &cross_golden_spec(),
+        CROSS_GOLDEN_PATH,
+        GOLDEN_BASE_SEED,
+        true,
+    );
 }

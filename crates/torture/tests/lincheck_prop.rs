@@ -1,0 +1,92 @@
+//! Property tests tying the linearizability checker to the live harness:
+//! every *green* deterministic torture run must record a history the
+//! checker accepts, and the verdict must be a pure function of the
+//! recorded history — bit-exact replays yield bit-exact verdicts.
+//!
+//! Seeds are drawn by proptest (replay a failure with `PROPTEST_SEED`);
+//! each drawn `(base_seed, schedule_seed)` pair runs both the mirror
+//! workload and the cross-lock composition workload.
+
+use htm_sim::{HtmConfig, SchedulerKind};
+use proptest::prelude::*;
+use sprwl::SprwlConfig;
+use sprwl_lincheck::{check, CheckConfig, History, Verdict};
+use sprwl_torture::{
+    run_case_artifacts, CrossNesting, LincheckStatus, LockKind, TortureSpec, Workload,
+};
+
+/// A small deterministic case: contended enough that sections genuinely
+/// interleave (aborts, δ-waits, fallbacks), small enough that 8+ pairs of
+/// seeds stay fast.
+fn det_spec(schedule_seed: u64, workload: Workload) -> TortureSpec {
+    TortureSpec {
+        name: match workload {
+            Workload::Mirror => "prop-det-mirror".into(),
+            Workload::CrossBank(_) => "prop-det-cross".into(),
+        },
+        lock: LockKind::Sprwl(SprwlConfig::default()),
+        htm: HtmConfig {
+            scheduler: SchedulerKind::Deterministic { schedule_seed },
+            ..HtmConfig::default()
+        },
+        threads: 3,
+        ops_per_thread: 30,
+        pairs: 3,
+        write_pct: 50,
+        reader_span: 2,
+        workload,
+        lincheck: true,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Green det-matrix-shaped runs record linearizable histories, for
+    /// both the mirror and the cross-lock composition workloads, across
+    /// the drawn `(base seed, schedule seed)` pairs.
+    #[test]
+    fn green_det_histories_check_linearizable(
+        base_seed in 1u64..0xFFFF_FFFF,
+        schedule_seed in 1u64..0xFFFF_FFFF,
+    ) {
+        for workload in [Workload::Mirror, Workload::CrossBank(CrossNesting::Mixed)] {
+            let spec = det_spec(schedule_seed, workload);
+            let art = run_case_artifacts(&spec, base_seed);
+            let summary = art.outcome.as_ref().unwrap_or_else(|e| {
+                panic!("{}: green run expected, oracle said: {e}", spec.name)
+            });
+            prop_assert_eq!(summary.lincheck, LincheckStatus::Linearizable);
+            // The same conclusion must fall out of the raw artifacts (the
+            // path the standalone CLI takes).
+            let hist = History::from_traces(&art.traces)
+                .unwrap_or_else(|e| panic!("{}: malformed history: {e}", spec.name));
+            prop_assert!(hist.total_ops() > 0, "{}: history must be non-empty", spec.name);
+            prop_assert_eq!(hist.dropped_events, 0);
+            prop_assert_eq!(check(&hist, &CheckConfig::default()), Verdict::Linearizable);
+        }
+    }
+
+    /// The verdict is deterministic under replay: re-running the same
+    /// `(spec, base seed, schedule seed)` triple reproduces the identical
+    /// history and hence the identical verdict — including through the
+    /// JSONL round-trip a postmortem file would take.
+    #[test]
+    fn verdict_is_deterministic_under_replay(
+        base_seed in 1u64..0xFFFF_FFFF,
+        schedule_seed in 1u64..0xFFFF_FFFF,
+    ) {
+        let spec = det_spec(schedule_seed, Workload::CrossBank(CrossNesting::Mixed));
+        let a = run_case_artifacts(&spec, base_seed);
+        let b = run_case_artifacts(&spec, base_seed);
+        let ha = History::from_traces(&a.traces).expect("history a");
+        let hb = History::from_jsonl(&b.trace_jsonl()).expect("history b");
+        prop_assert_eq!(ha.total_ops(), hb.total_ops());
+        let (va, vb) = (
+            check(&ha, &CheckConfig::default()),
+            check(&hb, &CheckConfig::default()),
+        );
+        prop_assert_eq!(va.clone(), vb);
+        prop_assert_eq!(va, check(&ha, &CheckConfig::default()));
+    }
+}

@@ -5,7 +5,7 @@
 
 use htm_sim::{clock, Htm, HtmConfig};
 use sprwl_locks::{CommitMode, LockThread, Role, RwSync, SectionBody, SectionId};
-use sprwl_torture::{base_seed, default_matrix, run_case, run_case_with, TortureSpec};
+use sprwl_torture::{base_seed, default_matrix, run_case, run_case_with, TortureSpec, Workload};
 
 /// The acceptance floor: threads × ops ≥ 1000 per lock configuration.
 const THREADS: usize = 4;
@@ -96,6 +96,8 @@ fn oracle_catches_unsynchronized_lock() {
         pairs: 2,
         write_pct: 100,
         reader_span: 2,
+        workload: Workload::Mirror,
+        lincheck: false,
     };
     let caught = (0..10).any(|attempt| {
         run_case_with(&spec, 1000 + attempt, &|_htm: &Htm| {
@@ -127,6 +129,8 @@ fn violations_dump_a_postmortem_event_trace() {
         pairs: 2,
         write_pct: 100,
         reader_span: 2,
+        workload: Workload::Mirror,
+        lincheck: false,
     };
     for attempt in 0..10 {
         if let Err(v) = run_case_with(&spec, 3000 + attempt, &|_htm: &Htm| {
@@ -156,6 +160,42 @@ fn violations_dump_a_postmortem_event_trace() {
 }
 
 #[test]
+fn violation_report_includes_the_lincheck_verdict() {
+    // History-recording case + broken lock: the oracle fails, and the
+    // linearizability checker's independent verdict rides along in the
+    // violation detail as corroborating evidence.
+    let spec = TortureSpec {
+        name: "broken-lincheck".into(),
+        lock: sprwl_torture::LockKind::Tle,
+        htm: HtmConfig {
+            sched_shake_prob: 0.05,
+            ..HtmConfig::default()
+        },
+        threads: 4,
+        ops_per_thread: 2000,
+        pairs: 2,
+        write_pct: 100,
+        reader_span: 2,
+        workload: Workload::Mirror,
+        lincheck: true,
+    };
+    for attempt in 0..10 {
+        if let Err(v) = run_case_with(&spec, 4000 + attempt, &|_htm: &Htm| {
+            Box::new(NoSync) as Box<dyn RwSync>
+        }) {
+            let msg = v.to_string();
+            assert!(msg.contains("lincheck verdict:"), "{msg}");
+            assert!(msg.contains("replay with:"), "{msg}");
+            if let Some(p) = &v.postmortem {
+                std::fs::remove_file(p).ok();
+            }
+            return;
+        }
+    }
+    panic!("could not provoke a violation to inspect the lincheck verdict");
+}
+
+#[test]
 fn violation_report_names_case_and_seed() {
     let spec = TortureSpec {
         name: "broken-report".into(),
@@ -166,6 +206,8 @@ fn violation_report_names_case_and_seed() {
         pairs: 2,
         write_pct: 100,
         reader_span: 2,
+        workload: Workload::Mirror,
+        lincheck: false,
     };
     for attempt in 0..10 {
         if let Err(v) = run_case_with(&spec, 2000 + attempt, &|_htm: &Htm| {

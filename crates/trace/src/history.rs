@@ -1,0 +1,252 @@
+//! History extraction: iterating the [`EventKind::Mark`] records a harness
+//! embeds in its traces, from in-memory [`ThreadTrace`]s or from the JSONL
+//! dumps the exporter and the torture postmortems write.
+//!
+//! This is the bridge between observability and *checking*: a harness logs
+//! one mark stream per thread describing what its operations observed, and
+//! an offline checker (e.g. `sprwl-lincheck`) replays those marks against a
+//! sequential model. The module is deliberately label-agnostic — it
+//! surfaces every mark (any event carrying the generic `a`/`b` payload
+//! words) plus the per-thread drop counts, and leaves the label vocabulary
+//! to the consumer.
+//!
+//! The JSONL parser is a minimal hand-rolled field scanner, matching the
+//! hand-rolled writer in [`crate::export`]: every value it needs is an
+//! unsigned integer or a label chosen by this workspace, so no JSON
+//! framework is required (and none is available offline). Lines it does
+//! not recognize (run metadata, lifecycle events without `a`/`b` payloads)
+//! are skipped, so a torture postmortem feeds straight in.
+
+use crate::{EventKind, ThreadTrace};
+
+/// One mark, normalized: the owning thread, its timestamp, and the payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MarkRecord {
+    /// The recording thread.
+    pub tid: u32,
+    /// Timestamp ([`htm_sim::clock::now`] at push time).
+    pub ts: u64,
+    /// The mark's label (owned, so JSONL and in-memory sources unify).
+    pub label: String,
+    /// First payload word.
+    pub a: u64,
+    /// Second payload word.
+    pub b: u64,
+}
+
+/// All marks harvested from a set of traces, in per-thread chronological
+/// order, plus the ring-overwrite drop counts a checker needs to decide
+/// whether the history is complete.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MarkHistory {
+    /// Every mark, grouped by source: within one `tid`, records appear in
+    /// chronological (ring) order. Thread groups appear in trace order.
+    pub marks: Vec<MarkRecord>,
+    /// `(tid, dropped_events)` for every thread that lost events to ring
+    /// overwrite. A non-empty list means the mark streams have holes.
+    pub dropped: Vec<(u32, u64)>,
+}
+
+impl MarkHistory {
+    /// Total events dropped across all threads.
+    pub fn total_dropped(&self) -> u64 {
+        self.dropped.iter().map(|&(_, d)| d).sum()
+    }
+
+    /// The distinct thread ids present, in first-appearance order.
+    pub fn tids(&self) -> Vec<u32> {
+        let mut out: Vec<u32> = Vec::new();
+        for m in &self.marks {
+            if !out.contains(&m.tid) {
+                out.push(m.tid);
+            }
+        }
+        out
+    }
+
+    /// The marks of one thread, in chronological order.
+    pub fn of_thread(&self, tid: u32) -> impl Iterator<Item = &MarkRecord> {
+        self.marks.iter().filter(move |m| m.tid == tid)
+    }
+}
+
+/// Extracts every mark from in-memory traces.
+pub fn marks_of(traces: &[ThreadTrace]) -> MarkHistory {
+    let mut h = MarkHistory::default();
+    for t in traces {
+        if t.dropped > 0 {
+            h.dropped.push((t.tid, t.dropped));
+        }
+        for e in &t.events {
+            if let EventKind::Mark { label, a, b } = e.kind {
+                h.marks.push(MarkRecord {
+                    tid: t.tid,
+                    ts: e.ts,
+                    label: label.to_string(),
+                    a,
+                    b,
+                });
+            }
+        }
+    }
+    h
+}
+
+/// Scans `line` for `"key":<uint>` and parses the integer.
+fn json_u64(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let i = line.find(&pat)? + pat.len();
+    let rest = &line[i..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    if end == 0 {
+        return None;
+    }
+    rest[..end].parse().ok()
+}
+
+/// Scans `line` for `"key":"<value>"` and returns the raw string value.
+fn json_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":\"");
+    let i = line.find(&pat)? + pat.len();
+    let rest = &line[i..];
+    Some(&rest[..rest.find('"')?])
+}
+
+/// Extracts marks from a JSONL trace dump ([`crate::export::jsonl`] output
+/// or a torture postmortem, whose extra leading metadata line is skipped).
+///
+/// A line counts as a mark when it carries `tid`, `ts`, `ev`, `a`, and `b`
+/// fields — which, in the exporter's vocabulary, is exactly the
+/// [`EventKind::Mark`] encoding. `trace-meta` lines populate
+/// [`MarkHistory::dropped`]; anything else is ignored.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line: one that names an
+/// `ev` but lacks a parsable `tid` where one is required.
+pub fn marks_from_jsonl(text: &str) -> Result<MarkHistory, String> {
+    let mut h = MarkHistory::default();
+    for (n, line) in text.lines().enumerate() {
+        let Some(ev) = json_str(line, "ev") else {
+            // Run-metadata lines (postmortem header) carry no "ev" field.
+            continue;
+        };
+        let tid = match json_u64(line, "tid") {
+            Some(t) => t as u32,
+            None => return Err(format!("line {}: event {ev:?} without tid", n + 1)),
+        };
+        if ev == "trace-meta" {
+            if let Some(d) = json_u64(line, "dropped") {
+                h.dropped.push((tid, d));
+            }
+            continue;
+        }
+        let (Some(ts), Some(a), Some(b)) = (
+            json_u64(line, "ts"),
+            json_u64(line, "a"),
+            json_u64(line, "b"),
+        ) else {
+            continue; // lifecycle event, not a mark
+        };
+        h.marks.push(MarkRecord {
+            tid,
+            ts,
+            label: ev.to_string(),
+            a,
+            b,
+        });
+    }
+    Ok(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Event, TraceRole};
+
+    fn trace(tid: u32, dropped: u64, events: Vec<Event>) -> ThreadTrace {
+        ThreadTrace {
+            tid,
+            events,
+            dropped,
+        }
+    }
+
+    fn mark(ts: u64, label: &'static str, a: u64, b: u64) -> Event {
+        Event {
+            ts,
+            kind: EventKind::Mark { label, a, b },
+        }
+    }
+
+    #[test]
+    fn marks_of_filters_and_orders() {
+        let traces = vec![
+            trace(
+                0,
+                0,
+                vec![
+                    mark(1, "op", 7, 0),
+                    Event {
+                        ts: 2,
+                        kind: EventKind::ReaderArrive,
+                    },
+                    mark(3, "op", 8, 1),
+                ],
+            ),
+            trace(1, 5, vec![mark(2, "op", 9, 0)]),
+        ];
+        let h = marks_of(&traces);
+        assert_eq!(h.marks.len(), 3);
+        assert_eq!(h.dropped, vec![(1, 5)]);
+        assert_eq!(h.total_dropped(), 5);
+        assert_eq!(h.tids(), vec![0, 1]);
+        let t0: Vec<u64> = h.of_thread(0).map(|m| m.a).collect();
+        assert_eq!(t0, vec![7, 8]);
+    }
+
+    #[test]
+    fn jsonl_roundtrip_through_exporter() {
+        let traces = vec![trace(
+            2,
+            0,
+            vec![
+                mark(10, "lin-inv", 0, 1),
+                Event {
+                    ts: 11,
+                    kind: EventKind::SectionBegin {
+                        role: TraceRole::Writer,
+                        sec: 1,
+                    },
+                },
+                mark(20, "lin-ret", 0, 0),
+            ],
+        )];
+        let text = crate::export::jsonl(&traces);
+        let h = marks_from_jsonl(&text).expect("well-formed");
+        assert_eq!(h, marks_of(&traces));
+    }
+
+    #[test]
+    fn jsonl_skips_metadata_and_collects_dropped() {
+        let text = concat!(
+            "{\"case\":\"demo\",\"replay\":\"TORTURE_SEED=0x1 cargo test\"}\n",
+            "{\"tid\":3,\"ev\":\"trace-meta\",\"dropped\":17}\n",
+            "{\"tid\":3,\"ts\":5,\"ev\":\"lin-inv\",\"a\":0,\"b\":1}\n",
+            "{\"tid\":3,\"ts\":6,\"ev\":\"tx-commit\",\"mode\":\"HTM\",\"read_fp\":1,\"write_fp\":1}\n",
+        );
+        let h = marks_from_jsonl(text).expect("well-formed");
+        assert_eq!(h.dropped, vec![(3, 17)]);
+        assert_eq!(h.marks.len(), 1);
+        assert_eq!(h.marks[0].label, "lin-inv");
+        assert_eq!(h.marks[0].ts, 5);
+    }
+
+    #[test]
+    fn jsonl_rejects_event_without_tid() {
+        let text = "{\"ts\":5,\"ev\":\"lin-inv\",\"a\":0,\"b\":1}\n";
+        assert!(marks_from_jsonl(text).is_err());
+    }
+}

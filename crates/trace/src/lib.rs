@@ -49,6 +49,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod export;
+pub mod history;
 
 /// Sentinel for "no conflicting line attributed" in [`EventKind::TxAbort`].
 pub const NO_LINE: u64 = u64::MAX;

@@ -4,6 +4,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Torture postmortems (oracle violations and non-linearizable histories)
+# land in a known directory so CI can upload them as build artifacts on
+# failure instead of losing them in the OS temp dir.
+export TORTURE_DUMP_DIR="${TORTURE_DUMP_DIR:-$PWD/target/torture-dumps}"
+mkdir -p "$TORTURE_DUMP_DIR"
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
@@ -21,6 +27,25 @@ cargo run -q --release --offline -p sprwl-torture -- --threads 2 --ops 100
 
 echo "==> deterministic torture smoke (serialized scheduler, bit-exact replay)"
 cargo run -q --release --offline -p sprwl-torture -- --det --threads 2 --ops 100
+
+echo "==> lincheck smoke (checker accepts the committed cross-lock golden history)"
+CROSS_GOLDEN=crates/torture/tests/golden/det_cross_smoke.trace.jsonl
+cargo run -q --release --offline -p sprwl-lincheck -- "$CROSS_GOLDEN" > /dev/null
+# An injected bug must flip the verdict (exit 1 = non-linearizable).
+if cargo run -q --release --offline -p sprwl-lincheck -- "$CROSS_GOLDEN" \
+    --mutate drop-commit > /dev/null; then
+    echo "lincheck failed to flag a dropped commit" >&2
+    exit 1
+fi
+
+echo "==> diff_traces smoke (identical -> 0, divergence -> 1)"
+python3 scripts/diff_traces.py "$CROSS_GOLDEN" "$CROSS_GOLDEN" > /dev/null
+head -n -1 "$CROSS_GOLDEN" > target/truncated-golden.jsonl
+if python3 scripts/diff_traces.py "$CROSS_GOLDEN" target/truncated-golden.jsonl > /dev/null; then
+    echo "diff_traces.py failed to flag a truncated trace" >&2
+    exit 1
+fi
+rm -f target/truncated-golden.jsonl
 
 echo "==> trace smoke (fig3 --trace produces a non-empty Chrome trace)"
 # Benches run with cwd at the package root, so hand them an absolute path.

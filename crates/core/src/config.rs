@@ -128,6 +128,18 @@ pub struct SprwlConfig {
     /// Maximum distinct [`sprwl_locks::SectionId`]s the duration estimator
     /// tracks.
     pub max_sections: usize,
+    /// Duration estimate (ns) advertised for sections that have never been
+    /// sampled, so the first writer through a cold section still publishes
+    /// a plausible end time instead of "ends now". 0 restores the old
+    /// degenerate behaviour.
+    pub default_section_estimate_ns: u64,
+    /// **Test-only fault injection**: skip the commit-time reader check
+    /// (`check_for_readers`), deliberately re-introducing the torn-read
+    /// window SpRWL's W-checkR step exists to close. Exists so the
+    /// schedule-space explorer has a real ordering bug to find; never
+    /// enable outside of tests.
+    #[doc(hidden)]
+    pub debug_skip_commit_reader_check: bool,
 }
 
 impl Default for SprwlConfig {
@@ -144,6 +156,8 @@ impl Default for SprwlConfig {
             sample_all_threads: false,
             timed_reader_wait: false,
             max_sections: 64,
+            default_section_estimate_ns: crate::estimator::DEFAULT_SECTION_ESTIMATE_NS,
+            debug_skip_commit_reader_check: false,
         }
     }
 }

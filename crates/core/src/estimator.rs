@@ -5,6 +5,23 @@
 //! thread (to keep overhead off the hot path of all others), maintains an
 //! exponential moving average per critical-section identifier, and turns
 //! it into an *expected end time* by adding the current timestamp counter.
+//!
+//! Two deliberate departures from a naive reading of the paper:
+//!
+//! * **Unsampled sections get a default estimate.** Until the first sample
+//!   lands, a bare `now + 0` end time would advertise "I finish
+//!   immediately", silently degrading δ-timed writer starts to "start now"
+//!   for the whole warm-up window. [`DurationEstimator::estimate`] returns
+//!   a configurable floor instead (see
+//!   [`DEFAULT_SECTION_ESTIMATE_NS`]); [`DurationEstimator::duration`]
+//!   still exposes the raw 0 for callers that want "no prediction".
+//! * **The sampler is promoted, not hard-wired.** The paper samples on one
+//!   thread; the original code pinned that to tid 0, so harnesses whose
+//!   thread 0 is a coordinator that never enters a section recorded no
+//!   samples at all and both scheduling schemes ran blind. The first
+//!   thread that actually records a section claims the sampler role (one
+//!   CAS on the cold path), which is tid 0 whenever tid 0 does real work —
+//!   identical behaviour for every existing harness.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -16,6 +33,15 @@ use sprwl_locks::SectionId;
 const ALPHA_NUM: u64 = 1;
 const ALPHA_DEN: u64 = 4;
 
+/// Estimate used for sections that have never been sampled, in
+/// nanoseconds. One virtual microsecond: long enough that a δ-timed writer
+/// start is a real wait rather than a no-op, short enough to be washed out
+/// by the first real sample.
+pub const DEFAULT_SECTION_ESTIMATE_NS: u64 = 1_000;
+
+/// Sampler slot value meaning "no thread has claimed the role yet".
+const NO_SAMPLER: u64 = u64::MAX;
+
 #[derive(Debug)]
 #[repr(align(64))]
 struct Ewma(AtomicU64);
@@ -25,38 +51,97 @@ struct Ewma(AtomicU64);
 pub struct DurationEstimator {
     sections: Box<[Ewma]>,
     sample_all_threads: bool,
+    /// The promoted single-sampler tid ([`NO_SAMPLER`] until the first
+    /// record). Unused when `sample_all_threads`.
+    sampler: AtomicU64,
+    default_estimate_ns: u64,
 }
 
 impl DurationEstimator {
-    /// Creates an estimator for section ids `0..max_sections`.
+    /// Creates an estimator for section ids `0..max_sections` with the
+    /// stock [`DEFAULT_SECTION_ESTIMATE_NS`] floor.
     ///
     /// # Panics
     ///
     /// Panics if `max_sections` is zero.
     pub fn new(max_sections: usize, sample_all_threads: bool) -> Self {
+        Self::with_default(
+            max_sections,
+            sample_all_threads,
+            DEFAULT_SECTION_ESTIMATE_NS,
+        )
+    }
+
+    /// Creates an estimator whose unsampled sections estimate
+    /// `default_estimate_ns` (0 restores the historical "no prediction ⇒
+    /// ends now" behaviour).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_sections` is zero.
+    pub fn with_default(
+        max_sections: usize,
+        sample_all_threads: bool,
+        default_estimate_ns: u64,
+    ) -> Self {
         assert!(max_sections > 0, "need at least one section slot");
         let mut v = Vec::with_capacity(max_sections);
         v.resize_with(max_sections, || Ewma(AtomicU64::new(0)));
         Self {
             sections: v.into_boxed_slice(),
             sample_all_threads,
+            sampler: AtomicU64::new(NO_SAMPLER),
+            default_estimate_ns,
         }
     }
 
-    /// Whether `tid` is a sampling thread (thread 0 only, unless
-    /// configured otherwise — the paper's single-sampler design).
+    /// Whether `tid` is a sampling thread. Before any thread has recorded
+    /// a section this is true for everyone (the role is unclaimed); after
+    /// that, only for the promoted sampler — the first thread to actually
+    /// execute a section, rather than a hard-wired tid 0 that may be a
+    /// coordinator which never enters one.
     pub fn samples(&self, tid: usize) -> bool {
-        self.sample_all_threads || tid == 0
+        if self.sample_all_threads {
+            return true;
+        }
+        match self.sampler.load(Ordering::Relaxed) {
+            NO_SAMPLER => true,
+            s => s == tid as u64,
+        }
     }
 
-    /// Records one observed duration for `sec`, if `tid` samples.
+    /// The promoted sampler, if the role has been claimed.
+    pub fn sampler(&self) -> Option<usize> {
+        match self.sampler.load(Ordering::Relaxed) {
+            NO_SAMPLER => None,
+            s => Some(s as usize),
+        }
+    }
+
+    /// Records one observed duration for `sec`, if `tid` samples. The
+    /// first recording thread claims the single-sampler role.
     ///
     /// # Panics
     ///
     /// Panics if `sec` is out of the configured range.
     pub fn record(&self, tid: usize, sec: SectionId, duration_ns: u64) {
-        if !self.samples(tid) {
-            return;
+        if !self.sample_all_threads {
+            let me = tid as u64;
+            let claimed = match self.sampler.load(Ordering::Relaxed) {
+                NO_SAMPLER => match self.sampler.compare_exchange(
+                    NO_SAMPLER,
+                    me,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => me,
+                    Err(winner) => winner,
+                },
+                s => s,
+            };
+            if claimed != me {
+                return;
+            }
         }
         let slot = &self.sections[sec.index()].0;
         // Racy read-modify-write is fine: samples are statistical and the
@@ -70,8 +155,8 @@ impl DurationEstimator {
         slot.store(new.max(1), Ordering::Relaxed);
     }
 
-    /// The current duration estimate for `sec`, in nanoseconds (0 when no
-    /// sample has been recorded yet).
+    /// The raw duration estimate for `sec`, in nanoseconds (0 when no
+    /// sample has been recorded yet — "no prediction").
     ///
     /// # Panics
     ///
@@ -80,9 +165,22 @@ impl DurationEstimator {
         self.sections[sec.index()].0.load(Ordering::Relaxed)
     }
 
-    /// `estimateEndTime()` of the paper: now + expected duration.
+    /// The working duration estimate for `sec`: the EWMA when sampled, the
+    /// configured default otherwise. Scheduling maths (δ resolution,
+    /// advertised end times) should use this, never a bare 0.
+    pub fn estimate(&self, sec: SectionId) -> u64 {
+        match self.duration(sec) {
+            0 => self.default_estimate_ns,
+            d => d,
+        }
+    }
+
+    /// `estimateEndTime()` of the paper: now + expected duration (the
+    /// defaulted [`DurationEstimator::estimate`], so a never-sampled
+    /// section still advertises a plausible end time instead of "ends
+    /// now").
     pub fn end_time(&self, sec: SectionId) -> u64 {
-        clock::now() + self.duration(sec)
+        clock::now() + self.estimate(sec)
     }
 }
 
@@ -122,12 +220,35 @@ mod tests {
     }
 
     #[test]
-    fn only_thread_zero_samples_by_default() {
+    fn first_recorder_claims_the_single_sampler_role() {
         let e = DurationEstimator::new(4, false);
+        assert_eq!(e.sampler(), None);
+        assert!(e.samples(0) && e.samples(3), "role unclaimed: anyone may");
+        e.record(0, SectionId(0), 1_000);
+        assert_eq!(e.sampler(), Some(0), "tid 0 recorded first, as usual");
         e.record(3, SectionId(0), 5_000);
-        assert_eq!(e.duration(SectionId(0)), 0);
+        assert_eq!(e.duration(SectionId(0)), 1_000, "non-sampler ignored");
         assert!(e.samples(0));
         assert!(!e.samples(3));
+    }
+
+    #[test]
+    fn coordinator_zero_promotes_first_section_thread() {
+        // tid 0 is a coordinator that never enters a section: the first
+        // thread that *does* record becomes the sampler instead of the
+        // estimator staying blind forever.
+        let e = DurationEstimator::new(4, false);
+        e.record(2, SectionId(0), 7_000);
+        assert_eq!(e.sampler(), Some(2));
+        assert_eq!(e.duration(SectionId(0)), 7_000);
+        e.record(0, SectionId(0), 1);
+        assert_eq!(
+            e.duration(SectionId(0)),
+            7_000,
+            "the late coordinator does not unseat the promoted sampler"
+        );
+        assert!(!e.samples(0));
+        assert!(e.samples(2));
     }
 
     #[test]
@@ -135,6 +256,8 @@ mod tests {
         let e = DurationEstimator::new(4, true);
         e.record(3, SectionId(0), 5_000);
         assert_eq!(e.duration(SectionId(0)), 5_000);
+        assert_eq!(e.sampler(), None, "no single-sampler role in this mode");
+        assert!(e.samples(0) && e.samples(7));
     }
 
     #[test]
@@ -144,6 +267,27 @@ mod tests {
         e.record(0, SectionId(1), 9_000);
         assert_eq!(e.duration(SectionId(0)), 100);
         assert_eq!(e.duration(SectionId(1)), 9_000);
+    }
+
+    #[test]
+    fn unsampled_sections_estimate_the_default() {
+        let e = DurationEstimator::new(4, false);
+        assert_eq!(e.duration(SectionId(0)), 0, "raw view: no prediction");
+        assert_eq!(e.estimate(SectionId(0)), DEFAULT_SECTION_ESTIMATE_NS);
+        let before = clock::now();
+        assert!(
+            e.end_time(SectionId(0)) >= before + DEFAULT_SECTION_ESTIMATE_NS,
+            "first-writer-before-first-sample window: end time must not \
+             degrade to bare now()"
+        );
+        e.record(0, SectionId(0), 250);
+        assert_eq!(e.estimate(SectionId(0)), 250, "real sample replaces it");
+    }
+
+    #[test]
+    fn zero_default_restores_historical_behaviour() {
+        let e = DurationEstimator::with_default(4, false, 0);
+        assert_eq!(e.estimate(SectionId(0)), 0);
     }
 
     #[test]

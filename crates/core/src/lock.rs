@@ -175,7 +175,11 @@ impl SpRwl {
             ReaderTracking::Adaptive => Some(mem.alloc_line_aligned(1).cell(0)),
             _ => None,
         };
-        let est = DurationEstimator::new(cfg.max_sections, cfg.sample_all_threads);
+        let est = DurationEstimator::with_default(
+            cfg.max_sections,
+            cfg.sample_all_threads,
+            cfg.default_section_estimate_ns,
+        );
         let htm_skip = slots(cfg.max_sections, 0);
         Self {
             n,
@@ -230,6 +234,11 @@ impl SpRwl {
     /// reader is active. In `Flags` mode this subscribes every thread's
     /// state line; in `Snzi` mode, a single line.
     pub(crate) fn check_for_readers(&self, tx: &mut Tx<'_>, me: usize) -> TxResult<()> {
+        if self.cfg.debug_skip_commit_reader_check {
+            // Test-only fault injection: pretend no reader is ever active,
+            // re-opening the torn-read window the explorer hunts for.
+            return Ok(());
+        }
         let use_snzi = match self.cfg.reader_tracking {
             ReaderTracking::Flags => false,
             ReaderTracking::Snzi => true,

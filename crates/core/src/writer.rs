@@ -167,7 +167,7 @@ impl SpRwl {
         if last_reader_end == 0 {
             return;
         }
-        let my_duration = self.est.duration(sec);
+        let my_duration = self.est.estimate(sec);
         let delta = self.cfg.delta.resolve(my_duration);
         // Start so that (start + my_duration) == last_reader_end + delta.
         let start_at = (last_reader_end + delta).saturating_sub(my_duration);

@@ -61,14 +61,50 @@ fn non_sampling_threads_do_not_pollute_estimates() {
         },
     );
     let cell = h.memory().alloc(1).cell(0);
+    {
+        let mut t0 = LockThread::new(h.thread(0));
+        lock.read_section(&mut t0, SectionId(5), &mut |a| {
+            spin_for(100_000);
+            a.read(cell)
+        });
+    }
+    assert_eq!(lock.estimator().sampler(), Some(0), "thread 0 claimed it");
+    let claimed = lock.estimator().duration(SectionId(5));
     let mut t1 = LockThread::new(h.thread(1)); // not the sampler
+    for _ in 0..8 {
+        lock.read_section(&mut t1, SectionId(5), &mut |a| {
+            spin_for(800_000); // much longer; would visibly move the EWMA
+            a.read(cell)
+        });
+    }
+    assert_eq!(lock.estimator().duration(SectionId(5)), claimed);
+}
+
+#[test]
+fn first_section_thread_is_promoted_when_thread_zero_coordinates() {
+    // Thread 0 exists but never enters a section (a coordinator): the
+    // estimator promotes the first thread that does, instead of running
+    // blind forever.
+    let h = htm(2);
+    let lock = SpRwl::new(
+        &h,
+        SprwlConfig {
+            readers_try_htm: false,
+            ..SprwlConfig::default()
+        },
+    );
+    let cell = h.memory().alloc(1).cell(0);
+    let _coordinator = h.thread(0); // claimed, but does no lock work
+    let mut t1 = LockThread::new(h.thread(1));
     for _ in 0..8 {
         lock.read_section(&mut t1, SectionId(5), &mut |a| {
             spin_for(100_000);
             a.read(cell)
         });
     }
-    assert_eq!(lock.estimator().duration(SectionId(5)), 0);
+    assert_eq!(lock.estimator().sampler(), Some(1));
+    let est = lock.estimator().duration(SectionId(5));
+    assert!(est > 0, "the promoted sampler's estimates are recorded");
 }
 
 #[test]

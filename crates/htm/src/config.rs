@@ -83,7 +83,11 @@ pub enum ConflictPolicy {
 
 /// Which execution substrate drives the simulated threads (see
 /// [`crate::sched`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+///
+/// Not `Copy` since [`SchedulerKind::DeterministicPolicy`] carries an
+/// arbitrarily long delay vector or decision trace; clone freely, the
+/// payloads are small or refcounted.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub enum SchedulerKind {
     /// Free-running OS threads ([`crate::sched::OsScheduler`]): the
     /// pre-refactor behaviour, with the wall clock and optional seeded
@@ -102,6 +106,16 @@ pub enum SchedulerKind {
         /// Seed for the schedule PRNG (independent of the workload seed so
         /// the two axes can be swept separately).
         schedule_seed: u64,
+    },
+    /// Fully serialized scheduling driven by an explicit
+    /// [`crate::sched::SchedulePolicyKind`] — the schedule-space explorer's
+    /// entry point: delay-bounded enumeration or exact decision-trace
+    /// replay instead of one PRNG stream.
+    /// `Deterministic { schedule_seed }` is shorthand for
+    /// `DeterministicPolicy { policy: Random { seed: schedule_seed } }`.
+    DeterministicPolicy {
+        /// The picking policy to install.
+        policy: crate::sched::SchedulePolicyKind,
     },
 }
 
@@ -236,6 +250,18 @@ mod tests {
             ..HtmConfig::default()
         };
         det.validate().unwrap();
+    }
+
+    #[test]
+    fn policy_scheduler_is_valid_and_cloneable() {
+        let cfg = HtmConfig {
+            scheduler: SchedulerKind::DeterministicPolicy {
+                policy: crate::sched::SchedulePolicyKind::DelayBounded { delays: vec![0, 3] },
+            },
+            ..HtmConfig::default()
+        };
+        cfg.validate().unwrap();
+        assert_eq!(cfg.scheduler.clone(), cfg.scheduler);
     }
 
     #[test]

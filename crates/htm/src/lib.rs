@@ -78,6 +78,9 @@ mod util;
 pub use access::{AccessMode, Direct, MemAccess, Suspended};
 pub use config::{CapacityProfile, ConflictPolicy, HtmConfig, SchedulerKind};
 pub use memory::{CellId, LineId, Region, SimMemory};
-pub use sched::{DetScheduler, OsScheduler, Scheduler, YieldKind};
+pub use sched::{
+    DecisionRecord, DetScheduler, OsScheduler, SchedulePolicy, SchedulePolicyKind, Scheduler,
+    SleepSetLite, YieldKind,
+};
 pub use stats::ThreadStats;
 pub use tx::{Abort, ConflictInfo, Htm, ThreadCtx, Tx, TxKind, TxResult};

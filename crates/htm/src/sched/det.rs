@@ -1,11 +1,11 @@
-//! The deterministic serialized scheduler: one thread at a time, a seeded
-//! PRNG picking who runs next, and a virtual clock driven purely by
-//! simulator events.
+//! The deterministic serialized scheduler: one thread at a time, a
+//! [`SchedulePolicy`] picking who runs next, and a virtual clock driven
+//! purely by simulator events.
 
 use parking_lot::{Condvar, Mutex};
 
+use super::policy::{DecisionRecord, PickReason, RandomPolicy, SchedulePolicy};
 use super::{Scheduler, YieldKind};
-use crate::util::XorShift64;
 
 /// Virtual nanoseconds a yield point costs. Large enough that timed waits
 /// (δ-starts, reader deadlines) resolve within a few dozen events, small
@@ -37,7 +37,13 @@ struct DetState {
     /// last deregistration).
     current: Option<u32>,
     vclock: u64,
-    rng: XorShift64,
+    policy: Box<dyn SchedulePolicy>,
+    /// Reused across picks: collecting the runnable set is the hottest
+    /// loop of every deterministic run, so it must not allocate each time.
+    scratch: Vec<u32>,
+    /// Every branch point (two or more runnable threads) of the run so
+    /// far, in order.
+    decisions: Vec<DecisionRecord>,
 }
 
 impl DetState {
@@ -48,23 +54,35 @@ impl DetState {
     /// timer, the clock jumps to the earliest deadline (the all-asleep
     /// rule of discrete-event simulation). Returns `None` only when no
     /// threads are registered at all.
-    fn pick(&mut self) -> Option<u32> {
+    fn pick(&mut self, reason: PickReason) -> Option<u32> {
         loop {
             for s in &mut self.threads {
                 if matches!(s, Slot::Blocked(d) if *d <= self.vclock) {
                     *s = Slot::Runnable;
                 }
             }
-            let runnable: Vec<u32> = self
-                .threads
-                .iter()
-                .enumerate()
-                .filter(|(_, s)| **s == Slot::Runnable)
-                .map(|(i, _)| i as u32)
-                .collect();
-            if !runnable.is_empty() {
-                let i = (self.rng.next_u64() % runnable.len() as u64) as usize;
-                return Some(runnable[i]);
+            self.scratch.clear();
+            for (i, s) in self.threads.iter().enumerate() {
+                if *s == Slot::Runnable {
+                    self.scratch.push(i as u32);
+                }
+            }
+            if !self.scratch.is_empty() {
+                let i = self
+                    .policy
+                    .choose(&self.scratch, reason)
+                    .min(self.scratch.len() - 1);
+                let chosen = self.scratch[i];
+                if self.scratch.len() > 1 {
+                    let mut runnable = 0u64;
+                    for &t in &self.scratch {
+                        if t < 64 {
+                            runnable |= 1 << t;
+                        }
+                    }
+                    self.decisions.push(DecisionRecord { chosen, runnable });
+                }
+                return Some(chosen);
             }
             let earliest = self
                 .threads
@@ -88,10 +106,13 @@ impl DetState {
 /// A fully serialized cooperative scheduler.
 ///
 /// Exactly one simulated thread runs at any moment; at every yield point
-/// the running thread hands control to a successor drawn from a seeded
-/// [`XorShift64`], so the complete interleaving — and therefore every
-/// event trace, every conflict, every abort — is a pure function of
-/// `(workload seed, config, schedule seed)`.
+/// the running thread hands control to a successor chosen by the
+/// installed [`SchedulePolicy`] (a seeded PRNG by default), so the
+/// complete interleaving — and therefore every event trace, every
+/// conflict, every abort — is a pure function of
+/// `(workload seed, config, policy)`. Every branch point is recorded as a
+/// [`DecisionRecord`], available through [`Scheduler::decision_trace`]
+/// for exact replay.
 ///
 /// Time is virtual: a counter that advances by [`NOW_TICK`] per clock read
 /// and [`YIELD_TICK`] per yield, and jumps forward when every thread is
@@ -121,12 +142,22 @@ pub struct DetScheduler {
 }
 
 impl DetScheduler {
-    /// Creates a scheduler expecting exactly `participants` threads.
+    /// Creates a scheduler expecting exactly `participants` threads, with
+    /// the classic seeded-PRNG picking policy.
     ///
     /// # Panics
     ///
     /// Panics if `participants` is zero.
     pub fn new(schedule_seed: u64, participants: usize) -> Self {
+        Self::with_policy(Box::new(RandomPolicy::new(schedule_seed)), participants)
+    }
+
+    /// Creates a scheduler driven by an arbitrary [`SchedulePolicy`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `participants` is zero.
+    pub fn with_policy(policy: Box<dyn SchedulePolicy>, participants: usize) -> Self {
         assert!(participants > 0, "a schedule needs at least one thread");
         Self {
             inner: Mutex::new(DetState {
@@ -135,7 +166,9 @@ impl DetScheduler {
                 started: false,
                 current: None,
                 vclock: 0,
-                rng: XorShift64::new(schedule_seed),
+                policy,
+                scratch: Vec::with_capacity(participants),
+                decisions: Vec::new(),
             }),
             cv: Condvar::new(),
             participants,
@@ -167,7 +200,7 @@ impl Scheduler for DetScheduler {
         st.registered += 1;
         if st.registered == self.participants && !st.started {
             st.started = true;
-            st.current = st.pick();
+            st.current = st.pick(PickReason::Start);
             self.cv.notify_all();
         }
         while !(st.started && st.current == Some(tid)) {
@@ -190,19 +223,21 @@ impl Scheduler for DetScheduler {
             st.started = false;
             st.current = None;
         } else if st.current == Some(tid) {
-            st.current = st.pick();
+            st.current = st.pick(PickReason::Exit);
         }
         self.cv.notify_all();
     }
 
-    fn yield_point(&self, tid: u32, _kind: YieldKind) {
+    fn yield_point(&self, tid: u32, kind: YieldKind) {
         let mut st = self.inner.lock();
         if !st.participates(tid) || st.current != Some(tid) {
             // Setup/teardown accesses from non-participants run unserialized.
             return;
         }
         st.vclock += YIELD_TICK;
-        let next = st.pick().expect("the yielding thread is runnable");
+        let next = st
+            .pick(PickReason::Yield(kind))
+            .expect("the yielding thread is runnable");
         if next != tid {
             st.current = Some(next);
             self.cv.notify_all();
@@ -228,7 +263,9 @@ impl Scheduler for DetScheduler {
         } else {
             st.threads[tid as usize] = Slot::Blocked(deadline_ns);
         }
-        let next = st.pick().expect("someone is schedulable");
+        let next = st
+            .pick(PickReason::TimedWait)
+            .expect("someone is schedulable");
         if next != tid {
             st.current = Some(next);
             self.cv.notify_all();
@@ -242,6 +279,14 @@ impl Scheduler for DetScheduler {
 
     fn is_deterministic(&self) -> bool {
         true
+    }
+
+    fn decision_trace(&self) -> Option<Vec<DecisionRecord>> {
+        Some(self.inner.lock().decisions.clone())
+    }
+
+    fn schedule_divergence(&self) -> Option<String> {
+        self.inner.lock().policy.divergence()
     }
 }
 
@@ -262,18 +307,27 @@ mod tests {
         s.deregister(0);
     }
 
+    fn state(threads: Vec<Slot>, vclock: u64, seed: u64) -> DetState {
+        let registered = threads.iter().filter(|s| **s != Slot::Absent).count();
+        DetState {
+            threads,
+            registered,
+            started: true,
+            current: None,
+            vclock,
+            policy: Box::new(RandomPolicy::new(seed)),
+            scratch: Vec::new(),
+            decisions: Vec::new(),
+        }
+    }
+
     #[test]
     fn pick_stream_is_a_pure_function_of_the_seed() {
         let run = |seed: u64| {
-            let mut st = DetState {
-                threads: vec![Slot::Runnable; 4],
-                registered: 4,
-                started: true,
-                current: None,
-                vclock: 0,
-                rng: XorShift64::new(seed),
-            };
-            (0..64).map(|_| st.pick().unwrap()).collect::<Vec<_>>()
+            let mut st = state(vec![Slot::Runnable; 4], 0, seed);
+            (0..64)
+                .map(|_| st.pick(PickReason::Start).unwrap())
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(9), run(9));
         assert_ne!(run(9), run(10), "different seeds, different schedules");
@@ -281,17 +335,42 @@ mod tests {
 
     #[test]
     fn all_blocked_jumps_to_earliest_deadline() {
-        let mut st = DetState {
-            threads: vec![Slot::Blocked(500), Slot::Blocked(300)],
-            registered: 2,
-            started: true,
-            current: None,
-            vclock: 100,
-            rng: XorShift64::new(3),
-        };
-        assert_eq!(st.pick(), Some(1), "only thread 1 unblocks at t=300");
+        let mut st = state(vec![Slot::Blocked(500), Slot::Blocked(300)], 100, 3);
+        assert_eq!(
+            st.pick(PickReason::TimedWait),
+            Some(1),
+            "only thread 1 unblocks at t=300"
+        );
         assert_eq!(st.vclock, 300);
         assert_eq!(st.threads[0], Slot::Blocked(500), "0 still asleep");
+    }
+
+    #[test]
+    fn branch_points_are_recorded_and_forced_picks_are_not() {
+        let mut st = state(vec![Slot::Runnable, Slot::Runnable], 0, 11);
+        let first = st.pick(PickReason::Start).unwrap();
+        assert_eq!(st.decisions.len(), 1, "two runnable threads: a branch");
+        assert_eq!(st.decisions[0].chosen, first);
+        assert_eq!(st.decisions[0].runnable, 0b11);
+        st.threads[0] = Slot::Absent;
+        st.pick(PickReason::Exit).unwrap();
+        assert_eq!(st.decisions.len(), 1, "forced pick records nothing");
+    }
+
+    #[test]
+    fn replayed_decision_trace_reproduces_the_pick_stream() {
+        let mut st = state(vec![Slot::Runnable; 3], 0, 77);
+        let picks: Vec<u32> = (0..32)
+            .map(|_| st.pick(PickReason::Start).unwrap())
+            .collect();
+        let decisions: Vec<u32> = st.decisions.iter().map(|d| d.chosen).collect();
+        let mut replay = state(vec![Slot::Runnable; 3], 0, 0);
+        replay.policy = Box::new(super::super::policy::ReplayPolicy::new(decisions.into()));
+        let replayed: Vec<u32> = (0..32)
+            .map(|_| replay.pick(PickReason::Start).unwrap())
+            .collect();
+        assert_eq!(picks, replayed);
+        assert!(replay.policy.divergence().is_none());
     }
 
     #[test]

@@ -33,9 +33,14 @@ use std::sync::Arc;
 
 mod det;
 mod os;
+mod policy;
 
 pub use det::DetScheduler;
 pub use os::OsScheduler;
+pub use policy::{
+    DecisionRecord, DelayBoundedPolicy, PickReason, RandomPolicy, ReplayPolicy, SchedulePolicy,
+    SchedulePolicyKind, SleepSetLite,
+};
 
 /// Why a yield point was reached. Schedulers may weight or filter decisions
 /// by kind; both built-in implementations currently treat every kind the
@@ -86,6 +91,19 @@ pub trait Scheduler: fmt::Debug + Send + Sync {
     /// Whether this scheduler serializes execution and virtualizes time.
     fn is_deterministic(&self) -> bool {
         false
+    }
+
+    /// The decision trace of the run so far — one [`DecisionRecord`] per
+    /// branch point — for schedulers that record one. `None` for
+    /// free-running schedulers (the OS made the choices, invisibly).
+    fn decision_trace(&self) -> Option<Vec<DecisionRecord>> {
+        None
+    }
+
+    /// For replaying schedulers: where (if anywhere) the live run stopped
+    /// matching the recorded schedule. `None` means faithful so far.
+    fn schedule_divergence(&self) -> Option<String> {
+        None
     }
 }
 

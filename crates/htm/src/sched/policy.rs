@@ -1,0 +1,465 @@
+//! Schedule policies: *who runs next* at a deterministic decision point.
+//!
+//! [`super::DetScheduler`] serializes execution and, at every point where
+//! more than one thread could run, asks a [`SchedulePolicy`] to choose the
+//! successor. Splitting the *mechanism* (serialization, virtual clock,
+//! blocking) from the *policy* (the choice) is what turns the deterministic
+//! scheduler from a replay tool into a search tool: the same substrate can
+//! sample interleavings blindly ([`RandomPolicy`], the original behaviour),
+//! enumerate them systematically ([`DelayBoundedPolicy`], CHESS-style
+//! iterative delay bounding), or re-execute one recorded interleaving
+//! exactly ([`ReplayPolicy`]).
+//!
+//! # Decision traces
+//!
+//! The scheduler records every *branch point* — a pick with two or more
+//! runnable threads — as a [`DecisionRecord`] (chosen tid + runnable-set
+//! bitmask). The sequence of records is the **decision trace**: together
+//! with the workload seed and configuration it pins the entire run, so a
+//! decision trace is a stronger replay artifact than a schedule seed (it
+//! reproduces a schedule found by *any* policy, not just a PRNG stream).
+//! Forced picks (exactly one runnable thread) are not recorded: they carry
+//! no information, and skipping them keeps traces short and replay robust.
+//!
+//! # Sleep-set pruning (DPOR-lite)
+//!
+//! [`SleepSetLite`] prunes delay-bounded candidates that provably commute
+//! with an already-explored schedule: a delay that only swaps the order of
+//! two threads that never conflicted (per the HTM directory's conflict-line
+//! attribution) yields an equivalent interleaving and need not be run. See
+//! DESIGN.md §6e for the soundness argument and its deliberate limits.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::Arc;
+
+use super::YieldKind;
+use crate::util::XorShift64;
+
+/// Why the scheduler is picking a successor.
+///
+/// Policies may use this to shape their baseline (e.g. hand the CPU over on
+/// condition-wait steps so spin loops cannot livelock a non-preemptive
+/// baseline); [`RandomPolicy`] ignores it entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PickReason {
+    /// The start barrier released (first pick of the run).
+    Start,
+    /// A thread deregistered while holding the virtual CPU.
+    Exit,
+    /// A yield point of the given kind.
+    Yield(YieldKind),
+    /// The current thread blocked on a timed wait.
+    TimedWait,
+}
+
+/// One recorded branch point: which thread was chosen among which
+/// candidates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DecisionRecord {
+    /// The tid the policy selected.
+    pub chosen: u32,
+    /// Bitmask of runnable tids at this point (tids ≥ 64 are not
+    /// representable and are simply absent; deterministic torture runs use
+    /// far fewer threads).
+    pub runnable: u64,
+}
+
+impl DecisionRecord {
+    /// The runnable tids other than the chosen one, in ascending order.
+    pub fn alternatives(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..64u32).filter(move |&t| self.runnable & (1 << t) != 0 && t != self.chosen)
+    }
+}
+
+/// A scheduling policy for [`super::DetScheduler`].
+///
+/// `choose` is called at **every** pick — including forced ones with a
+/// single runnable thread — so stateful policies (PRNG streams) consume
+/// their state identically whether or not the pick is a real branch. The
+/// returned index must be `< runnable.len()`; the scheduler clamps
+/// defensively. `runnable` is always non-empty and sorted ascending.
+pub trait SchedulePolicy: Send + fmt::Debug {
+    /// Chooses the index of the next thread to run within `runnable`.
+    fn choose(&mut self, runnable: &[u32], reason: PickReason) -> usize;
+
+    /// For replaying policies: a description of the first point where the
+    /// live run stopped matching the recorded trace, if any.
+    fn divergence(&self) -> Option<String> {
+        None
+    }
+}
+
+/// The original behaviour: a seeded PRNG picks uniformly among the
+/// runnable threads. Bit-compatible with the pre-policy `DetScheduler`
+/// (the PRNG is consulted at every pick, forced or not, so existing
+/// `(seed, sched_seed)` replays and golden traces are unaffected).
+#[derive(Debug)]
+pub struct RandomPolicy {
+    rng: XorShift64,
+}
+
+impl RandomPolicy {
+    /// A policy drawing from the given schedule seed.
+    pub fn new(schedule_seed: u64) -> Self {
+        Self {
+            rng: XorShift64::new(schedule_seed),
+        }
+    }
+}
+
+impl SchedulePolicy for RandomPolicy {
+    fn choose(&mut self, runnable: &[u32], _reason: PickReason) -> usize {
+        (self.rng.next_u64() % runnable.len() as u64) as usize
+    }
+}
+
+/// Position of the first runnable tid strictly greater than `t`, wrapping
+/// to 0 — the cyclic successor in tid order.
+fn next_after(runnable: &[u32], t: u32) -> usize {
+    runnable.iter().position(|&x| x > t).unwrap_or(0)
+}
+
+/// CHESS-style iterative delay bounding.
+///
+/// The baseline is the canonical **non-preemptive** schedule: keep running
+/// the current thread until it blocks, exits, or reaches a condition-wait
+/// step ([`YieldKind::Snooze`], which hands the CPU to the next thread in
+/// tid order — a spinning thread can never starve the thread it waits on).
+/// A *delay* at branch step `i` rotates the choice at the `i`-th branch
+/// point one position past the baseline; `d` delays therefore inject at
+/// most `d` preemptions. Enumerating delay vectors at increasing budgets
+/// `d = 0, 1, 2, …` covers the schedule space systematically, and small
+/// budgets already expose most ordering bugs (the empirical claim of the
+/// CHESS line of work).
+#[derive(Debug)]
+pub struct DelayBoundedPolicy {
+    /// Branch-step indices to delay at, ascending; repeated indices rotate
+    /// further at the same point.
+    delays: Vec<u64>,
+    /// Branch points seen so far (forced picks do not count).
+    step: u64,
+    /// The thread chosen at the previous pick.
+    last: Option<u32>,
+}
+
+impl DelayBoundedPolicy {
+    /// A policy with the given delay vector (need not be sorted).
+    pub fn new(mut delays: Vec<u64>) -> Self {
+        delays.sort_unstable();
+        Self {
+            delays,
+            step: 0,
+            last: None,
+        }
+    }
+}
+
+impl SchedulePolicy for DelayBoundedPolicy {
+    fn choose(&mut self, runnable: &[u32], reason: PickReason) -> usize {
+        if runnable.len() == 1 {
+            self.last = Some(runnable[0]);
+            return 0;
+        }
+        let base = match self.last {
+            // A condition-wait step must hand over: the awaited condition
+            // can only change if someone else runs.
+            Some(l) if reason == PickReason::Yield(YieldKind::Snooze) => next_after(runnable, l),
+            Some(l) => runnable
+                .iter()
+                .position(|&x| x == l)
+                .unwrap_or_else(|| next_after(runnable, l)),
+            None => 0,
+        };
+        let rotations = self.delays.iter().filter(|&&d| d == self.step).count();
+        let idx = (base + rotations) % runnable.len();
+        self.step += 1;
+        self.last = Some(runnable[idx]);
+        idx
+    }
+}
+
+/// Replays a recorded decision trace exactly.
+///
+/// Each branch point consumes one recorded tid; forced picks consume
+/// nothing (they were not recorded). If the recorded tid is not runnable,
+/// or the trace runs out at a branch point, the policy notes the first
+/// divergence and falls back to the lowest runnable tid so the run can
+/// still complete (a diverged replay is a diagnosis, not a deadlock).
+#[derive(Debug)]
+pub struct ReplayPolicy {
+    decisions: Arc<[u32]>,
+    pos: usize,
+    diverged: Option<String>,
+}
+
+impl ReplayPolicy {
+    /// A policy replaying the given branch-point choices.
+    pub fn new(decisions: Arc<[u32]>) -> Self {
+        Self {
+            decisions,
+            pos: 0,
+            diverged: None,
+        }
+    }
+
+    /// Recorded decisions consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.pos
+    }
+}
+
+impl SchedulePolicy for ReplayPolicy {
+    fn choose(&mut self, runnable: &[u32], _reason: PickReason) -> usize {
+        if runnable.len() == 1 {
+            return 0;
+        }
+        let step = self.pos;
+        let want = self.decisions.get(step).copied();
+        self.pos += 1;
+        match want {
+            Some(t) => match runnable.iter().position(|&x| x == t) {
+                Some(i) => i,
+                None => {
+                    if self.diverged.is_none() {
+                        self.diverged = Some(format!(
+                            "branch {step}: recorded tid {t} is not runnable \
+                             (runnable set {runnable:?})"
+                        ));
+                    }
+                    0
+                }
+            },
+            None => {
+                if self.diverged.is_none() {
+                    self.diverged = Some(format!(
+                        "branch {step}: recorded trace exhausted \
+                         (runnable set {runnable:?})"
+                    ));
+                }
+                0
+            }
+        }
+    }
+
+    fn divergence(&self) -> Option<String> {
+        self.diverged.clone()
+    }
+}
+
+/// Data-only policy description, so a policy can travel inside
+/// [`crate::HtmConfig`] (which must stay `Clone + Eq + Hash`-able for spec
+/// matrices and test tables).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SchedulePolicyKind {
+    /// Seeded uniform-random picking ([`RandomPolicy`]).
+    Random {
+        /// The schedule seed.
+        seed: u64,
+    },
+    /// Non-preemptive baseline plus the given delay vector
+    /// ([`DelayBoundedPolicy`]).
+    DelayBounded {
+        /// Branch-step indices to delay at.
+        delays: Vec<u64>,
+    },
+    /// Exact replay of a recorded decision trace ([`ReplayPolicy`]).
+    Replay {
+        /// Chosen tids, one per branch point.
+        decisions: Arc<[u32]>,
+    },
+}
+
+impl SchedulePolicyKind {
+    /// Instantiates the policy object.
+    pub fn build(&self) -> Box<dyn SchedulePolicy> {
+        match self {
+            SchedulePolicyKind::Random { seed } => Box::new(RandomPolicy::new(*seed)),
+            SchedulePolicyKind::DelayBounded { delays } => {
+                Box::new(DelayBoundedPolicy::new(delays.clone()))
+            }
+            SchedulePolicyKind::Replay { decisions } => {
+                Box::new(ReplayPolicy::new(Arc::clone(decisions)))
+            }
+        }
+    }
+}
+
+/// Sleep-set-style pruning over delay-bounded candidates (DPOR-lite).
+///
+/// Seeded with the *observed conflict relation* of an executed run — the
+/// unordered thread pairs the HTM directory attributed at least one
+/// conflict to — it answers whether inserting a delay at a given branch
+/// point of that run can possibly produce a non-equivalent interleaving.
+/// A delay at a branch point only reorders the chosen thread against the
+/// alternatives; if none of those pairs ever conflicted, the two threads'
+/// adjacent steps commute and the delayed schedule is equivalent to one
+/// already explored, so the candidate is pruned.
+///
+/// This is deliberately *lite*: the conflict relation is per-run and
+/// per-thread-pair, not per-step, so the check is coarser than a full
+/// persistent/sleep-set DPOR. It errs on the side of exploring (any
+/// conflict between the pair anywhere in the run blocks pruning), which
+/// keeps it sound for bug *finding* under the explored policy family; the
+/// precise argument (and the gap to full DPOR) is written out in
+/// DESIGN.md §6e.
+#[derive(Debug, Default)]
+pub struct SleepSetLite {
+    conflicts: HashSet<(u32, u32)>,
+}
+
+impl SleepSetLite {
+    /// An empty pruner (no conflicts observed: everything commutes).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an attributed conflict between two threads.
+    pub fn note_conflict(&mut self, a: u32, b: u32) {
+        if a != b {
+            self.conflicts.insert((a.min(b), a.max(b)));
+        }
+    }
+
+    /// Number of distinct conflicting pairs observed.
+    pub fn pairs(&self) -> usize {
+        self.conflicts.len()
+    }
+
+    /// Whether the two threads ever conflicted.
+    pub fn conflicted(&self, a: u32, b: u32) -> bool {
+        self.conflicts.contains(&(a.min(b), a.max(b)))
+    }
+
+    /// Whether delaying the parent run's branch point `record` can produce
+    /// a *non*-equivalent interleaving: true iff the chosen thread
+    /// conflicts with at least one alternative it would be reordered
+    /// against. `false` means the candidate may be pruned.
+    pub fn delay_can_matter(&self, record: &DecisionRecord) -> bool {
+        record
+            .alternatives()
+            .any(|t| self.conflicted(record.chosen, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_policy_matches_legacy_modulo_pick() {
+        // The pre-policy scheduler computed `rng.next_u64() % len` at every
+        // pick; the policy must reproduce that stream bit-for-bit.
+        let mut p = RandomPolicy::new(99);
+        let mut rng = XorShift64::new(99);
+        for len in [1usize, 3, 2, 4, 1, 2] {
+            let runnable: Vec<u32> = (0..len as u32).collect();
+            let want = (rng.next_u64() % len as u64) as usize;
+            assert_eq!(p.choose(&runnable, PickReason::Start), want);
+        }
+    }
+
+    #[test]
+    fn delay_bounded_baseline_is_non_preemptive() {
+        let mut p = DelayBoundedPolicy::new(vec![]);
+        let r = [0u32, 1, 2];
+        // First pick: lowest tid.
+        assert_eq!(p.choose(&r, PickReason::Start), 0);
+        // Plain yields keep the current thread running.
+        for _ in 0..5 {
+            assert_eq!(p.choose(&r, PickReason::Yield(YieldKind::Access)), 0);
+        }
+        // A snooze hands over to the next tid in order.
+        assert_eq!(p.choose(&r, PickReason::Yield(YieldKind::Snooze)), 1);
+        assert_eq!(p.choose(&r, PickReason::Yield(YieldKind::Access)), 1);
+    }
+
+    #[test]
+    fn delays_rotate_past_the_baseline() {
+        let mut p = DelayBoundedPolicy::new(vec![1]);
+        let r = [0u32, 1];
+        assert_eq!(p.choose(&r, PickReason::Start), 0, "branch 0: baseline");
+        assert_eq!(
+            p.choose(&r, PickReason::Yield(YieldKind::Access)),
+            1,
+            "branch 1 is delayed: rotate to the other thread"
+        );
+        assert_eq!(
+            p.choose(&r, PickReason::Yield(YieldKind::Access)),
+            1,
+            "after the preemption, thread 1 is the sticky current thread"
+        );
+    }
+
+    #[test]
+    fn forced_picks_do_not_consume_delay_steps() {
+        let mut p = DelayBoundedPolicy::new(vec![0]);
+        assert_eq!(p.choose(&[2], PickReason::Start), 0, "forced");
+        // The first *branch* point is still step 0 and gets the delay.
+        assert_eq!(p.choose(&[1, 2], PickReason::Yield(YieldKind::Access)), 0);
+        // Baseline would stick with tid 2 (index 1); the delay rotated one
+        // past it, landing on tid 1 (index 0).
+    }
+
+    #[test]
+    fn replay_follows_the_recorded_trace_and_flags_divergence() {
+        let mut p = ReplayPolicy::new(vec![1u32, 0].into());
+        assert_eq!(p.choose(&[0, 1], PickReason::Start), 1);
+        assert_eq!(p.choose(&[9], PickReason::Exit), 0, "forced, not consumed");
+        assert_eq!(p.choose(&[0, 2], PickReason::TimedWait), 0);
+        assert!(p.divergence().is_none());
+        // Trace exhausted at a real branch: diverged, falls back to 0.
+        assert_eq!(p.choose(&[0, 1], PickReason::Start), 0);
+        assert!(p.divergence().unwrap().contains("exhausted"));
+    }
+
+    #[test]
+    fn replay_divergence_on_non_runnable_tid() {
+        let mut p = ReplayPolicy::new(vec![5u32].into());
+        assert_eq!(p.choose(&[0, 1], PickReason::Start), 0);
+        let d = p.divergence().unwrap();
+        assert!(d.contains("tid 5"), "{d}");
+    }
+
+    #[test]
+    fn sleep_set_prunes_only_non_conflicting_reorders() {
+        let mut s = SleepSetLite::new();
+        s.note_conflict(0, 1);
+        s.note_conflict(1, 1); // self-conflicts are ignored
+        assert_eq!(s.pairs(), 1);
+        let swaps_0_1 = DecisionRecord {
+            chosen: 0,
+            runnable: 0b11,
+        };
+        let swaps_0_2 = DecisionRecord {
+            chosen: 0,
+            runnable: 0b101,
+        };
+        assert!(s.delay_can_matter(&swaps_0_1), "0 and 1 conflicted");
+        assert!(
+            !s.delay_can_matter(&swaps_0_2),
+            "0 and 2 never conflicted: reordering them commutes"
+        );
+    }
+
+    #[test]
+    fn decision_record_alternatives() {
+        let r = DecisionRecord {
+            chosen: 1,
+            runnable: 0b1011,
+        };
+        assert_eq!(r.alternatives().collect::<Vec<_>>(), vec![0, 3]);
+    }
+
+    #[test]
+    fn policy_kind_builds_matching_policies() {
+        let k = SchedulePolicyKind::DelayBounded { delays: vec![2, 0] };
+        let mut p = k.build();
+        assert_eq!(p.choose(&[0, 1], PickReason::Start), 1, "delay at step 0");
+        let r = SchedulePolicyKind::Replay {
+            decisions: vec![1u32].into(),
+        };
+        let mut p = r.build();
+        assert_eq!(p.choose(&[0, 1], PickReason::Start), 1);
+    }
+}

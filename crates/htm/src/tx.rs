@@ -111,10 +111,13 @@ impl Htm {
         cfg.validate().expect("invalid HtmConfig");
         let mut registered = Vec::with_capacity(cfg.max_threads);
         registered.resize_with(cfg.max_threads, || AtomicBool::new(false));
-        let sched: Arc<dyn Scheduler> = match cfg.scheduler {
+        let sched: Arc<dyn Scheduler> = match &cfg.scheduler {
             SchedulerKind::Os => Arc::new(OsScheduler::new(cfg.sched_shake_prob, cfg.seed)),
             SchedulerKind::Deterministic { schedule_seed } => {
-                Arc::new(DetScheduler::new(schedule_seed, cfg.max_threads))
+                Arc::new(DetScheduler::new(*schedule_seed, cfg.max_threads))
+            }
+            SchedulerKind::DeterministicPolicy { policy } => {
+                Arc::new(DetScheduler::with_policy(policy.build(), cfg.max_threads))
             }
         };
         Self {

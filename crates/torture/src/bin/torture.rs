@@ -13,8 +13,32 @@
 //! `--det` switches to the deterministic matrix (serialized scheduler,
 //! bit-exact replay); `--sched-seed S` pins the schedule seed for every
 //! deterministic case, equivalent to setting `TORTURE_SCHED_SEED`.
+//!
+//! # `torture explore`
+//!
+//! Systematic schedule-space search instead of seed sampling:
+//!
+//! ```text
+//! torture explore --inject-bug [--budget N] [--max-delays N] [--horizon N]
+//!                 [--no-dpor] [--frontier FILE] [--dump-dir DIR]
+//!                 [--seed S] [--threads N] [--ops N] [--expect-violation]
+//! torture explore --case SUBSTR ...        # explore a det-matrix case
+//! torture explore --random N ...           # random-draw comparison run
+//! torture explore --replay-schedule FILE   # bit-exact replay of a trace
+//! ```
+//!
+//! `--inject-bug` runs the seeded ordering bug (SpRWL with its commit-time
+//! reader check disabled — the CI smoke target). On a violation the
+//! decision trace is written as a schedule file and announced on a
+//! `schedule: <path>` line; feed it back with `--replay-schedule` to
+//! reproduce the run bit-exactly. `--expect-violation` inverts the exit
+//! code so the smoke test fails when the injected bug is *not* found.
 
-use sprwl_torture::{base_seed, default_matrix, det_matrix, run_case};
+use sprwl_torture::explore::{
+    explore, explore_random, injected_bug_spec, replay_schedule, ExploreOptions,
+};
+use sprwl_torture::{base_seed, default_matrix, det_matrix, run_case, TortureSpec};
+use sprwl_trace::schedule::ScheduleTrace;
 
 fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
     args.iter()
@@ -26,8 +50,137 @@ fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
         })
 }
 
+/// Resolves the spec an `explore` invocation operates on.
+fn explore_spec(args: &[String], threads: usize, ops: usize) -> TortureSpec {
+    if args.iter().any(|a| a == "--inject-bug") {
+        return injected_bug_spec(threads, ops);
+    }
+    let Some(case) = parse_flag::<String>(args, "--case") else {
+        eprintln!("torture explore: need --inject-bug, --case SUBSTR, or --replay-schedule FILE");
+        std::process::exit(2);
+    };
+    det_matrix(threads, ops)
+        .into_iter()
+        .find(|s| s.name.contains(case.as_str()))
+        .unwrap_or_else(|| {
+            eprintln!("torture explore: no det-matrix case matches {case:?}");
+            std::process::exit(2);
+        })
+}
+
+fn explore_main(args: &[String]) -> ! {
+    let threads: usize = parse_flag(args, "--threads").unwrap_or(2);
+    let ops: usize = parse_flag(args, "--ops").unwrap_or(12);
+    let seed: u64 = parse_flag(args, "--seed").unwrap_or_else(base_seed);
+
+    if let Some(path) = parse_flag::<String>(args, "--replay-schedule") {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("torture explore: cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        let st = ScheduleTrace::from_text(&text).unwrap_or_else(|e| {
+            eprintln!("torture explore: malformed schedule {path}: {e}");
+            std::process::exit(2);
+        });
+        // Rebuild the spec the schedule was recorded from: the injected-bug
+        // case is synthesized, everything else comes from the det matrix.
+        let rec_ops = st
+            .get("ops_per_thread")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(ops);
+        let rec_threads = st.participants as usize;
+        let spec = match st.get("case") {
+            Some(name) if name == injected_bug_spec(rec_threads, rec_ops).name => {
+                injected_bug_spec(rec_threads, rec_ops)
+            }
+            Some(name) => det_matrix(rec_threads, rec_ops)
+                .into_iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| {
+                    eprintln!("torture explore: schedule is from unknown case {name:?}");
+                    std::process::exit(2);
+                }),
+            None => explore_spec(args, rec_threads, rec_ops),
+        };
+        match replay_schedule(&spec, seed, &st) {
+            Ok(rep) => {
+                print!("{}", rep.report);
+                if rep.reproduced {
+                    println!("replay: bit-exact reproduction of {path}");
+                    std::process::exit(0);
+                }
+                eprintln!("replay: NOT reproduced");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("torture explore: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(budget) = parse_flag::<usize>(args, "--random") {
+        let spec = explore_spec(args, threads, ops);
+        let rep = explore_random(&spec, seed, budget);
+        println!(
+            "explore-random: case {} seed {seed:#x}: {} schedule(s), {} distinct behaviour(s)",
+            spec.name, rep.schedules_run, rep.distinct_behaviors
+        );
+        if let Some(s) = rep.violating_seed {
+            println!("violating sched_seed: {s:#x}");
+            std::process::exit(1);
+        }
+        std::process::exit(0);
+    }
+
+    let spec = explore_spec(args, threads, ops);
+    let opts = ExploreOptions {
+        budget: parse_flag(args, "--budget").unwrap_or(256),
+        max_delays: parse_flag(args, "--max-delays").unwrap_or(2),
+        horizon: parse_flag(args, "--horizon").unwrap_or(64),
+        dpor: !args.iter().any(|a| a == "--no-dpor"),
+        frontier: parse_flag::<String>(args, "--frontier").map(Into::into),
+        dump_dir: parse_flag::<String>(args, "--dump-dir").map(Into::into),
+    };
+    let t = std::time::Instant::now();
+    let report = explore(&spec, seed, &opts);
+    println!(
+        "explore: case {} seed {seed:#x}: {} schedule(s), {} distinct behaviour(s), {} pruned{}, {:.1}ms",
+        report.case,
+        report.schedules_run,
+        report.distinct_behaviors,
+        report.pruned,
+        if report.resumed { ", resumed" } else { "" },
+        t.elapsed().as_secs_f64() * 1e3,
+    );
+    let expect = args.iter().any(|a| a == "--expect-violation");
+    match report.violation {
+        Some(v) => {
+            eprintln!("FAIL {}", v.violation);
+            if let Some(p) = &v.schedule_path {
+                println!("schedule: {}", p.display());
+            }
+            std::process::exit(if expect { 0 } else { 1 });
+        }
+        None => {
+            if expect {
+                eprintln!(
+                    "explore: expected a violation but the frontier came up clean \
+                     ({} schedules)",
+                    report.schedules_run
+                );
+                std::process::exit(1);
+            }
+            std::process::exit(0);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("explore") {
+        explore_main(&args[1..]);
+    }
     let threads: usize = parse_flag(&args, "--threads").unwrap_or(4);
     let ops: usize = parse_flag(&args, "--ops").unwrap_or(250);
     let seed: u64 = parse_flag(&args, "--seed").unwrap_or_else(base_seed);

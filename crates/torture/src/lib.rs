@@ -76,6 +76,8 @@ use sprwl_locks::{
 };
 use sprwl_trace::{export, EventKind, ThreadTrace, TraceConfig};
 
+pub mod explore;
+
 /// Sentinel returned from a critical section that observed a torn mirror
 /// pair. Legitimate section results (pair counters and their partial sums)
 /// stay far below this for any feasible iteration count.
@@ -815,6 +817,11 @@ struct CaseRun {
     pairs_final: Vec<(u64, u64)>,
     /// Outcome of the lock's own post-run invariant check.
     quiescence: Result<(), String>,
+    /// The scheduler's recorded decision trace (deterministic runs only;
+    /// empty under the free-running scheduler).
+    schedule: Vec<htm_sim::DecisionRecord>,
+    /// Where a replaying policy stopped matching its recorded schedule.
+    sched_divergence: Option<String>,
 }
 
 impl CaseRun {
@@ -833,22 +840,31 @@ fn resolve_case(spec: &TortureSpec, base_seed: u64) -> (HtmConfig, u64, Option<u
     let mut cfg = spec.htm.clone();
     cfg.max_threads = spec.threads;
     cfg.seed = case_seed;
-    let sched_seed = match cfg.scheduler {
+    let sched_seed = match &cfg.scheduler {
         SchedulerKind::Deterministic { schedule_seed } => {
             // Priority: env override > a nonzero seed pinned in the spec >
             // per-case derivation. The matrices leave the spec seed at 0 so
             // every case explores its own interleaving family per base seed.
-            let s = sched_seed_override().unwrap_or(if schedule_seed != 0 {
-                schedule_seed
+            let s = sched_seed_override().unwrap_or(if *schedule_seed != 0 {
+                *schedule_seed
             } else {
                 derived_sched_seed(case_seed)
             });
             cfg.scheduler = SchedulerKind::Deterministic { schedule_seed: s };
             Some(s)
         }
+        // Policy-driven schedules (the explorer) are deterministic but not
+        // seed-addressed: their replay artifact is the decision trace.
+        SchedulerKind::DeterministicPolicy { .. } => None,
         SchedulerKind::Os => None,
     };
     (cfg, case_seed, sched_seed)
+}
+
+/// Whether a resolved case config serializes execution (any deterministic
+/// scheduler, seeded or policy-driven).
+fn is_serialized(cfg: &HtmConfig) -> bool {
+    !matches!(cfg.scheduler, SchedulerKind::Os)
 }
 
 /// Builds the simulator, runs the workers, and collects everything the
@@ -898,10 +914,14 @@ fn execute_mirror(
         .map(|p| (mem.peek(bank_a[p]), mem.peek(bank_b[p])))
         .collect();
     let quiescence = lock.check_quiescent(mem).map_err(|e| e.to_string());
+    let schedule = htm.scheduler().decision_trace().unwrap_or_default();
+    let sched_divergence = htm.scheduler().schedule_divergence();
     CaseRun {
         outs,
         pairs_final,
         quiescence,
+        schedule,
+        sched_divergence,
     }
 }
 
@@ -953,10 +973,14 @@ fn execute_cross(
         }
     }
     let quiescence = pair.check_quiescent(mem).map_err(|e| e.to_string());
+    let schedule = htm.scheduler().decision_trace().unwrap_or_default();
+    let sched_divergence = htm.scheduler().schedule_divergence();
     CaseRun {
         outs,
         pairs_final,
         quiescence,
+        schedule,
+        sched_divergence,
     }
 }
 
@@ -1052,12 +1076,18 @@ fn check_case(run: &CaseRun) -> Result<RunSummary, String> {
 }
 
 /// Runs the linearizability checker over a finished run's recorded
-/// history.
+/// history. `TORTURE_LIN_BUDGET` overrides the node budget — the hook the
+/// exit-code-contract tests use to force the `Unknown` path (which must
+/// stay a *verdict*, never a violation).
 fn lincheck_verdict(run: &CaseRun) -> Result<Verdict, String> {
     let traces = run.traces();
     let hist = History::from_traces(&traces)
         .map_err(|e| format!("lincheck: malformed recorded history: {e}"))?;
-    Ok(check(&hist, &CheckConfig::default()))
+    let mut cfg = CheckConfig::default();
+    if let Some(budget) = parse_seed_var("TORTURE_LIN_BUDGET") {
+        cfg.max_nodes = budget;
+    }
+    Ok(check(&hist, &cfg))
 }
 
 /// The full verdict on a finished run: the end-state oracle first, then —
@@ -1163,7 +1193,7 @@ pub fn run_case_with(
     match judge_case(spec, &run) {
         Ok(summary) => Ok(summary),
         Err(mut detail) => {
-            if sched_seed.is_some() {
+            if is_serialized(&htm_cfg) {
                 let rerun = execute_case(spec, &htm_cfg, case_seed, build);
                 let rerun_detail = judge_case(spec, &rerun).err();
                 detail.push_str(&determinism_note(
@@ -1204,6 +1234,14 @@ pub struct CaseArtifacts {
     pub pairs_final: Vec<(u64, u64)>,
     /// What the oracle concluded: the summary, or the violation detail.
     pub outcome: Result<RunSummary, String>,
+    /// The scheduler's recorded decision trace — one entry per branch
+    /// point. Empty for free-running cases. This is the replay artifact
+    /// the explorer serializes on a violation.
+    pub schedule: Vec<htm_sim::DecisionRecord>,
+    /// For replayed schedules: where the live run stopped matching the
+    /// recorded decision trace (`None` = faithful, the bit-exactness
+    /// precondition).
+    pub sched_divergence: Option<String>,
 }
 
 impl CaseArtifacts {
@@ -1229,6 +1267,8 @@ pub fn run_case_artifacts(spec: &TortureSpec, base_seed: u64) -> CaseArtifacts {
         stats: run.outs.iter().map(|o| o.stats.clone()).collect(),
         pairs_final: run.pairs_final.clone(),
         outcome,
+        schedule: run.schedule.clone(),
+        sched_divergence: run.sched_divergence.clone(),
     }
 }
 

@@ -200,7 +200,12 @@ fn violation_report_names_case_and_seed() {
     let spec = TortureSpec {
         name: "broken-report".into(),
         lock: sprwl_torture::LockKind::Tle,
-        htm: HtmConfig::default(),
+        // Schedule shake keeps NoSync violations provokable even when a
+        // loaded 1-core host serializes the racing threads.
+        htm: HtmConfig {
+            sched_shake_prob: 0.05,
+            ..HtmConfig::default()
+        },
         threads: 4,
         ops_per_thread: 2000,
         pairs: 2,

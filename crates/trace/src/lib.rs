@@ -50,6 +50,7 @@
 
 pub mod export;
 pub mod history;
+pub mod schedule;
 
 /// Sentinel for "no conflicting line attributed" in [`EventKind::TxAbort`].
 pub const NO_LINE: u64 = u64::MAX;

@@ -31,12 +31,37 @@ cargo run -q --release --offline -p sprwl-torture -- --det --threads 2 --ops 100
 echo "==> lincheck smoke (checker accepts the committed cross-lock golden history)"
 CROSS_GOLDEN=crates/torture/tests/golden/det_cross_smoke.trace.jsonl
 cargo run -q --release --offline -p sprwl-lincheck -- "$CROSS_GOLDEN" > /dev/null
-# An injected bug must flip the verdict (exit 1 = non-linearizable).
-if cargo run -q --release --offline -p sprwl-lincheck -- "$CROSS_GOLDEN" \
-    --mutate drop-commit > /dev/null; then
-    echo "lincheck failed to flag a dropped commit" >&2
+# An injected bug must flip the verdict to exactly exit 1 (non-linearizable).
+# "Any non-zero" is not good enough: exit 2 means the checker gave up
+# (budget/incomplete history), and a gate that confuses the two passes
+# vacuously the day the budget is too small for the golden history.
+rc=0
+cargo run -q --release --offline -p sprwl-lincheck -- "$CROSS_GOLDEN" \
+    --mutate drop-commit > /dev/null || rc=$?
+if [ "$rc" -ne 1 ]; then
+    echo "lincheck mutate smoke: expected exit 1 (violation), got $rc" >&2
     exit 1
 fi
+# And a starved budget must answer exit 2 (unknown), not a violation.
+rc=0
+cargo run -q --release --offline -p sprwl-lincheck -- "$CROSS_GOLDEN" \
+    --max-nodes 1 > /dev/null || rc=$?
+if [ "$rc" -ne 2 ]; then
+    echo "lincheck budget smoke: expected exit 2 (unknown), got $rc" >&2
+    exit 1
+fi
+
+echo "==> explore smoke (injected bug found by schedule search, then replayed bit-exactly)"
+# The weakened commit-time reader check must be caught within a bounded
+# frontier; the violating decision trace lands in TORTURE_DUMP_DIR (so CI
+# uploads it as an artifact) and must replay bit-exactly.
+EXPLORE_OUT=$(cargo run -q --release --offline -p sprwl-torture -- explore \
+    --inject-bug --budget 256 --seed 225 --expect-violation)
+echo "$EXPLORE_OUT"
+SCHEDULE=$(printf '%s\n' "$EXPLORE_OUT" | sed -n 's/^schedule: //p')
+test -s "$SCHEDULE"
+cargo run -q --release --offline -p sprwl-torture -- explore \
+    --replay-schedule "$SCHEDULE"
 
 echo "==> diff_traces smoke (identical -> 0, divergence -> 1)"
 python3 scripts/diff_traces.py "$CROSS_GOLDEN" "$CROSS_GOLDEN" > /dev/null

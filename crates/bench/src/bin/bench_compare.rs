@@ -1,0 +1,145 @@
+//! `bench-compare` — diffs two `BENCH_*.json` result documents against
+//! per-metric regression thresholds.
+//!
+//! ```text
+//! bench-compare <baseline.json> <candidate.json>
+//!               [--throughput-drop-pct 10] [--abort-rise-pp 5]
+//!               [--p99-rise-pct 50] [--p99-floor-ns 2000]
+//! ```
+//!
+//! Exit-code contract (stable — CI scripts rely on it):
+//!
+//! * `0` — comparable, no metric crossed its threshold;
+//! * `1` — at least one regression (each is printed as a `REGRESSION` line);
+//! * `2` — usage, I/O, parse or schema error (including mode/profile
+//!   mismatches: det and wall numbers are never silently compared);
+//! * `3` — documents parsed but share no comparable points.
+
+use std::process::ExitCode;
+
+use sprwl_bench::results::{compare, BenchResults, Thresholds};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bench-compare <baseline.json> <candidate.json> \
+         [--throughput-drop-pct F] [--abort-rise-pp F] [--p99-rise-pct F] [--p99-floor-ns N]"
+    );
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<BenchResults, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    BenchResults::from_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let mut th = Thresholds::default();
+    let mut files = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut num = |flag: &str| -> Result<f64, ExitCode> {
+            let v = args.next().ok_or_else(|| {
+                eprintln!("error: {flag} needs a value");
+                usage()
+            })?;
+            v.parse::<f64>().map_err(|_| {
+                eprintln!("error: bad value {v:?} for {flag}");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--throughput-drop-pct" => match num("--throughput-drop-pct") {
+                Ok(v) => th.throughput_drop = v / 100.0,
+                Err(code) => return code,
+            },
+            "--abort-rise-pp" => match num("--abort-rise-pp") {
+                Ok(v) => th.abort_rise_pp = v,
+                Err(code) => return code,
+            },
+            "--p99-rise-pct" => match num("--p99-rise-pct") {
+                Ok(v) => th.p99_rise = v / 100.0,
+                Err(code) => return code,
+            },
+            "--p99-floor-ns" => match num("--p99-floor-ns") {
+                Ok(v) if v >= 0.0 => th.p99_floor_ns = v as u64,
+                Ok(_) | Err(_) => return usage(),
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            f if !f.starts_with("--") => files.push(f.to_string()),
+            other => {
+                eprintln!("error: unknown flag {other:?}");
+                return usage();
+            }
+        }
+    }
+    let [baseline_path, candidate_path] = files.as_slice() else {
+        return usage();
+    };
+
+    let (baseline, candidate) = match (load(baseline_path), load(candidate_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match compare(&baseline, &candidate, &th) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    println!(
+        "baseline  {} @ {} ({} points)",
+        baseline.file_name(),
+        baseline.git_commit,
+        baseline.points.len()
+    );
+    println!(
+        "candidate {} @ {} ({} points)",
+        candidate.file_name(),
+        candidate.git_commit,
+        candidate.points.len()
+    );
+    println!(
+        "matched {} point(s); thresholds: throughput -{:.0}%, aborts +{:.1}pp, p99 +{:.0}% (floor {}ns)",
+        report.matched,
+        100.0 * th.throughput_drop,
+        th.abort_rise_pp,
+        100.0 * th.p99_rise,
+        th.p99_floor_ns
+    );
+    for key in &report.missing_in_candidate {
+        println!("MISSING in candidate: {key}");
+    }
+    for key in &report.new_in_candidate {
+        println!("NEW in candidate: {key}");
+    }
+    if report.improvements > 0 {
+        println!(
+            "{} point(s) improved beyond the threshold",
+            report.improvements
+        );
+    }
+
+    if report.matched == 0 {
+        eprintln!("error: no comparable points between the two documents");
+        return ExitCode::from(3);
+    }
+    if report.regressions.is_empty() {
+        println!("OK: no regressions");
+        ExitCode::SUCCESS
+    } else {
+        for r in &report.regressions {
+            println!("{}", r.describe());
+        }
+        println!("FAIL: {} regression(s)", report.regressions.len());
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,252 @@
+//! `bench-sweep` — runs a thread-sweep grid and writes one
+//! `BENCH_<category>_<date>.json` results document.
+//!
+//! ```text
+//! bench-sweep [--det | --wall]
+//!             [--threads 1,2,4] [--seed 42]
+//!             [--ops 1500] [--warmup-ops 150] [--schedule-seed 7]   (det)
+//!             [--secs 0.25] [--warmup-secs 0.05]                    (wall)
+//!             [--locks SpRWL,TLE,RWL] [--workloads read-only,...]
+//!             [--profile broadwell-sim | power8-sim]
+//!             [--category sweep] [--out DIR]
+//!             [--date YYYY-MM-DD] [--commit HASH]
+//! ```
+//!
+//! `--det` (the default) measures fixed work on the deterministic
+//! scheduler's virtual clock: the document is bit-identical for the same
+//! flags on any host, which is what makes it diffable in CI via
+//! `bench-compare`. `--wall` races a wall-clock window instead. `--date`
+//! and `--commit` override the provenance stamps (the defaults probe the
+//! system clock and `git rev-parse`).
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use sprwl::SprwlConfig;
+use sprwl_bench::results::{git_commit, today};
+use sprwl_bench::sweep::{run_sweep, SweepConfig, SweepMode};
+use sprwl_bench::{BenchPoint, LockKind};
+use sprwl_workloads::SweepWorkload;
+
+fn parse_lock(name: &str) -> Option<LockKind> {
+    Some(match name {
+        "SpRWL" => LockKind::Sprwl(SprwlConfig::default()),
+        "TLE" => LockKind::Tle,
+        "RW-LE" => LockKind::RwLe,
+        "RWL" => LockKind::Rwl,
+        "BRLock" => LockKind::BrLock,
+        "PF-RWL" => LockKind::PhaseFair,
+        "MCS-RWL" => LockKind::Mcs,
+        "PRWL" => LockKind::Passive,
+        _ => return None,
+    })
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bench-sweep [--det|--wall] [--threads N,N,..] [--seed N] \
+         [--ops N] [--warmup-ops N] [--schedule-seed N] [--secs F] [--warmup-secs F] \
+         [--locks A,B,..] [--workloads A,B,..] [--profile NAME] [--category NAME] \
+         [--out DIR] [--date YYYY-MM-DD] [--commit HASH]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut cfg = SweepConfig::default();
+    let mut det = true;
+    let mut ops = 1500usize;
+    let mut warmup_ops = 150usize;
+    let mut schedule_seed = 7u64;
+    let mut secs = 0.25f64;
+    let mut warmup_secs = 0.05f64;
+    let mut out_dir = std::path::PathBuf::from(".");
+    let mut date = today();
+    let mut commit = git_commit();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |flag: &str| -> Result<String, ExitCode> {
+            args.next().ok_or_else(|| {
+                eprintln!("error: {flag} needs a value");
+                usage()
+            })
+        };
+        macro_rules! parse_val {
+            ($flag:expr, $ty:ty) => {
+                match val($flag) {
+                    Ok(v) => match v.parse::<$ty>() {
+                        Ok(p) => p,
+                        Err(_) => {
+                            eprintln!("error: bad value {v:?} for {}", $flag);
+                            return usage();
+                        }
+                    },
+                    Err(code) => return code,
+                }
+            };
+        }
+        match a.as_str() {
+            "--det" => det = true,
+            "--wall" => det = false,
+            "--seed" => cfg.seed = parse_val!("--seed", u64),
+            "--ops" => ops = parse_val!("--ops", usize),
+            "--warmup-ops" => warmup_ops = parse_val!("--warmup-ops", usize),
+            "--schedule-seed" => schedule_seed = parse_val!("--schedule-seed", u64),
+            "--secs" => secs = parse_val!("--secs", f64),
+            "--warmup-secs" => warmup_secs = parse_val!("--warmup-secs", f64),
+            "--threads" => {
+                let v = match val("--threads") {
+                    Ok(v) => v,
+                    Err(code) => return code,
+                };
+                let parsed: Result<Vec<usize>, _> =
+                    v.split(',').map(|t| t.trim().parse::<usize>()).collect();
+                match parsed {
+                    Ok(t) if !t.is_empty() && t.iter().all(|&n| n >= 1) => cfg.threads = t,
+                    _ => {
+                        eprintln!("error: bad thread list {v:?}");
+                        return usage();
+                    }
+                }
+            }
+            "--locks" => {
+                let v = match val("--locks") {
+                    Ok(v) => v,
+                    Err(code) => return code,
+                };
+                let mut locks = Vec::new();
+                for name in v.split(',') {
+                    match parse_lock(name.trim()) {
+                        Some(l) => locks.push(l),
+                        None => {
+                            eprintln!(
+                                "error: unknown lock {name:?} (expected SpRWL, TLE, RW-LE, \
+                                 RWL, BRLock, PF-RWL, MCS-RWL or PRWL)"
+                            );
+                            return usage();
+                        }
+                    }
+                }
+                cfg.locks = locks;
+            }
+            "--workloads" => {
+                let v = match val("--workloads") {
+                    Ok(v) => v,
+                    Err(code) => return code,
+                };
+                let mut ws = Vec::new();
+                for name in v.split(',') {
+                    match SweepWorkload::parse(name.trim()) {
+                        Some(w) => ws.push(w),
+                        None => {
+                            eprintln!(
+                                "error: unknown workload {name:?} (expected read-only, \
+                                 independent-write, hot-key or mixed-90-10)"
+                            );
+                            return usage();
+                        }
+                    }
+                }
+                cfg.workloads = ws;
+            }
+            "--profile" => {
+                let v = match val("--profile") {
+                    Ok(v) => v,
+                    Err(code) => return code,
+                };
+                cfg.profile = match v.as_str() {
+                    "broadwell-sim" => htm_sim::CapacityProfile::BROADWELL_SIM,
+                    "power8-sim" => htm_sim::CapacityProfile::POWER8_SIM,
+                    _ => {
+                        eprintln!("error: unknown profile {v:?}");
+                        return usage();
+                    }
+                };
+            }
+            "--category" => {
+                cfg.category = match val("--category") {
+                    Ok(v) => v,
+                    Err(code) => return code,
+                }
+            }
+            "--out" => {
+                out_dir = match val("--out") {
+                    Ok(v) => v.into(),
+                    Err(code) => return code,
+                }
+            }
+            "--date" => {
+                date = match val("--date") {
+                    Ok(v) => v,
+                    Err(code) => return code,
+                }
+            }
+            "--commit" => {
+                commit = match val("--commit") {
+                    Ok(v) => v,
+                    Err(code) => return code,
+                }
+            }
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown flag {other:?}");
+                return usage();
+            }
+        }
+    }
+
+    if det {
+        for l in &cfg.locks {
+            if !l.det_compatible() {
+                eprintln!(
+                    "note: skipping {} under --det (it parks on OS primitives the serialized \
+                     scheduler cannot see); use --wall to measure it",
+                    l.name()
+                );
+            }
+        }
+    }
+    cfg.mode = if det {
+        SweepMode::Det {
+            warmup_ops,
+            ops_per_thread: ops,
+            schedule_seed,
+        }
+    } else {
+        SweepMode::Wall {
+            warmup: Duration::from_secs_f64(warmup_secs),
+            duration: Duration::from_secs_f64(secs),
+        }
+    };
+
+    let results = run_sweep(&cfg, &date, &commit);
+
+    println!(
+        "# {} @ {} ({}, {}, {} points)",
+        results.file_name(),
+        results.git_commit,
+        results.mode,
+        results.capacity_profile,
+        results.points.len()
+    );
+    println!("{}", BenchPoint::header());
+    for p in &results.points {
+        println!("{}", p.row());
+    }
+
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("error: cannot create {}: {e}", out_dir.display());
+        return ExitCode::from(2);
+    }
+    let path = out_dir.join(results.file_name());
+    if let Err(e) = std::fs::write(&path, results.to_json()) {
+        eprintln!("error: cannot write {}: {e}", path.display());
+        return ExitCode::from(2);
+    }
+    println!("wrote {}", path.display());
+    ExitCode::SUCCESS
+}

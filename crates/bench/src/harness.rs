@@ -79,6 +79,16 @@ impl LockKind {
         }
     }
 
+    /// Whether the scheme can run under
+    /// [`htm_sim::SchedulerKind::Deterministic`]. [`LockKind::Rwl`] cannot:
+    /// it parks waiters on a real OS condvar the serialized scheduler
+    /// cannot see, which deadlocks the schedule token (the torture
+    /// harness's det matrix excludes it for the same reason). Every other
+    /// scheme spins through scheduler-visible yield points.
+    pub fn det_compatible(&self) -> bool {
+        !matches!(self, LockKind::Rwl)
+    }
+
     /// Instantiates the scheme over a runtime.
     pub fn build(&self, htm: &Htm) -> Box<dyn RwSync> {
         match self {
@@ -157,6 +167,11 @@ pub struct RunReport {
     pub stats: SessionStats,
     /// Actual measured wall-clock seconds.
     pub elapsed_s: f64,
+    /// Virtual seconds covered by the measured window when the run
+    /// executed under a deterministic scheduler (`None` for free-running
+    /// runs). Deterministic throughput is computed against this, making it
+    /// reproducible run-to-run and host-independent.
+    pub virtual_elapsed_s: Option<f64>,
 }
 
 impl RunReport {
@@ -310,21 +325,18 @@ pub fn run_hashmap_traced(
     trace: TraceConfig,
 ) -> (RunReport, Vec<ThreadTrace>) {
     let (rep, traces) = run_generic_traced(htm, rc, trace, |ctx: &mut WorkerCtx<'_, '_>| {
-        let rng = &mut ctx.rng;
+        let WorkerCtx { t, rng, scratch } = ctx;
         if rng.gen_range(0..100u32) < spec.update_pct {
             let key = rng.gen_range(0..spec.key_space);
             let insert = rng.gen_bool(0.5);
-            let tid = ctx.t.tid();
-            lock.write_section(ctx.t, SEC_HASH_WRITE, &mut |a| {
+            let tid = t.tid();
+            lock.write_section(t, SEC_HASH_WRITE, &mut |a| {
                 hashmap_write_cs(map, a, tid, key, insert)
             });
         } else {
-            let keys: Vec<u64> = (0..spec.lookups_per_read)
-                .map(|_| rng.gen_range(0..spec.key_space))
-                .collect();
-            lock.read_section(ctx.t, SEC_HASH_READ, &mut |a| {
-                hashmap_read_cs(map, a, &keys)
-            });
+            scratch.clear();
+            scratch.extend((0..spec.lookups_per_read).map(|_| rng.gen_range(0..spec.key_space)));
+            lock.read_section(t, SEC_HASH_READ, &mut |a| hashmap_read_cs(map, a, scratch));
         }
     });
     (rep.with_lock_name(lock.name()), traces)
@@ -397,6 +409,11 @@ pub struct WorkerCtx<'a, 'h> {
     pub t: &'a mut LockThread<'h>,
     /// The thread's RNG (deterministic per seed/tid).
     pub rng: StdRng,
+    /// Reusable key buffer for workloads that pre-draw a batch of keys per
+    /// critical section. Allocating inside the timed loop would bill
+    /// allocator time to the reported latency, so ops `clear()` and refill
+    /// this instead.
+    pub scratch: Vec<u64>,
 }
 
 impl std::fmt::Debug for WorkerCtx<'_, '_> {
@@ -442,6 +459,7 @@ pub fn run_generic_traced(
                 let mut ctx = WorkerCtx {
                     t: &mut t,
                     rng: StdRng::seed_from_u64(rc.seed ^ ((tid as u64 + 1) << 24)),
+                    scratch: Vec::with_capacity(64),
                 };
                 barrier.wait();
                 while !stop.load(Ordering::Relaxed) {
@@ -454,12 +472,18 @@ pub fn run_generic_traced(
         let t0 = clock::now();
         std::thread::sleep(rc.duration);
         stop.store(true, Ordering::Relaxed);
+        // The measured window ends when the stop flag is raised, not after
+        // every worker has been joined and its stats merged: billing the
+        // join/merge time to the window systematically understates
+        // throughput (workers do at most one trailing op each after the
+        // flag flips, which is noise; join + merge of latency histograms
+        // is not).
+        elapsed_s = (clock::now() - t0) as f64 / 1e9;
         for h in handles {
             let (stats, tr) = h.join().expect("worker panicked");
             merged.merge(&stats);
             traces.push(tr);
         }
-        elapsed_s = (clock::now() - t0) as f64 / 1e9;
     });
     let report = RunReport {
         lock: String::new(),
@@ -467,6 +491,7 @@ pub fn run_generic_traced(
         throughput: merged.total_commits() as f64 / elapsed_s,
         stats: merged,
         elapsed_s,
+        virtual_elapsed_s: None,
     };
     (report, traces)
 }
@@ -487,9 +512,15 @@ pub fn run_generic_traced(
 /// * there is no stop flag for a sleeping coordinator to set; the workers
 ///   just finish their quota.
 ///
-/// Throughput is still reported against wall time (the coordinator thread
-/// is unbound, so its clock is real), which makes deterministic runs
-/// comparable run-to-run even though their *event* time is virtual.
+/// The clocks start at the post-barrier rendezvous inside the workers, not
+/// in the coordinator before spawning: thread spawn and `ThreadCtx` claim
+/// cost would otherwise be billed to the measured window, inflating
+/// elapsed time on short fixed-work runs. Wall elapsed is the earliest
+/// worker start to the latest worker finish; under a deterministic
+/// scheduler the workers additionally bracket the run on the *virtual*
+/// clock, and throughput is reported against that ([`RunReport
+/// ::virtual_elapsed_s`]) so fixed-work deterministic runs yield
+/// bit-identical numbers on any host.
 pub fn run_generic_ops(
     htm: &Htm,
     rc: &RunConfig,
@@ -501,38 +532,61 @@ pub fn run_generic_ops(
     let barrier = Barrier::new(rc.threads);
     let mut merged = SessionStats::default();
     let mut traces = Vec::with_capacity(rc.threads);
-    let t0 = clock::wall_now();
+    let mut wall_start = u64::MAX;
+    let mut wall_end = 0u64;
+    let mut virt_start = u64::MAX;
+    let mut virt_end = 0u64;
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..rc.threads)
             .map(|tid| {
                 let (barrier, op) = (&barrier, &op);
                 s.spawn(move || {
                     barrier.wait();
+                    let w0 = clock::wall_now();
                     let mut t = LockThread::with_trace(htm.thread(tid), trace);
+                    // Bound to the scheduler from here on: `clock::now` is
+                    // virtual under a deterministic scheduler.
+                    let v0 = clock::now();
                     let mut ctx = WorkerCtx {
                         t: &mut t,
                         rng: StdRng::seed_from_u64(rc.seed ^ ((tid as u64 + 1) << 24)),
+                        scratch: Vec::with_capacity(64),
                     };
                     for _ in 0..ops_per_thread {
                         op(&mut ctx);
                     }
-                    (t.stats, t.trace.snapshot())
+                    let v1 = clock::now();
+                    let w1 = clock::wall_now();
+                    let trace = t.trace.snapshot();
+                    (t.stats, trace, w0, w1, v0, v1)
                 })
             })
             .collect();
         for h in handles {
-            let (stats, tr) = h.join().expect("worker panicked");
+            let (stats, tr, w0, w1, v0, v1) = h.join().expect("worker panicked");
             merged.merge(&stats);
             traces.push(tr);
+            wall_start = wall_start.min(w0);
+            wall_end = wall_end.max(w1);
+            virt_start = virt_start.min(v0);
+            virt_end = virt_end.max(v1);
         }
     });
-    let elapsed_s = ((clock::wall_now() - t0) as f64 / 1e9).max(1e-9);
+    let elapsed_s = ((wall_end.saturating_sub(wall_start)) as f64 / 1e9).max(1e-9);
+    let virtual_elapsed_s = ((virt_end.saturating_sub(virt_start)) as f64 / 1e9).max(1e-9);
+    let deterministic = htm.scheduler().is_deterministic();
+    let denominator = if deterministic {
+        virtual_elapsed_s
+    } else {
+        elapsed_s
+    };
     let report = RunReport {
         lock: String::new(),
         threads: rc.threads,
-        throughput: merged.total_commits() as f64 / elapsed_s,
+        throughput: merged.total_commits() as f64 / denominator,
         stats: merged,
         elapsed_s,
+        virtual_elapsed_s: deterministic.then_some(virtual_elapsed_s),
     };
     (report, traces)
 }
@@ -631,6 +685,7 @@ mod tests {
             throughput: 4.0,
             stats,
             elapsed_s: 1.0,
+            virtual_elapsed_s: None,
         };
         let total: f64 = CommitMode::ALL.iter().map(|&m| rep.commit_pct(m)).sum();
         assert!((total - 100.0).abs() < 1e-9);
@@ -655,6 +710,7 @@ mod tests {
             throughput: 1.0,
             stats,
             elapsed_s: 1.0,
+            virtual_elapsed_s: None,
         };
         let cols: Vec<u64> = rep
             .csv()
@@ -682,6 +738,7 @@ mod tests {
             throughput: 1.0,
             stats: stats.clone(),
             elapsed_s: 1.0,
+            virtual_elapsed_s: None,
         };
         assert!(rep_empty.conflict_summary(4).is_none());
         stats.record_conflict(7, 2);
@@ -693,6 +750,7 @@ mod tests {
             throughput: 1.0,
             stats,
             elapsed_s: 1.0,
+            virtual_elapsed_s: None,
         };
         let s = rep.conflict_summary(1).unwrap();
         assert!(s.contains("3 attributed"), "{s}");

@@ -8,13 +8,26 @@
 //!
 //! Environment knobs: `SPRWL_BENCH_SECS` (seconds per point, default 0.25)
 //! and `SPRWL_BENCH_THREADS` (comma-separated sweep, default `1,2,4,8`).
+//!
+//! Beyond the figure benches, the crate carries the continuous-benchmark
+//! pipeline: [`sweep`] runs thread-sweep grids (the `bench-sweep` binary),
+//! [`results`] defines the schema-versioned `BENCH_<category>_<date>.json`
+//! documents they emit and the regression comparison the `bench-compare`
+//! binary applies between two of them.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod harness;
+pub mod results;
+pub mod sweep;
 
 pub use harness::{
     hashmap_point, htm_for, run_generic, run_generic_traced, run_hashmap, run_hashmap_traced,
     run_tpcc, tpcc_point, trace_path_from_args, LockKind, RunConfig, RunReport, WorkerCtx,
 };
+pub use results::{
+    compare, BenchPoint, BenchResults, CompareReport, Hardware, LatencySummary, Regression,
+    Thresholds, SCHEMA_VERSION,
+};
+pub use sweep::{run_sweep, run_sweep_point, SweepConfig, SweepMode};

@@ -1,0 +1,518 @@
+//! Thread-sweep concurrency harness behind the `bench-sweep` binary.
+//!
+//! Runs a grid of (workload × lock × thread-count) points over the
+//! hashmap micro-benchmark, each with a warmup phase followed by a
+//! measured window, and packs the grid into one schema-versioned
+//! [`BenchResults`] document. Two run modes:
+//!
+//! * **wall** — free-running OS threads race a wall-clock deadline
+//!   (warmup seconds, then measured seconds). The numbers depend on the
+//!   host; use for local perf hunting.
+//! * **det** — the deterministic serialized scheduler with fixed work per
+//!   thread and the virtual clock as the measured window. Throughput,
+//!   latency percentiles and abort counts are bit-identical for the same
+//!   `(seed, schedule_seed, config, workload)` on any host, which is what
+//!   lets CI diff two result files without noise margins swallowing real
+//!   regressions.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+use std::time::Duration;
+
+use htm_sim::{clock, CapacityProfile, Htm, HtmConfig, SchedulerKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sprwl_locks::{LockThread, RwSync, SessionStats};
+use sprwl_trace::TraceConfig;
+use sprwl_workloads::spec::{hashmap_read_cs, hashmap_write_cs};
+use sprwl_workloads::{HashmapSpec, SimHashMap, SweepWorkload};
+
+use crate::harness::{LockKind, WorkerCtx, SEC_HASH_READ, SEC_HASH_WRITE};
+use crate::results::{BenchPoint, BenchResults, Hardware, SCHEMA_VERSION};
+
+/// How a sweep point is driven.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepMode {
+    /// Timed window on free-running OS threads.
+    Wall {
+        /// Warmup phase (discarded).
+        warmup: Duration,
+        /// Measured window.
+        duration: Duration,
+    },
+    /// Fixed work per thread under the deterministic serialized scheduler,
+    /// measured on the virtual clock — wall-clock-free and bit-identical
+    /// across runs and hosts.
+    Det {
+        /// Operations per thread discarded as warmup.
+        warmup_ops: usize,
+        /// Operations per thread in the measured window.
+        ops_per_thread: usize,
+        /// Seed of the schedule PRNG (independent of the workload seed).
+        schedule_seed: u64,
+    },
+}
+
+impl SweepMode {
+    /// The `mode` string recorded in the results document.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SweepMode::Wall { .. } => "wall",
+            SweepMode::Det { .. } => "det",
+        }
+    }
+}
+
+/// Full description of one sweep.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Simulated-HTM capacity profile.
+    pub profile: CapacityProfile,
+    /// Thread counts to sweep.
+    pub threads: Vec<usize>,
+    /// Workload PRNG seed.
+    pub seed: u64,
+    /// Run mode.
+    pub mode: SweepMode,
+    /// Lock schemes to compare.
+    pub locks: Vec<LockKind>,
+    /// Workloads to run.
+    pub workloads: Vec<SweepWorkload>,
+    /// Result category (names the output file).
+    pub category: String,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        Self {
+            profile: CapacityProfile::BROADWELL_SIM,
+            threads: vec![1, 2, 4],
+            seed: 42,
+            mode: SweepMode::Det {
+                warmup_ops: 150,
+                ops_per_thread: 1500,
+                schedule_seed: 7,
+            },
+            // BRLock, not RWL, is the default pessimistic baseline: the
+            // default mode is deterministic and RWL parks on an OS condvar
+            // the serialized scheduler cannot see (see
+            // [`LockKind::det_compatible`]).
+            locks: vec![
+                LockKind::Sprwl(sprwl::SprwlConfig::default()),
+                LockKind::Tle,
+                LockKind::BrLock,
+            ],
+            workloads: SweepWorkload::ALL.to_vec(),
+            category: "sweep".to_string(),
+        }
+    }
+}
+
+/// Runs the whole grid and assembles the results document.
+///
+/// `date` and `git_commit` are provenance strings stamped into the
+/// document (see [`crate::results::today`] and
+/// [`crate::results::git_commit`]); they are parameters rather than
+/// probed here so deterministic tests can pin them.
+pub fn run_sweep(cfg: &SweepConfig, date: &str, git_commit: &str) -> BenchResults {
+    let mut params = std::collections::BTreeMap::new();
+    params.insert("seed".to_string(), cfg.seed.to_string());
+    match cfg.mode {
+        SweepMode::Wall { warmup, duration } => {
+            params.insert("warmup_s".to_string(), format!("{}", warmup.as_secs_f64()));
+            params.insert("secs".to_string(), format!("{}", duration.as_secs_f64()));
+        }
+        SweepMode::Det {
+            warmup_ops,
+            ops_per_thread,
+            schedule_seed,
+        } => {
+            params.insert("warmup_ops".to_string(), warmup_ops.to_string());
+            params.insert("ops_per_thread".to_string(), ops_per_thread.to_string());
+            params.insert("schedule_seed".to_string(), schedule_seed.to_string());
+        }
+    }
+    params.insert(
+        "threads".to_string(),
+        cfg.threads
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    let mut points = Vec::new();
+    let det = matches!(cfg.mode, SweepMode::Det { .. });
+    for workload in &cfg.workloads {
+        for lock in &cfg.locks {
+            if !lock.supports(&cfg.profile) || (det && !lock.det_compatible()) {
+                continue;
+            }
+            for &threads in &cfg.threads {
+                points.push(run_sweep_point(
+                    &cfg.profile,
+                    lock,
+                    *workload,
+                    threads,
+                    cfg.seed,
+                    &cfg.mode,
+                ));
+            }
+        }
+    }
+    BenchResults {
+        schema_version: SCHEMA_VERSION,
+        category: cfg.category.clone(),
+        date: date.to_string(),
+        git_commit: git_commit.to_string(),
+        mode: cfg.mode.label().to_string(),
+        capacity_profile: cfg.profile.name.to_string(),
+        hardware: Hardware::probe(),
+        params,
+        points,
+    }
+}
+
+/// Runs one (workload, lock, threads) point: builds a fresh runtime and
+/// populated map, warms up, measures, and digests the merged statistics.
+///
+/// # Panics
+///
+/// Panics when asked to run a det-incompatible lock in
+/// [`SweepMode::Det`] (see [`LockKind::det_compatible`]) — failing loudly
+/// beats deadlocking the serialized schedule.
+pub fn run_sweep_point(
+    profile: &CapacityProfile,
+    lock_kind: &LockKind,
+    workload: SweepWorkload,
+    threads: usize,
+    seed: u64,
+    mode: &SweepMode,
+) -> BenchPoint {
+    assert!(
+        matches!(mode, SweepMode::Wall { .. }) || lock_kind.det_compatible(),
+        "{} parks on OS primitives and would deadlock the deterministic scheduler",
+        lock_kind.name()
+    );
+    let spec = workload.spec();
+    let scheduler = match mode {
+        SweepMode::Wall { .. } => SchedulerKind::Os,
+        SweepMode::Det { schedule_seed, .. } => SchedulerKind::Deterministic {
+            schedule_seed: *schedule_seed,
+        },
+    };
+    let htm = Htm::new(
+        HtmConfig {
+            capacity: *profile,
+            max_threads: threads,
+            scheduler,
+            ..HtmConfig::default()
+        },
+        spec.cells_needed(threads),
+    );
+    let map = spec.build(htm.memory(), threads);
+    let lock = lock_kind.build(&htm);
+    let (stats, elapsed_s) = match *mode {
+        SweepMode::Wall { warmup, duration } => run_point_wall(
+            &htm,
+            lock.as_ref(),
+            &map,
+            &spec,
+            workload,
+            threads,
+            seed,
+            warmup,
+            duration,
+        ),
+        SweepMode::Det {
+            warmup_ops,
+            ops_per_thread,
+            ..
+        } => run_point_det(
+            &htm,
+            lock.as_ref(),
+            &map,
+            &spec,
+            workload,
+            threads,
+            seed,
+            warmup_ops,
+            ops_per_thread,
+        ),
+    };
+    BenchPoint::from_stats(workload.name(), lock.name(), threads, &stats, elapsed_s)
+}
+
+/// One operation of the sweep workload: a write section with the
+/// workload's write-key distribution, or a read section of
+/// `lookups_per_read` draws from its read-key distribution.
+fn sweep_op(
+    workload: SweepWorkload,
+    spec: &HashmapSpec,
+    threads: usize,
+    lock: &dyn RwSync,
+    map: &SimHashMap,
+    ctx: &mut WorkerCtx<'_, '_>,
+) {
+    let WorkerCtx { t, rng, scratch } = ctx;
+    if rng.gen_range(0..100u32) < spec.update_pct {
+        let tid = t.tid();
+        let key = workload.write_key(rng, tid, threads, spec.key_space);
+        let insert = rng.gen_bool(0.5);
+        lock.write_section(t, SEC_HASH_WRITE, &mut |a| {
+            hashmap_write_cs(map, a, tid, key, insert)
+        });
+    } else {
+        scratch.clear();
+        scratch.extend((0..spec.lookups_per_read).map(|_| workload.read_key(rng, spec.key_space)));
+        lock.read_section(t, SEC_HASH_READ, &mut |a| hashmap_read_cs(map, a, scratch));
+    }
+}
+
+/// Wall mode: warmup seconds (stats discarded), then a measured window
+/// bracketed by the coordinator on the wall clock.
+#[allow(clippy::too_many_arguments)]
+fn run_point_wall(
+    htm: &Htm,
+    lock: &dyn RwSync,
+    map: &SimHashMap,
+    spec: &HashmapSpec,
+    workload: SweepWorkload,
+    threads: usize,
+    seed: u64,
+    warmup: Duration,
+    duration: Duration,
+) -> (SessionStats, f64) {
+    let barrier = Barrier::new(threads + 1);
+    let warmed = AtomicBool::new(false);
+    let stop = AtomicBool::new(false);
+    let mut merged = SessionStats::default();
+    let mut elapsed_s = 0.0;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|tid| {
+                let (barrier, warmed, stop) = (&barrier, &warmed, &stop);
+                s.spawn(move || {
+                    let mut t = LockThread::with_trace(htm.thread(tid), TraceConfig::Off);
+                    let mut ctx = WorkerCtx {
+                        t: &mut t,
+                        rng: StdRng::seed_from_u64(seed ^ ((tid as u64 + 1) << 24)),
+                        scratch: Vec::with_capacity(64),
+                    };
+                    barrier.wait();
+                    // Warmup: run until the flag flips, then drop the
+                    // stats accumulated so far.
+                    while !warmed.load(Ordering::Relaxed) {
+                        sweep_op(workload, spec, threads, lock, map, &mut ctx);
+                    }
+                    ctx.t.stats = SessionStats::default();
+                    while !stop.load(Ordering::Relaxed) {
+                        sweep_op(workload, spec, threads, lock, map, &mut ctx);
+                    }
+                    t.stats
+                })
+            })
+            .collect();
+        barrier.wait();
+        std::thread::sleep(warmup);
+        warmed.store(true, Ordering::Relaxed);
+        let t0 = clock::wall_now();
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+        // Stop the window at the flag flip, before joins (see
+        // `run_generic_traced`).
+        elapsed_s = (clock::wall_now() - t0) as f64 / 1e9;
+        for h in handles {
+            merged.merge(&h.join().expect("worker panicked"));
+        }
+    });
+    (merged, elapsed_s.max(1e-9))
+}
+
+/// Det mode: fixed warmup + measured op quotas per thread, with the
+/// measured window bracketed by each worker on the virtual clock. The OS
+/// barrier precedes the `ThreadCtx` claim — registration is the
+/// deterministic scheduler's start barrier (see
+/// [`crate::harness::run_generic_ops`]).
+#[allow(clippy::too_many_arguments)]
+fn run_point_det(
+    htm: &Htm,
+    lock: &dyn RwSync,
+    map: &SimHashMap,
+    spec: &HashmapSpec,
+    workload: SweepWorkload,
+    threads: usize,
+    seed: u64,
+    warmup_ops: usize,
+    ops_per_thread: usize,
+) -> (SessionStats, f64) {
+    let barrier = Barrier::new(threads);
+    let mut merged = SessionStats::default();
+    let mut virt_start = u64::MAX;
+    let mut virt_end = 0u64;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|tid| {
+                let barrier = &barrier;
+                s.spawn(move || {
+                    barrier.wait();
+                    let mut t = LockThread::with_trace(htm.thread(tid), TraceConfig::Off);
+                    let mut ctx = WorkerCtx {
+                        t: &mut t,
+                        rng: StdRng::seed_from_u64(seed ^ ((tid as u64 + 1) << 24)),
+                        scratch: Vec::with_capacity(64),
+                    };
+                    for _ in 0..warmup_ops {
+                        sweep_op(workload, spec, threads, lock, map, &mut ctx);
+                    }
+                    ctx.t.stats = SessionStats::default();
+                    let v0 = clock::now();
+                    for _ in 0..ops_per_thread {
+                        sweep_op(workload, spec, threads, lock, map, &mut ctx);
+                    }
+                    let v1 = clock::now();
+                    (t.stats, v0, v1)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (stats, v0, v1) = h.join().expect("worker panicked");
+            merged.merge(&stats);
+            virt_start = virt_start.min(v0);
+            virt_end = virt_end.max(v1);
+        }
+    });
+    let elapsed_s = ((virt_end.saturating_sub(virt_start)) as f64 / 1e9).max(1e-9);
+    (merged, elapsed_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det_mode() -> SweepMode {
+        SweepMode::Det {
+            warmup_ops: 50,
+            ops_per_thread: 300,
+            schedule_seed: 7,
+        }
+    }
+
+    #[test]
+    fn det_sweep_points_are_bit_identical_across_runs() {
+        for workload in [SweepWorkload::HotKey, SweepWorkload::ReadOnly] {
+            let run = || {
+                run_sweep_point(
+                    &CapacityProfile::BROADWELL_SIM,
+                    &LockKind::Sprwl(sprwl::SprwlConfig::default()),
+                    workload,
+                    2,
+                    42,
+                    &det_mode(),
+                )
+            };
+            let a = run();
+            let b = run();
+            assert_eq!(a, b, "{workload:?} point must be deterministic");
+            assert!(a.commits > 0);
+        }
+    }
+
+    #[test]
+    fn det_sweep_measures_the_post_warmup_window_only() {
+        let p = run_sweep_point(
+            &CapacityProfile::BROADWELL_SIM,
+            &LockKind::Tle,
+            SweepWorkload::Mixed90_10,
+            2,
+            42,
+            &det_mode(),
+        );
+        // Every measured op commits exactly once eventually; warmup ops
+        // must not leak into the counters.
+        assert_eq!(p.commits, 2 * 300);
+        assert!(p.throughput > 0.0);
+        assert!(p.elapsed_s > 0.0);
+    }
+
+    #[test]
+    fn wall_sweep_smoke() {
+        let p = run_sweep_point(
+            &CapacityProfile::BROADWELL_SIM,
+            &LockKind::Rwl,
+            SweepWorkload::Mixed90_10,
+            2,
+            42,
+            &SweepMode::Wall {
+                warmup: Duration::from_millis(5),
+                duration: Duration::from_millis(30),
+            },
+        );
+        assert!(p.commits > 0);
+        assert!(p.throughput > 0.0);
+    }
+
+    #[test]
+    fn read_only_workload_records_no_writer_latency() {
+        let p = run_sweep_point(
+            &CapacityProfile::BROADWELL_SIM,
+            &LockKind::Tle,
+            SweepWorkload::ReadOnly,
+            1,
+            42,
+            &det_mode(),
+        );
+        assert_eq!(p.writer.samples, 0);
+        assert!(p.reader.samples > 0);
+    }
+
+    #[test]
+    fn det_sweep_skips_locks_that_park_on_os_primitives() {
+        let cfg = SweepConfig {
+            threads: vec![1],
+            locks: vec![LockKind::Rwl, LockKind::Tle],
+            workloads: vec![SweepWorkload::ReadOnly],
+            mode: det_mode(),
+            ..SweepConfig::default()
+        };
+        let r = run_sweep(&cfg, "2026-08-09", "abc1234");
+        let locks: Vec<&str> = r.points.iter().map(|p| p.lock.as_str()).collect();
+        assert_eq!(
+            locks,
+            vec!["TLE"],
+            "RWL would deadlock the serialized schedule"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock the deterministic scheduler")]
+    fn det_point_with_an_os_blocking_lock_fails_loudly() {
+        run_sweep_point(
+            &CapacityProfile::BROADWELL_SIM,
+            &LockKind::Rwl,
+            SweepWorkload::ReadOnly,
+            2,
+            42,
+            &det_mode(),
+        );
+    }
+
+    #[test]
+    fn run_sweep_covers_the_grid_and_stamps_provenance() {
+        let cfg = SweepConfig {
+            threads: vec![1, 2],
+            locks: vec![LockKind::Tle],
+            workloads: vec![SweepWorkload::ReadOnly, SweepWorkload::HotKey],
+            mode: det_mode(),
+            ..SweepConfig::default()
+        };
+        let r = run_sweep(&cfg, "2026-08-09", "abc1234");
+        assert_eq!(r.points.len(), 4);
+        assert_eq!(r.mode, "det");
+        assert_eq!(r.capacity_profile, "broadwell-sim");
+        assert_eq!(r.file_name(), "BENCH_sweep_2026-08-09.json");
+        assert_eq!(r.params["schedule_seed"], "7");
+        // And it round-trips through the serializer.
+        let back = BenchResults::from_json(&r.to_json()).expect("parses");
+        assert_eq!(r, back);
+    }
+}

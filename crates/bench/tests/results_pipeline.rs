@@ -1,0 +1,176 @@
+//! End-to-end tests of the perf-baseline pipeline: det sweeps must be
+//! bit-identical, documents must round-trip through the hand-rolled JSON,
+//! and the `bench-compare` binary must honor its exit-code contract.
+
+use std::process::Command;
+
+use htm_sim::CapacityProfile;
+use sprwl_bench::results::today;
+use sprwl_bench::sweep::{run_sweep, SweepConfig, SweepMode};
+use sprwl_bench::{compare, BenchResults, LockKind, Thresholds};
+use sprwl_workloads::SweepWorkload;
+
+fn small_det_config() -> SweepConfig {
+    SweepConfig {
+        profile: CapacityProfile::BROADWELL_SIM,
+        threads: vec![1, 2],
+        seed: 42,
+        mode: SweepMode::Det {
+            warmup_ops: 50,
+            ops_per_thread: 300,
+            schedule_seed: 7,
+        },
+        locks: vec![
+            LockKind::Sprwl(sprwl::SprwlConfig::default()),
+            LockKind::Tle,
+        ],
+        workloads: vec![SweepWorkload::ReadOnly, SweepWorkload::Mixed90_10],
+        category: "test".to_string(),
+    }
+}
+
+#[test]
+fn det_sweep_documents_are_bit_identical_across_runs() {
+    let cfg = small_det_config();
+    let a = run_sweep(&cfg, "2026-08-09", "pinned");
+    let b = run_sweep(&cfg, "2026-08-09", "pinned");
+    assert_eq!(a.points, b.points, "det sweeps must not depend on the host");
+    // Identical down to the serialized bytes.
+    assert_eq!(a.to_json(), b.to_json());
+}
+
+#[test]
+fn sweep_document_round_trips_through_json() {
+    let cfg = small_det_config();
+    let r = run_sweep(&cfg, "2026-08-09", "pinned");
+    let parsed = BenchResults::from_json(&r.to_json()).expect("parses");
+    assert_eq!(r, parsed);
+    let report = compare(&r, &parsed, &Thresholds::default()).expect("comparable");
+    assert_eq!(report.matched, r.points.len());
+    assert!(report.regressions.is_empty());
+}
+
+fn write_doc(dir: &std::path::Path, name: &str, doc: &BenchResults) -> std::path::PathBuf {
+    let path = dir.join(name);
+    std::fs::write(&path, doc.to_json()).expect("write temp doc");
+    path
+}
+
+fn compare_exit(baseline: &std::path::Path, candidate: &std::path::Path) -> i32 {
+    let out = Command::new(env!("CARGO_BIN_EXE_bench-compare"))
+        .arg(baseline)
+        .arg(candidate)
+        .output()
+        .expect("bench-compare runs");
+    out.status.code().expect("exit code")
+}
+
+#[test]
+fn bench_compare_exit_code_contract() {
+    let dir = std::env::temp_dir().join(format!("sprwl-bench-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let mut cfg = small_det_config();
+    cfg.threads = vec![1];
+    cfg.workloads = vec![SweepWorkload::Mixed90_10];
+    let base = run_sweep(&cfg, &today(), "base");
+    let base_path = write_doc(&dir, "base.json", &base);
+
+    // 0: self-diff is clean.
+    assert_eq!(compare_exit(&base_path, &base_path), 0);
+
+    // 1: an injected throughput regression above the threshold fails.
+    let mut regressed = base.clone();
+    for p in &mut regressed.points {
+        p.throughput *= 0.5;
+    }
+    let regressed_path = write_doc(&dir, "regressed.json", &regressed);
+    assert_eq!(compare_exit(&base_path, &regressed_path), 1);
+
+    // 0: below-threshold noise passes.
+    let mut noisy = base.clone();
+    for p in &mut noisy.points {
+        p.throughput *= 0.97;
+    }
+    let noisy_path = write_doc(&dir, "noisy.json", &noisy);
+    assert_eq!(compare_exit(&base_path, &noisy_path), 0);
+
+    // 2: unparseable candidate.
+    let garbage_path = dir.join("garbage.json");
+    std::fs::write(&garbage_path, "{not json").expect("write garbage");
+    assert_eq!(compare_exit(&base_path, &garbage_path), 2);
+
+    // 2: mode mismatch refuses to compare.
+    let mut wall = base.clone();
+    wall.mode = "wall".to_string();
+    let wall_path = write_doc(&dir, "wall.json", &wall);
+    assert_eq!(compare_exit(&base_path, &wall_path), 2);
+
+    // 3: disjoint point sets share nothing to compare.
+    let mut disjoint = base.clone();
+    for p in &mut disjoint.points {
+        p.lock = "OtherLock".to_string();
+    }
+    let disjoint_path = write_doc(&dir, "disjoint.json", &disjoint);
+    assert_eq!(compare_exit(&base_path, &disjoint_path), 3);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bench_sweep_binary_writes_a_parsable_document() {
+    let dir = std::env::temp_dir().join(format!("sprwl-sweep-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let out = Command::new(env!("CARGO_BIN_EXE_bench-sweep"))
+        .args([
+            "--det",
+            "--threads",
+            "1",
+            "--ops",
+            "200",
+            "--warmup-ops",
+            "20",
+            "--locks",
+            "TLE",
+            "--workloads",
+            "read-only",
+            "--category",
+            "itest",
+            "--date",
+            "2026-08-09",
+            "--commit",
+            "itest",
+            "--out",
+        ])
+        .arg(&dir)
+        .output()
+        .expect("bench-sweep runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc =
+        std::fs::read_to_string(dir.join("BENCH_itest_2026-08-09.json")).expect("document written");
+    let parsed = BenchResults::from_json(&doc).expect("parses");
+    assert_eq!(parsed.points.len(), 1);
+    assert_eq!(parsed.mode, "det");
+    assert!(parsed.points[0].commits > 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bench_sweep_binary_rejects_bad_flags() {
+    for bad in [
+        vec!["--locks", "NopeLock"],
+        vec!["--workloads", "nope"],
+        vec!["--threads", "0"],
+        vec!["--profile", "nope"],
+        vec!["--frobnicate"],
+    ] {
+        let out = Command::new(env!("CARGO_BIN_EXE_bench-sweep"))
+            .args(&bad)
+            .output()
+            .expect("bench-sweep runs");
+        assert_eq!(out.status.code(), Some(2), "flags {bad:?} must be rejected");
+    }
+}

@@ -48,6 +48,7 @@ pub use rwle::RwLe;
 pub use sgl::{GlobalLock, VersionedLock, ABORT_LOCKED, ABORT_READER};
 pub use spin::SpinMutex;
 pub use stats::{
-    AbortCause, CommitMode, ConflictLine, ConflictTable, LatencyRecorder, Role, SessionStats,
+    AbortCause, CommitMode, ConflictLine, ConflictTable, LatencyRecorder, Reservoir, Role,
+    SessionStats,
 };
 pub use tle::Tle;

@@ -136,6 +136,103 @@ impl AbortCause {
 /// `[2^i, 2^(i+1))` ns; bucket 0 additionally holds 0-ns samples).
 const LAT_BUCKETS: usize = 48;
 
+/// Capacity of the per-recorder latency [`Reservoir`].
+const RESERVOIR_CAP: usize = 512;
+
+/// Fixed-capacity uniform sample of a latency stream (algorithm R), for
+/// percentile estimates sharper than the power-of-two histogram's ≤2×
+/// bound — the `BENCH_*.json` results pipeline reports these.
+///
+/// Replacement decisions come from a self-contained xorshift64 generator
+/// seeded with a fixed constant, so two runs that record the same sample
+/// sequence (e.g. under the deterministic scheduler) produce bit-identical
+/// reservoirs, and merging is reproducible too.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reservoir {
+    samples: Vec<u64>,
+    seen: u64,
+    rng: u64,
+}
+
+impl Default for Reservoir {
+    fn default() -> Self {
+        Self {
+            samples: Vec::new(),
+            seen: 0,
+            rng: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+impl Reservoir {
+    fn next(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x
+    }
+
+    /// Records one sample (kept with probability `cap / seen`).
+    pub fn record(&mut self, ns: u64) {
+        self.seen += 1;
+        if self.samples.len() < RESERVOIR_CAP {
+            self.samples.push(ns);
+        } else {
+            let j = self.next() % self.seen;
+            if (j as usize) < RESERVOIR_CAP {
+                self.samples[j as usize] = ns;
+            }
+        }
+    }
+
+    /// Total samples offered (not the retained count).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Number of retained samples (≤ the reservoir capacity).
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the reservoir holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Nearest-rank `p`-th percentile (0 < p ≤ 100) over the retained
+    /// sample, in nanoseconds; 0 when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 100]`.
+    pub fn percentile_ns(&self, p: f64) -> u64 {
+        assert!(p > 0.0 && p <= 100.0, "percentile must be in (0, 100]");
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+
+    /// Merges another reservoir into this one: retained samples are pooled
+    /// and deterministically subsampled back down to capacity. Per-thread
+    /// streams of similar length (the benchmark harness's case) keep
+    /// near-uniform weight; wildly unequal streams are approximated.
+    pub fn merge(&mut self, other: &Reservoir) {
+        self.seen += other.seen;
+        self.samples.extend_from_slice(&other.samples);
+        while self.samples.len() > RESERVOIR_CAP {
+            let j = (self.next() % self.samples.len() as u64) as usize;
+            self.samples.swap_remove(j);
+        }
+    }
+}
+
 /// Streaming latency aggregate: count, sum, max, plus a power-of-two
 /// histogram for percentile estimates — all in nanoseconds.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -147,6 +244,8 @@ pub struct LatencyRecorder {
     /// Largest sample, ns.
     pub max_ns: u64,
     buckets: [u64; LAT_BUCKETS],
+    /// Uniform subsample of the stream for sharp percentile estimates.
+    pub reservoir: Reservoir,
 }
 
 impl Default for LatencyRecorder {
@@ -156,6 +255,7 @@ impl Default for LatencyRecorder {
             sum_ns: 0,
             max_ns: 0,
             buckets: [0; LAT_BUCKETS],
+            reservoir: Reservoir::default(),
         }
     }
 }
@@ -168,6 +268,19 @@ impl LatencyRecorder {
         self.max_ns = self.max_ns.max(ns);
         let bucket = (64 - ns.leading_zeros() as usize).saturating_sub(1);
         self.buckets[bucket.min(LAT_BUCKETS - 1)] += 1;
+        self.reservoir.record(ns);
+    }
+
+    /// Reservoir-sampled `p`-th percentile: nearest-rank over the retained
+    /// uniform subsample — exact while the stream fits the reservoir,
+    /// a sampling estimate beyond it (vs. [`Self::percentile_ns`]'s ≤2×
+    /// histogram bound).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 100]`.
+    pub fn sampled_percentile_ns(&self, p: f64) -> u64 {
+        self.reservoir.percentile_ns(p)
     }
 
     /// Mean latency in nanoseconds (0 when empty).
@@ -215,6 +328,7 @@ impl LatencyRecorder {
         for i in 0..LAT_BUCKETS {
             self.buckets[i] += other.buckets[i];
         }
+        self.reservoir.merge(&other.reservoir);
     }
 }
 
@@ -523,6 +637,75 @@ mod tests {
         m.record(1u64 << 49);
         assert!(m.percentile_ns(50.0) <= 2_047);
         assert_eq!(m.percentile_ns(100.0), 1u64 << 49);
+    }
+
+    #[test]
+    fn reservoir_is_exact_below_capacity() {
+        let mut r = Reservoir::default();
+        for ns in 1..=100u64 {
+            r.record(ns);
+        }
+        assert_eq!(r.len(), 100);
+        assert_eq!(r.seen(), 100);
+        assert_eq!(r.percentile_ns(50.0), 50);
+        assert_eq!(r.percentile_ns(99.0), 99);
+        assert_eq!(r.percentile_ns(100.0), 100);
+        assert_eq!(Reservoir::default().percentile_ns(50.0), 0);
+    }
+
+    #[test]
+    fn reservoir_subsamples_deterministically_past_capacity() {
+        let run = || {
+            let mut r = Reservoir::default();
+            for i in 0..10_000u64 {
+                r.record(i % 1_000);
+            }
+            r
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b, "same stream, same reservoir");
+        assert_eq!(a.len(), RESERVOIR_CAP);
+        assert_eq!(a.seen(), 10_000);
+        // The stream is uniform over 0..1000; the sampled median should
+        // land well inside the middle half.
+        let p50 = a.percentile_ns(50.0);
+        assert!((250..=750).contains(&p50), "p50 = {p50}");
+    }
+
+    #[test]
+    fn reservoir_merge_is_deterministic_and_pools_samples() {
+        let mk = |lo: u64, n: u64| {
+            let mut r = Reservoir::default();
+            for i in 0..n {
+                r.record(lo + i);
+            }
+            r
+        };
+        let mut a = mk(0, 400);
+        a.merge(&mk(10_000, 400));
+        let mut b = mk(0, 400);
+        b.merge(&mk(10_000, 400));
+        assert_eq!(a, b, "merge must be reproducible");
+        assert_eq!(a.seen(), 800);
+        assert_eq!(a.len(), RESERVOIR_CAP);
+        // Both halves survive the subsample.
+        assert!(a.percentile_ns(25.0) < 10_000);
+        assert!(a.percentile_ns(90.0) >= 10_000);
+    }
+
+    #[test]
+    fn sampled_percentiles_flow_through_the_recorder() {
+        let mut l = LatencyRecorder::default();
+        for ns in [100u64, 200, 300, 400] {
+            l.record(ns);
+        }
+        assert_eq!(l.sampled_percentile_ns(50.0), 200);
+        assert_eq!(l.sampled_percentile_ns(100.0), 400);
+        let mut o = LatencyRecorder::default();
+        o.record(1_000);
+        l.merge(&o);
+        assert_eq!(l.reservoir.seen(), 5);
+        assert_eq!(l.sampled_percentile_ns(100.0), 1_000);
     }
 
     #[test]

@@ -29,4 +29,4 @@ pub mod tpcc;
 
 pub use hashmap::SimHashMap;
 pub use sortedlist::SortedList;
-pub use spec::{HashmapSpec, Mix};
+pub use spec::{HashmapSpec, Mix, SweepWorkload};

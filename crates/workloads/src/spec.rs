@@ -130,6 +130,129 @@ pub fn hashmap_write_cs(
     })
 }
 
+/// Size of the contended key set in [`SweepWorkload::HotKey`].
+pub const HOT_KEY_SET: u64 = 16;
+
+/// Fraction (percent) of hot-key draws that hit the hot set.
+pub const HOT_KEY_PCT: u32 = 90;
+
+/// The four workload shapes of the thread-sweep concurrency harness (the
+/// `BENCH_*.json` results pipeline): each isolates one scaling regime of a
+/// read-write lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SweepWorkload {
+    /// 100 % readers, uniform keys — the embarrassingly-parallel ceiling;
+    /// SpRWL's uninstrumented readers should scale linearly here.
+    ReadOnly,
+    /// 100 % writers, each thread confined to its own disjoint key
+    /// partition — write throughput without data conflicts, isolating
+    /// lock-protocol overhead (writer admission, commit-time reader scan).
+    IndependentWrite,
+    /// Mixed readers/writers all hammering a tiny hot key set — the
+    /// conflict-dominated regime where abort handling and scheduling earn
+    /// their keep.
+    HotKey,
+    /// The classic 90 % read / 10 % write mix over uniform keys.
+    Mixed90_10,
+}
+
+impl SweepWorkload {
+    /// All four shapes, in reporting order.
+    pub const ALL: [SweepWorkload; 4] = [
+        SweepWorkload::ReadOnly,
+        SweepWorkload::IndependentWrite,
+        SweepWorkload::HotKey,
+        SweepWorkload::Mixed90_10,
+    ];
+
+    /// Stable name used in `BENCH_*.json` points and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            SweepWorkload::ReadOnly => "read-only",
+            SweepWorkload::IndependentWrite => "independent-write",
+            SweepWorkload::HotKey => "hot-key",
+            SweepWorkload::Mixed90_10 => "mixed-90-10",
+        }
+    }
+
+    /// Parses a [`Self::name`] back (CLI flags).
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|w| w.name() == s)
+    }
+
+    /// Percentage of write critical sections.
+    pub fn update_pct(self) -> u32 {
+        match self {
+            SweepWorkload::ReadOnly => 0,
+            SweepWorkload::IndependentWrite => 100,
+            SweepWorkload::HotKey => 20,
+            SweepWorkload::Mixed90_10 => 10,
+        }
+    }
+
+    /// Lookups per read critical section.
+    pub fn lookups_per_read(self) -> usize {
+        match self {
+            SweepWorkload::ReadOnly => 8,
+            SweepWorkload::IndependentWrite => 1,
+            SweepWorkload::HotKey => 2,
+            SweepWorkload::Mixed90_10 => 4,
+        }
+    }
+
+    /// The hashmap shape backing a sweep point — deliberately smaller than
+    /// the paper's figure configurations so deterministic (serialized)
+    /// sweeps stay fast, while readers still fit HTM capacity and the
+    /// hot-key set still spans several buckets.
+    pub fn spec(self) -> HashmapSpec {
+        HashmapSpec {
+            buckets: 256,
+            population: 4 * 1024,
+            key_space: 8 * 1024,
+            lookups_per_read: self.lookups_per_read(),
+            update_pct: self.update_pct(),
+        }
+    }
+
+    /// Draws the key for one lookup of a read critical section.
+    pub fn read_key<R: rand::Rng>(self, rng: &mut R, key_space: u64) -> u64 {
+        match self {
+            SweepWorkload::HotKey => hot_or_uniform(rng, key_space),
+            _ => rng.gen_range(0..key_space),
+        }
+    }
+
+    /// Draws the key for a write critical section. `tid`/`threads` carve
+    /// the disjoint per-thread partitions of
+    /// [`SweepWorkload::IndependentWrite`].
+    pub fn write_key<R: rand::Rng>(
+        self,
+        rng: &mut R,
+        tid: usize,
+        threads: usize,
+        key_space: u64,
+    ) -> u64 {
+        match self {
+            SweepWorkload::IndependentWrite => {
+                let span = (key_space / threads as u64).max(1);
+                let lo = span * tid as u64;
+                lo + rng.gen_range(0..span)
+            }
+            SweepWorkload::HotKey => hot_or_uniform(rng, key_space),
+            _ => rng.gen_range(0..key_space),
+        }
+    }
+}
+
+/// `HOT_KEY_PCT` % of draws land in the hot set, the rest are uniform.
+fn hot_or_uniform<R: rand::Rng>(rng: &mut R, key_space: u64) -> u64 {
+    if rng.gen_range(0..100u32) < HOT_KEY_PCT {
+        rng.gen_range(0..HOT_KEY_SET.min(key_space))
+    } else {
+        rng.gen_range(0..key_space)
+    }
+}
+
 /// The TPC-C transaction mix the paper uses (percent).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Mix {
@@ -239,6 +362,69 @@ mod tests {
         assert!(!TpccTxKind::Payment.is_read_only());
         assert!(!TpccTxKind::NewOrder.is_read_only());
         assert!(!TpccTxKind::Delivery.is_read_only());
+    }
+
+    #[test]
+    fn sweep_workload_names_round_trip() {
+        for w in SweepWorkload::ALL {
+            assert_eq!(SweepWorkload::parse(w.name()), Some(w));
+        }
+        assert_eq!(SweepWorkload::parse("nope"), None);
+        assert_eq!(SweepWorkload::ReadOnly.update_pct(), 0);
+        assert_eq!(SweepWorkload::IndependentWrite.update_pct(), 100);
+    }
+
+    #[test]
+    fn independent_write_partitions_are_disjoint() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let w = SweepWorkload::IndependentWrite;
+        let key_space = 8 * 1024;
+        let threads = 4;
+        let span = key_space / threads as u64;
+        for tid in 0..threads {
+            let mut rng = StdRng::seed_from_u64(9 + tid as u64);
+            for _ in 0..200 {
+                let k = w.write_key(&mut rng, tid, threads, key_space);
+                assert!(
+                    (span * tid as u64..span * (tid as u64 + 1)).contains(&k),
+                    "tid {tid} escaped its partition: {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hot_key_draws_concentrate_on_the_hot_set() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let w = SweepWorkload::HotKey;
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 2_000;
+        let hot = (0..n)
+            .filter(|_| w.read_key(&mut rng, 8 * 1024) < HOT_KEY_SET)
+            .count();
+        // ~90 % + the uniform tail's tiny contribution; 1 % floor noise.
+        assert!(
+            (n * 80 / 100..=n * 98 / 100).contains(&hot),
+            "hot fraction {hot}/{n}"
+        );
+        let uniform = SweepWorkload::Mixed90_10;
+        let mut rng = StdRng::seed_from_u64(3);
+        let hot_uniform = (0..n)
+            .filter(|_| uniform.read_key(&mut rng, 8 * 1024) < HOT_KEY_SET)
+            .count();
+        assert!(hot_uniform < n / 10, "uniform draws are not concentrated");
+    }
+
+    #[test]
+    fn sweep_specs_are_buildable() {
+        for w in SweepWorkload::ALL {
+            let spec = w.spec();
+            assert_eq!(spec.update_pct, w.update_pct());
+            assert!(spec.key_space >= 2 * spec.population);
+            assert!(spec.cells_needed(8) > 0);
+        }
     }
 
     #[test]

@@ -80,4 +80,50 @@ SPRWL_BENCH_SECS=0.05 SPRWL_BENCH_THREADS=2 \
 test -s target/trace-smoke.json
 cargo test -q -p sprwl-trace --offline > /dev/null
 
+echo "==> bench pipeline smoke (BENCH_*.json emit + compare exit-code contract)"
+BENCH_SMOKE_DIR=target/bench-smoke
+rm -rf "$BENCH_SMOKE_DIR"
+mkdir -p "$BENCH_SMOKE_DIR"
+bench_sweep() { cargo run -q --release --offline -p sprwl-bench --bin bench-sweep -- "$@"; }
+bench_compare() { cargo run -q --release --offline -p sprwl-bench --bin bench-compare -- "$@"; }
+# A small deterministic grid must emit a parsable, summarizable document.
+bench_sweep --det --threads 1,2 --ops 400 --warmup-ops 50 --locks SpRWL,TLE \
+    --workloads read-only,hot-key --category smoke --out "$BENCH_SMOKE_DIR" > /dev/null
+SMOKE_JSON=$(ls "$BENCH_SMOKE_DIR"/BENCH_smoke_*.json)
+python3 scripts/summarize_bench.py "$SMOKE_JSON" > /dev/null
+# Self-diff is clean (exit 0)...
+bench_compare "$SMOKE_JSON" "$SMOKE_JSON" > /dev/null
+# ...and an injected throughput regression fails with exactly exit 1.
+# "Any non-zero" is not good enough: exit 2 means the documents never got
+# compared (parse/schema error) and exit 3 means nothing matched — a gate
+# that confuses those with a regression verdict passes vacuously the day
+# the schema drifts.
+python3 - "$SMOKE_JSON" "$BENCH_SMOKE_DIR/regressed.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+for p in doc["points"]:
+    p["throughput"] *= 0.4
+json.dump(doc, open(sys.argv[2], "w"))
+EOF
+rc=0
+bench_compare "$SMOKE_JSON" "$BENCH_SMOKE_DIR/regressed.json" > /dev/null || rc=$?
+if [ "$rc" -ne 1 ]; then
+    echo "bench-compare regression smoke: expected exit 1, got $rc" >&2
+    exit 1
+fi
+
+echo "==> perf baseline gate (regenerate the committed grid, compare with loose thresholds)"
+# The committed baseline is deterministic (virtual clock, fixed work), so
+# point-for-point drift here is caused by code changes, not host speed.
+# Thresholds are loose on purpose: the gate catches collapses (a lock
+# serializing, speculation dying), not percent-level tuning.
+BASELINE=$(ls results/BENCH_sweep_*.json | head -n 1)
+bench_sweep --det --threads 1,2,4 --ops 1500 --warmup-ops 150 --schedule-seed 7 --seed 42 \
+    --locks SpRWL,TLE,BRLock --workloads read-only,independent-write,hot-key,mixed-90-10 \
+    --category sweep --out "$BENCH_SMOKE_DIR/current" > /dev/null
+CURRENT=$(ls "$BENCH_SMOKE_DIR"/current/BENCH_sweep_*.json)
+bench_compare "$BASELINE" "$CURRENT" \
+    --throughput-drop-pct 40 --abort-rise-pp 25 --p99-rise-pct 400
+python3 scripts/summarize_bench.py "$CURRENT" > /dev/null
+
 echo "CI gate passed."

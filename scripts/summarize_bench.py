@@ -1,19 +1,60 @@
 #!/usr/bin/env python3
-"""Summarizes the CSV rows of bench_output.txt into the per-figure
-comparison tables EXPERIMENTS.md embeds.
+"""Summarizes benchmark captures into the comparison tables EXPERIMENTS.md
+embeds. Two input shapes:
 
-CSV row shape (prefix `CSV:`, 19 columns):
-  fig,profile,param,lock,threads,tx_s,abort_pct,htm,rot,gl,unins,
-  rd_mean_ns,wr_mean_ns,rd_p50_ns,rd_p95_ns,rd_p99_ns,
-  wr_p50_ns,wr_p95_ns,wr_p99_ns
-
-Older captures with the pre-percentile 15-column shape still parse; the
-latency summaries just skip them.
+* ``BENCH_*.json`` — a schema-versioned results document from
+  ``bench-sweep`` (see ``results/SCHEMA.md``). Detected by a ``.json``
+  suffix or a leading ``{``.
+* ``bench_output.txt`` — legacy ``CSV:``-prefixed rows from the figure
+  benches (19 columns):
+    fig,profile,param,lock,threads,tx_s,abort_pct,htm,rot,gl,unins,
+    rd_mean_ns,wr_mean_ns,rd_p50_ns,rd_p95_ns,rd_p99_ns,
+    wr_p50_ns,wr_p95_ns,wr_p99_ns
+  Older captures with the pre-percentile 15-column shape still parse; the
+  latency summaries just skip them.
 """
 import collections
+import json
 import sys
 
-def main(path: str) -> None:
+
+def summarize_json(doc: dict) -> None:
+    if doc.get("schema_version") != 1:
+        sys.exit(f"unsupported schema_version {doc.get('schema_version')!r}")
+    hw = doc.get("hardware", {})
+    print(
+        f"BENCH_{doc['category']}_{doc['date']} @ {doc['git_commit']} "
+        f"({doc['mode']}, {doc['capacity_profile']}, "
+        f"{hw.get('os', '?')}/{hw.get('arch', '?')}, "
+        f"{len(doc['points'])} points)"
+    )
+    if doc.get("params"):
+        print("params: " + ", ".join(f"{k}={v}" for k, v in sorted(doc["params"].items())))
+
+    groups = collections.defaultdict(dict)
+    for p in doc["points"]:
+        groups[(p["workload"], p["threads"])][p["lock"]] = p
+    for (workload, threads) in sorted(groups, key=str):
+        locks = groups[(workload, threads)]
+        best = max(locks.items(), key=lambda kv: kv[1]["throughput"])
+        line = " | ".join(
+            f"{name} {p['throughput'] / 1e3:.0f}k" for name, p in sorted(locks.items())
+        )
+        print(f"{workload} thr={threads}: {line}  [best: {best[0]}]")
+    for (workload, threads) in sorted(groups, key=str):
+        cells = []
+        for name, p in sorted(groups[(workload, threads)].items()):
+            lat = p["reader_latency_ns"]
+            if lat["samples"] == 0:
+                continue
+            cells.append(
+                f"{name} {lat['p50'] / 1e3:.0f}/{lat['p95'] / 1e3:.0f}/{lat['p99'] / 1e3:.0f}"
+            )
+        if cells:
+            print(f"  rd lat us p50/p95/p99 {workload} thr={threads}: " + " | ".join(cells))
+
+
+def summarize_csv(path: str) -> None:
     rows = []
     for line in open(path, encoding="utf-8", errors="replace"):
         line = line.strip()
@@ -64,5 +105,20 @@ def main(path: str) -> None:
                     + " | ".join(cells)
                 )
 
+
+def main(path: str) -> None:
+    with open(path, encoding="utf-8", errors="replace") as f:
+        head = f.read(1)
+    if path.endswith(".json") or head == "{":
+        summarize_json(json.load(open(path, encoding="utf-8")))
+    else:
+        summarize_csv(path)
+
+
 if __name__ == "__main__":
-    main(sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt")
+    try:
+        main(sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt")
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) closed the pipe early.
+        sys.stderr.close()
+        sys.exit(0)

@@ -8,6 +8,8 @@
 //!             [--secs 0.25] [--warmup-secs 0.05]                    (wall)
 //!             [--locks SpRWL,TLE,RWL] [--workloads read-only,...]
 //!             [--profile broadwell-sim | power8-sim]
+//!             [--trace off|ring:CAP|sampled:RATE:CAP]...
+//!             [--capture FILE.jsonl]
 //!             [--category sweep] [--out DIR]
 //!             [--date YYYY-MM-DD] [--commit HASH]
 //! ```
@@ -18,14 +20,22 @@
 //! `bench-compare`. `--wall` races a wall-clock window instead. `--date`
 //! and `--commit` override the provenance stamps (the defaults probe the
 //! system clock and `git rev-parse`).
+//!
+//! `--trace` (repeatable) adds a tracing policy to the sweep grid; with
+//! more than one policy each point's workload name is suffixed
+//! `@<policy>`, so one document holds e.g. `off` next to `sampled:64:4096`
+//! numbers for overhead comparison. `--capture` re-runs the grid's last
+//! (workload, lock, threads) point under the last `--trace` policy and
+//! writes its per-thread traces as JSONL — feed that to `sprwl-analyze`.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
 use sprwl::SprwlConfig;
 use sprwl_bench::results::{git_commit, today};
-use sprwl_bench::sweep::{run_sweep, SweepConfig, SweepMode};
+use sprwl_bench::sweep::{run_sweep, run_sweep_point_traced, SweepConfig, SweepMode};
 use sprwl_bench::{BenchPoint, LockKind};
+use sprwl_trace::TraceConfig;
 use sprwl_workloads::SweepWorkload;
 
 fn parse_lock(name: &str) -> Option<LockKind> {
@@ -46,8 +56,9 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: bench-sweep [--det|--wall] [--threads N,N,..] [--seed N] \
          [--ops N] [--warmup-ops N] [--schedule-seed N] [--secs F] [--warmup-secs F] \
-         [--locks A,B,..] [--workloads A,B,..] [--profile NAME] [--category NAME] \
-         [--out DIR] [--date YYYY-MM-DD] [--commit HASH]"
+         [--locks A,B,..] [--workloads A,B,..] [--profile NAME] \
+         [--trace off|ring:CAP|sampled:RATE:CAP].. [--capture FILE.jsonl] \
+         [--category NAME] [--out DIR] [--date YYYY-MM-DD] [--commit HASH]"
     );
     ExitCode::from(2)
 }
@@ -63,6 +74,8 @@ fn main() -> ExitCode {
     let mut out_dir = std::path::PathBuf::from(".");
     let mut date = today();
     let mut commit = git_commit();
+    let mut trace_axis: Vec<(String, TraceConfig)> = Vec::new();
+    let mut capture_path: Option<std::path::PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -164,6 +177,28 @@ fn main() -> ExitCode {
                     }
                 };
             }
+            "--trace" => {
+                let v = match val("--trace") {
+                    Ok(v) => v,
+                    Err(code) => return code,
+                };
+                match TraceConfig::parse(&v) {
+                    Some(tc) => trace_axis.push((v, tc)),
+                    None => {
+                        eprintln!(
+                            "error: bad trace policy {v:?} (expected off, ring:CAP or \
+                             sampled:RATE:CAP)"
+                        );
+                        return usage();
+                    }
+                }
+            }
+            "--capture" => {
+                capture_path = match val("--capture") {
+                    Ok(v) => Some(v.into()),
+                    Err(code) => return code,
+                }
+            }
             "--category" => {
                 cfg.category = match val("--category") {
                     Ok(v) => v,
@@ -223,6 +258,10 @@ fn main() -> ExitCode {
         }
     };
 
+    if !trace_axis.is_empty() {
+        cfg.traces = trace_axis;
+    }
+
     let results = run_sweep(&cfg, &date, &commit);
 
     println!(
@@ -248,5 +287,49 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
     println!("wrote {}", path.display());
+
+    // One more pass over the grid's last point, traces harvested, for
+    // offline analysis (`sprwl-analyze`). Deterministic mode re-produces
+    // the exact run the document measured.
+    if let Some(capture) = capture_path {
+        let Some((label, trace)) = cfg.traces.last() else {
+            unreachable!("cfg.traces is never empty");
+        };
+        if matches!(trace, TraceConfig::Off) {
+            eprintln!("note: capturing with trace policy `off` — the capture will be vacuous");
+        }
+        let det = matches!(cfg.mode, SweepMode::Det { .. });
+        let lock = cfg
+            .locks
+            .iter()
+            .rev()
+            .find(|l| l.supports(&cfg.profile) && (!det || l.det_compatible()));
+        let (Some(lock), Some(&workload), Some(&threads)) =
+            (lock, cfg.workloads.last(), cfg.threads.last())
+        else {
+            eprintln!("error: --capture needs at least one runnable grid point");
+            return ExitCode::from(2);
+        };
+        let (_, traces) = run_sweep_point_traced(
+            &cfg.profile,
+            lock,
+            workload,
+            threads,
+            cfg.seed,
+            &cfg.mode,
+            trace,
+            true,
+        );
+        if let Err(e) = sprwl_trace::export::write_jsonl_file(&capture, &traces) {
+            eprintln!("error: cannot write {}: {e}", capture.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "captured {} ({} {:?} x{threads}, trace {label})",
+            capture.display(),
+            lock.name(),
+            workload.name(),
+        );
+    }
     ExitCode::SUCCESS
 }

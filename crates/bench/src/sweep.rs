@@ -23,7 +23,7 @@ use htm_sim::{clock, CapacityProfile, Htm, HtmConfig, SchedulerKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sprwl_locks::{LockThread, RwSync, SessionStats};
-use sprwl_trace::TraceConfig;
+use sprwl_trace::{ThreadTrace, TraceConfig};
 use sprwl_workloads::spec::{hashmap_read_cs, hashmap_write_cs};
 use sprwl_workloads::{HashmapSpec, SimHashMap, SweepWorkload};
 
@@ -78,6 +78,11 @@ pub struct SweepConfig {
     pub locks: Vec<LockKind>,
     /// Workloads to run.
     pub workloads: Vec<SweepWorkload>,
+    /// Tracing policies to sweep, as `(label, config)` pairs. With more
+    /// than one entry each point's workload name is suffixed `@label`, so
+    /// a single results document can hold e.g. `off` next to `sampled`
+    /// numbers for overhead comparisons.
+    pub traces: Vec<(String, TraceConfig)>,
     /// Result category (names the output file).
     pub category: String,
 }
@@ -103,6 +108,7 @@ impl Default for SweepConfig {
                 LockKind::BrLock,
             ],
             workloads: SweepWorkload::ALL.to_vec(),
+            traces: vec![("off".to_string(), TraceConfig::Off)],
             category: "sweep".to_string(),
         }
     }
@@ -140,6 +146,14 @@ pub fn run_sweep(cfg: &SweepConfig, date: &str, git_commit: &str) -> BenchResult
             .collect::<Vec<_>>()
             .join(","),
     );
+    params.insert(
+        "traces".to_string(),
+        cfg.traces
+            .iter()
+            .map(|(l, _)| l.clone())
+            .collect::<Vec<_>>()
+            .join(","),
+    );
     let mut points = Vec::new();
     let det = matches!(cfg.mode, SweepMode::Det { .. });
     for workload in &cfg.workloads {
@@ -148,14 +162,22 @@ pub fn run_sweep(cfg: &SweepConfig, date: &str, git_commit: &str) -> BenchResult
                 continue;
             }
             for &threads in &cfg.threads {
-                points.push(run_sweep_point(
-                    &cfg.profile,
-                    lock,
-                    *workload,
-                    threads,
-                    cfg.seed,
-                    &cfg.mode,
-                ));
+                for (trace_label, trace) in &cfg.traces {
+                    let (mut point, _) = run_sweep_point_traced(
+                        &cfg.profile,
+                        lock,
+                        *workload,
+                        threads,
+                        cfg.seed,
+                        &cfg.mode,
+                        trace,
+                        false,
+                    );
+                    if cfg.traces.len() > 1 {
+                        point.workload = format!("{}@{trace_label}", point.workload);
+                    }
+                    points.push(point);
+                }
             }
         }
     }
@@ -188,6 +210,42 @@ pub fn run_sweep_point(
     seed: u64,
     mode: &SweepMode,
 ) -> BenchPoint {
+    run_sweep_point_traced(
+        profile,
+        lock_kind,
+        workload,
+        threads,
+        seed,
+        mode,
+        &TraceConfig::Off,
+        false,
+    )
+    .0
+}
+
+/// [`run_sweep_point`] with an explicit per-thread tracing policy —
+/// the trace-overhead axis of the sweep. When `capture` is set, the
+/// measured run's per-thread traces are harvested and returned (in thread
+/// order) for export or offline analysis; otherwise the vector is empty.
+///
+/// The trace buffer's loss counters are folded into the merged
+/// [`SessionStats`] either way, so `trace_dropped` / `trace_unsampled`
+/// travel with the point's statistics.
+///
+/// # Panics
+///
+/// Same det-compatibility panic as [`run_sweep_point`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_sweep_point_traced(
+    profile: &CapacityProfile,
+    lock_kind: &LockKind,
+    workload: SweepWorkload,
+    threads: usize,
+    seed: u64,
+    mode: &SweepMode,
+    trace: &TraceConfig,
+    capture: bool,
+) -> (BenchPoint, Vec<ThreadTrace>) {
     assert!(
         matches!(mode, SweepMode::Wall { .. }) || lock_kind.det_compatible(),
         "{} parks on OS primitives and would deadlock the deterministic scheduler",
@@ -211,7 +269,7 @@ pub fn run_sweep_point(
     );
     let map = spec.build(htm.memory(), threads);
     let lock = lock_kind.build(&htm);
-    let (stats, elapsed_s) = match *mode {
+    let (stats, elapsed_s, traces) = match *mode {
         SweepMode::Wall { warmup, duration } => run_point_wall(
             &htm,
             lock.as_ref(),
@@ -222,6 +280,8 @@ pub fn run_sweep_point(
             seed,
             warmup,
             duration,
+            trace,
+            capture,
         ),
         SweepMode::Det {
             warmup_ops,
@@ -237,9 +297,14 @@ pub fn run_sweep_point(
             seed,
             warmup_ops,
             ops_per_thread,
+            trace,
+            capture,
         ),
     };
-    BenchPoint::from_stats(workload.name(), lock.name(), threads, &stats, elapsed_s)
+    (
+        BenchPoint::from_stats(workload.name(), lock.name(), threads, &stats, elapsed_s),
+        traces,
+    )
 }
 
 /// One operation of the sweep workload: a write section with the
@@ -281,18 +346,21 @@ fn run_point_wall(
     seed: u64,
     warmup: Duration,
     duration: Duration,
-) -> (SessionStats, f64) {
+    trace: &TraceConfig,
+    capture: bool,
+) -> (SessionStats, f64, Vec<ThreadTrace>) {
     let barrier = Barrier::new(threads + 1);
     let warmed = AtomicBool::new(false);
     let stop = AtomicBool::new(false);
     let mut merged = SessionStats::default();
+    let mut traces = Vec::new();
     let mut elapsed_s = 0.0;
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|tid| {
                 let (barrier, warmed, stop) = (&barrier, &warmed, &stop);
                 s.spawn(move || {
-                    let mut t = LockThread::with_trace(htm.thread(tid), TraceConfig::Off);
+                    let mut t = LockThread::with_trace(htm.thread(tid), *trace);
                     let mut ctx = WorkerCtx {
                         t: &mut t,
                         rng: StdRng::seed_from_u64(seed ^ ((tid as u64 + 1) << 24)),
@@ -308,7 +376,9 @@ fn run_point_wall(
                     while !stop.load(Ordering::Relaxed) {
                         sweep_op(workload, spec, threads, lock, map, &mut ctx);
                     }
-                    t.stats
+                    t.fold_trace_counters();
+                    let snap = capture.then(|| t.trace.snapshot());
+                    (t.stats, snap)
                 })
             })
             .collect();
@@ -322,10 +392,12 @@ fn run_point_wall(
         // `run_generic_traced`).
         elapsed_s = (clock::wall_now() - t0) as f64 / 1e9;
         for h in handles {
-            merged.merge(&h.join().expect("worker panicked"));
+            let (stats, snap) = h.join().expect("worker panicked");
+            merged.merge(&stats);
+            traces.extend(snap);
         }
     });
-    (merged, elapsed_s.max(1e-9))
+    (merged, elapsed_s.max(1e-9), traces)
 }
 
 /// Det mode: fixed warmup + measured op quotas per thread, with the
@@ -344,9 +416,12 @@ fn run_point_det(
     seed: u64,
     warmup_ops: usize,
     ops_per_thread: usize,
-) -> (SessionStats, f64) {
+    trace: &TraceConfig,
+    capture: bool,
+) -> (SessionStats, f64, Vec<ThreadTrace>) {
     let barrier = Barrier::new(threads);
     let mut merged = SessionStats::default();
+    let mut traces = Vec::new();
     let mut virt_start = u64::MAX;
     let mut virt_end = 0u64;
     std::thread::scope(|s| {
@@ -355,7 +430,7 @@ fn run_point_det(
                 let barrier = &barrier;
                 s.spawn(move || {
                     barrier.wait();
-                    let mut t = LockThread::with_trace(htm.thread(tid), TraceConfig::Off);
+                    let mut t = LockThread::with_trace(htm.thread(tid), *trace);
                     let mut ctx = WorkerCtx {
                         t: &mut t,
                         rng: StdRng::seed_from_u64(seed ^ ((tid as u64 + 1) << 24)),
@@ -370,19 +445,22 @@ fn run_point_det(
                         sweep_op(workload, spec, threads, lock, map, &mut ctx);
                     }
                     let v1 = clock::now();
-                    (t.stats, v0, v1)
+                    t.fold_trace_counters();
+                    let snap = capture.then(|| t.trace.snapshot());
+                    (t.stats, v0, v1, snap)
                 })
             })
             .collect();
         for h in handles {
-            let (stats, v0, v1) = h.join().expect("worker panicked");
+            let (stats, v0, v1, snap) = h.join().expect("worker panicked");
             merged.merge(&stats);
             virt_start = virt_start.min(v0);
             virt_end = virt_end.max(v1);
+            traces.extend(snap);
         }
     });
     let elapsed_s = ((virt_end.saturating_sub(virt_start)) as f64 / 1e9).max(1e-9);
-    (merged, elapsed_s)
+    (merged, elapsed_s, traces)
 }
 
 #[cfg(test)]

@@ -25,6 +25,7 @@ fn small_det_config() -> SweepConfig {
             LockKind::Tle,
         ],
         workloads: vec![SweepWorkload::ReadOnly, SweepWorkload::Mixed90_10],
+        traces: vec![("off".to_string(), sprwl_trace::TraceConfig::Off)],
         category: "test".to_string(),
     }
 }

@@ -40,8 +40,9 @@ pub(crate) const MODE_TRANS_TO_SNZI: u64 = 2;
 const RATIO_HI: u64 = 8;
 /// Ratio below which the tracker reverts to flags.
 const RATIO_LO: u64 = 2;
-/// Minimum interval between switches, ns (hysteresis).
-const SWITCH_COOLDOWN_NS: u64 = 5_000_000;
+/// Minimum interval between switches, ns (hysteresis). Shared with the
+/// runtime self-tuner, so both switch initiators honour one clock.
+pub(crate) const SWITCH_COOLDOWN_NS: u64 = 5_000_000;
 /// How long the transition waits for one pre-transition reader, ns.
 const DRAIN_TIMEOUT_NS: u64 = 2_000_000;
 
@@ -107,7 +108,7 @@ impl SpRwl {
     /// readers (bounded per reader), then complete — or roll back on
     /// timeout, which is always safe because writers scan flags throughout
     /// the transition.
-    fn switch_to_snzi(&self, d: &Direct<'_>, me: usize, mem: &SimMemory) {
+    pub(crate) fn switch_to_snzi(&self, d: &Direct<'_>, me: usize, mem: &SimMemory) {
         let cell = self.mode_cell.expect("adaptive");
         if d.compare_exchange(cell, MODE_FLAGS, MODE_TRANS_TO_SNZI)
             .is_err()

@@ -133,6 +133,16 @@ pub struct SprwlConfig {
     /// a plausible end time instead of "ends now". 0 restores the old
     /// degenerate behaviour.
     pub default_section_estimate_ns: u64,
+    /// Runtime self-tuning (see [`crate::tuner`]): watch each section's
+    /// abort mix over a sliding window and adjust its policy knobs —
+    /// boost δ-start under join-the-waiter (reader-caused) abort
+    /// pressure, demote chronically capacity-aborting sections off the
+    /// optimistic reader-HTM path, and (under `Adaptive` tracking)
+    /// request the flags→SNZI switch from observed reader-scan pressure.
+    /// Off by default: the tuner changes lock behaviour at runtime, which
+    /// would perturb deterministic golden traces and static-config
+    /// baselines that don't expect it.
+    pub self_tuning: bool,
     /// **Test-only fault injection**: skip the commit-time reader check
     /// (`check_for_readers`), deliberately re-introducing the torn-read
     /// window SpRWL's W-checkR step exists to close. Exists so the
@@ -157,6 +167,7 @@ impl Default for SprwlConfig {
             timed_reader_wait: false,
             max_sections: 64,
             default_section_estimate_ns: crate::estimator::DEFAULT_SECTION_ESTIMATE_NS,
+            self_tuning: false,
             debug_skip_commit_reader_check: false,
         }
     }
@@ -209,6 +220,14 @@ impl SprwlConfig {
     pub fn adaptive() -> Self {
         Self {
             reader_tracking: ReaderTracking::Adaptive,
+            ..Self::default()
+        }
+    }
+
+    /// The full algorithm with the runtime per-section self-tuner on.
+    pub fn self_tuning() -> Self {
+        Self {
+            self_tuning: true,
             ..Self::default()
         }
     }

@@ -60,6 +60,7 @@ pub mod estimator;
 mod lock;
 pub mod packed;
 mod reader;
+pub mod tuner;
 mod writer;
 
 pub use composed::{InnerMode, SpRwlPair};

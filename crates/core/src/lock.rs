@@ -42,7 +42,7 @@ impl Slot {
     }
 }
 
-fn slots(n: usize, init: u64) -> Box<[Slot]> {
+pub(crate) fn slots(n: usize, init: u64) -> Box<[Slot]> {
     let mut v = Vec::with_capacity(n);
     v.resize_with(n, || Slot::new(init));
     v.into_boxed_slice()
@@ -147,6 +147,9 @@ pub struct SpRwl {
     pub(crate) avg_write_ns: Slot,
     /// Timestamp of the last mode switch (hysteresis).
     pub(crate) last_switch_ns: Slot,
+    /// Runtime per-section self-tuner (`cfg.self_tuning`); `None` when the
+    /// feedback loop is off.
+    pub(crate) tuner: Option<crate::tuner::SectionTuner>,
 }
 
 /// How many executions a capacity-doomed section skips its optimistic HTM
@@ -181,6 +184,9 @@ impl SpRwl {
             cfg.default_section_estimate_ns,
         );
         let htm_skip = slots(cfg.max_sections, 0);
+        let tuner = cfg
+            .self_tuning
+            .then(|| crate::tuner::SectionTuner::new(cfg.max_sections));
         Self {
             n,
             fallback,
@@ -196,6 +202,7 @@ impl SpRwl {
             avg_read_ns: Slot::new(0),
             avg_write_ns: Slot::new(0),
             last_switch_ns: Slot::new(0),
+            tuner,
             cfg,
         }
     }

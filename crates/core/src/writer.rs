@@ -66,6 +66,7 @@ impl SpRwl {
                 }
                 Err(abort) => {
                     note_abort(t, abort, TxKind::Htm);
+                    self.tuner_note_abort(sec, abort, TxKind::Htm);
                     if !self.cfg.writer_retry.should_retry(attempts, abort) {
                         break None;
                     }
@@ -97,6 +98,7 @@ impl SpRwl {
                 mode: CommitMode::Htm.label(),
                 latency_ns,
             });
+            self.tuner_after_section(t, sec);
             return r;
         }
 
@@ -137,6 +139,7 @@ impl SpRwl {
             mode: CommitMode::Gl.label(),
             latency_ns,
         });
+        self.tuner_after_section(t, sec);
         r
     }
 
@@ -168,7 +171,9 @@ impl SpRwl {
             return;
         }
         let my_duration = self.est.estimate(sec);
-        let delta = self.cfg.delta.resolve(my_duration);
+        // The configured policy plus whatever per-section boost the runtime
+        // self-tuner has accumulated for this section (0 when tuning is off).
+        let delta = self.cfg.delta.resolve(my_duration) + self.tuner_delta_boost(sec);
         // Start so that (start + my_duration) == last_reader_end + delta.
         let start_at = (last_reader_end + delta).saturating_sub(my_duration);
         trace.push(EventKind::SchedDeltaStart { start_at });

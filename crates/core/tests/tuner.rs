@@ -1,0 +1,177 @@
+//! Deterministic end-to-end check of the runtime self-tuner: under a
+//! hot-key workload whose writers keep losing the commit-time reader
+//! check, the tuner must raise the hot section's δ-start boost, and the
+//! decision must be visible as a `tune-decision` trace event. Runs on the
+//! deterministic scheduler, so the flip happens at the same virtual-time
+//! point on every host.
+
+use std::sync::Barrier;
+
+use htm_sim::{CapacityProfile, Htm, HtmConfig, SchedulerKind};
+use sprwl::{DeltaPolicy, SpRwl, SprwlConfig};
+use sprwl_locks::{LockThread, RwSync, SectionId};
+use sprwl_trace::{EventKind, ThreadTrace, TraceConfig};
+
+const SEC_W: SectionId = SectionId(0);
+const SEC_R: SectionId = SectionId(1);
+const THREADS: usize = 4;
+const OPS: usize = 600;
+
+fn det_htm(schedule_seed: u64) -> Htm {
+    Htm::new(
+        HtmConfig {
+            capacity: CapacityProfile::BROADWELL_SIM,
+            max_threads: THREADS,
+            scheduler: SchedulerKind::Deterministic { schedule_seed },
+            ..HtmConfig::default()
+        },
+        64 * 1024,
+    )
+}
+
+/// Hot-key run: even threads write the shared cell, odd threads read it
+/// uninstrumented (no reader HTM, so every read raises the state flag the
+/// writers' commit check trips over). δ starts at `Zero` to maximize
+/// reader/writer overlap — the pathology the tuner is meant to correct.
+/// Returns the hot write section's δ boost and all harvested traces.
+fn run(schedule_seed: u64) -> (u64, Vec<ThreadTrace>) {
+    let h = det_htm(schedule_seed);
+    let lock = SpRwl::new(
+        &h,
+        SprwlConfig {
+            readers_try_htm: false,
+            delta: DeltaPolicy::Zero,
+            ..SprwlConfig::self_tuning()
+        },
+    );
+    let cells = h.memory().alloc_line_aligned(64);
+    h.memory().init_store(cells.cell(0), 0);
+    let barrier = Barrier::new(THREADS);
+    let traces = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|tid| {
+                let (h, lock, cells, barrier) = (&h, &lock, &cells, &barrier);
+                s.spawn(move || {
+                    barrier.wait();
+                    let mut t = LockThread::with_trace(h.thread(tid), TraceConfig::ring(8192));
+                    for _ in 0..OPS {
+                        if tid % 2 == 0 {
+                            lock.write_section(&mut t, SEC_W, &mut |a| {
+                                let v = a.read(cells.cell(0))?;
+                                a.write(cells.cell(0), v + 1)?;
+                                Ok(v + 1)
+                            });
+                        } else {
+                            lock.read_section(&mut t, SEC_R, &mut |a| {
+                                // A few extra reads keep the reader's state
+                                // flag up long enough to doom writers.
+                                let mut acc = 0;
+                                for i in 0..8 {
+                                    acc += a.read(cells.cell(i * 8))?;
+                                }
+                                Ok(acc)
+                            });
+                        }
+                    }
+                    t.trace.snapshot()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    (lock.debug_delta_boost(SEC_W), traces)
+}
+
+fn delta_boost_decisions(traces: &[ThreadTrace]) -> Vec<(u32, u64)> {
+    traces
+        .iter()
+        .flat_map(|t| t.events.iter())
+        .filter_map(|e| match e.kind {
+            EventKind::TuneDecision {
+                knob: "delta-boost",
+                sec,
+                value,
+            } => Some((sec, value)),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn tuner_raises_delta_boost_under_hot_key_reader_pressure() {
+    let (boost, traces) = run(7);
+    assert!(
+        boost > 0,
+        "the hot write section's δ boost must have been raised (got {boost})"
+    );
+    let decisions = delta_boost_decisions(&traces);
+    assert!(
+        !decisions.is_empty(),
+        "every knob flip must be visible as a tune-decision trace event"
+    );
+    assert!(
+        decisions.iter().all(|&(sec, _)| sec == SEC_W.0),
+        "δ boosts must target the pressured write section: {decisions:?}"
+    );
+    // The boost trajectory starts at the step and only ever doubles or
+    // halves, capped — i.e. the knob moved through the documented ladder.
+    for &(_, v) in &decisions {
+        assert!(
+            v == 0 || (v % sprwl::tuner::DELTA_BOOST_STEP_NS == 0),
+            "unexpected boost value {v}"
+        );
+        assert!(v <= sprwl::tuner::DELTA_BOOST_MAX_NS);
+    }
+}
+
+#[test]
+fn tuner_flip_is_deterministic() {
+    let (boost_a, traces_a) = run(11);
+    let (boost_b, traces_b) = run(11);
+    assert_eq!(boost_a, boost_b, "same schedule seed, same final boost");
+    assert_eq!(
+        delta_boost_decisions(&traces_a),
+        delta_boost_decisions(&traces_b),
+        "same schedule seed, same decision sequence"
+    );
+}
+
+#[test]
+fn tuner_off_by_default_leaves_knobs_alone() {
+    // Free-running scheduler: under the deterministic one registration is
+    // a start barrier over `max_threads`, and this test claims one thread.
+    let h = Htm::new(
+        HtmConfig {
+            capacity: CapacityProfile::BROADWELL_SIM,
+            max_threads: 4,
+            ..HtmConfig::default()
+        },
+        64 * 1024,
+    );
+    let lock = SpRwl::new(
+        &h,
+        SprwlConfig {
+            readers_try_htm: false,
+            delta: DeltaPolicy::Zero,
+            ..SprwlConfig::default()
+        },
+    );
+    assert_eq!(lock.debug_delta_boost(SEC_W), 0);
+    let cell = h.memory().alloc(1).cell(0);
+    let mut t = LockThread::new(h.thread(0));
+    for _ in 0..100 {
+        lock.write_section(&mut t, SEC_W, &mut |a| {
+            let v = a.read(cell)?;
+            a.write(cell, v + 1)?;
+            Ok(v)
+        });
+    }
+    assert_eq!(
+        lock.debug_delta_boost(SEC_W),
+        0,
+        "default config must never self-tune"
+    );
+}

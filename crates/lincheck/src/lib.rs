@@ -240,11 +240,7 @@ mod tests {
     }
 
     fn trace(tid: u32, dropped: u64, events: Vec<Event>) -> ThreadTrace {
-        ThreadTrace {
-            tid,
-            events,
-            dropped,
-        }
+        ThreadTrace::full(tid, events, dropped)
     }
 
     #[test]

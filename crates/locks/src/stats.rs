@@ -409,6 +409,12 @@ pub struct SessionStats {
     pub writer_latency: LatencyRecorder,
     /// Which cache lines conflict aborts were attributed to.
     pub conflict_lines: ConflictTable,
+    /// Trace events lost to ring-buffer wrap-around (see
+    /// `LockThread::fold_trace_counters`).
+    pub trace_dropped: u64,
+    /// Events suppressed by sampled tracing (not lost — deliberately
+    /// unrecorded; rescale with the capture's sampling metadata).
+    pub trace_unsampled: u64,
 }
 
 impl SessionStats {
@@ -487,6 +493,8 @@ impl SessionStats {
         self.reader_latency.merge(&other.reader_latency);
         self.writer_latency.merge(&other.writer_latency);
         self.conflict_lines.merge(&other.conflict_lines);
+        self.trace_dropped += other.trace_dropped;
+        self.trace_unsampled += other.trace_unsampled;
     }
 }
 

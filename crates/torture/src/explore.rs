@@ -333,6 +333,7 @@ pub fn explore(spec: &TortureSpec, base_seed: u64, opts: &ExploreOptions) -> Exp
                     "{detail}\n  found by explore at delays [{}]",
                     delays_to_str(&delays)
                 ),
+                trace: crate::worker_trace(spec).label(),
                 postmortem: None,
             };
             v.postmortem = write_postmortem(&v, &art.traces);

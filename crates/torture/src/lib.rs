@@ -61,6 +61,14 @@
 //! violation, or the first trace line where the two runs diverged (see
 //! [`first_divergence`]), which indicates a thread blocking outside the
 //! scheduler's view.
+//!
+//! Workers trace into a postmortem ring by default; `TORTURE_TRACE`
+//! (`off`, `ring:CAP` or `sampled:RATE:CAP`, the
+//! [`TraceConfig::parse`] grammar) overrides the policy for
+//! non-history cases — lincheck cases always keep the full ring their
+//! oracle needs. The active policy is recorded in every violation and
+//! postmortem dump, and in the replay command when the override drove it,
+//! so a replayed run traces exactly like the failing one.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
@@ -163,6 +171,23 @@ pub fn sched_seed_override() -> Option<u64> {
 /// `TORTURE_SCHED_SEED` is not set: a salted mix of the case seed.
 pub fn derived_sched_seed(case_seed: u64) -> u64 {
     mix64(case_seed ^ SCHED_SALT)
+}
+
+/// The worker trace-policy override: `TORTURE_TRACE` in the
+/// [`TraceConfig::parse`] grammar (`off`, `ring:CAP`, `sampled:RATE:CAP`).
+/// `None` when unset.
+///
+/// # Panics
+///
+/// Panics on a malformed value — same contract as the seed vars: a typo'd
+/// knob must not silently run the default configuration.
+pub fn trace_override() -> Option<TraceConfig> {
+    let s = std::env::var("TORTURE_TRACE").ok()?;
+    Some(
+        TraceConfig::parse(&s).unwrap_or_else(|| {
+            panic!("TORTURE_TRACE {s:?} is not off, ring:CAP or sampled:RATE:CAP")
+        }),
+    )
 }
 
 /// Compares two JSONL trace dumps line by line and returns the first
@@ -310,6 +335,11 @@ pub struct Violation {
     pub sched_seed: Option<u64>,
     /// What the oracle saw.
     pub detail: String,
+    /// The trace policy the workers ran under, in [`TraceConfig::label`]
+    /// form (e.g. `ring:512`, `sampled:64:512`) — recorded so the
+    /// postmortem's coverage (full tail vs. 1-in-N sections) is part of
+    /// the failure report, and so a replay can re-trace identically.
+    pub trace: String,
     /// Where the per-thread event-trace postmortem was dumped (JSONL; the
     /// first line is run metadata with the replay command), if the dump
     /// could be written.
@@ -319,15 +349,21 @@ pub struct Violation {
 impl Violation {
     /// The exact shell prefix + command that replays this violation. For
     /// deterministic cases it pins both seeds, so the replay re-executes
-    /// the failing interleaving bit-for-bit.
+    /// the failing interleaving bit-for-bit. When a `TORTURE_TRACE`
+    /// override shaped this run's tracing, the prefix pins that too.
     pub fn replay_cmd(&self) -> String {
+        let trace_prefix = if std::env::var_os("TORTURE_TRACE").is_some() {
+            format!("TORTURE_TRACE={} ", self.trace)
+        } else {
+            String::new()
+        };
         match self.sched_seed {
             Some(s) => format!(
-                "TORTURE_SEED={:#x} TORTURE_SCHED_SEED={s:#x} cargo test -p sprwl-torture",
+                "{trace_prefix}TORTURE_SEED={:#x} TORTURE_SCHED_SEED={s:#x} cargo test -p sprwl-torture",
                 self.base_seed
             ),
             None => format!(
-                "TORTURE_SEED={:#x} cargo test -p sprwl-torture",
+                "{trace_prefix}TORTURE_SEED={:#x} cargo test -p sprwl-torture",
                 self.base_seed
             ),
         }
@@ -374,12 +410,13 @@ fn write_postmortem(v: &Violation, traces: &[ThreadTrace]) -> Option<std::path::
         None => "null".to_string(),
     };
     let mut body = format!(
-        "{{\"case\":{:?},\"detail\":{:?},\"base_seed\":\"{:#x}\",\"case_seed\":\"{:#x}\",\"sched_seed\":{},\"replay\":{:?},\"threads\":{}}}\n",
+        "{{\"case\":{:?},\"detail\":{:?},\"base_seed\":\"{:#x}\",\"case_seed\":\"{:#x}\",\"sched_seed\":{},\"trace\":{:?},\"replay\":{:?},\"threads\":{}}}\n",
         v.case,
         v.detail,
         v.base_seed,
         v.seed,
         sched,
+        v.trace,
         v.replay_cmd(),
         traces.len()
     );
@@ -452,6 +489,17 @@ fn worker_ring(spec: &TortureSpec) -> usize {
     }
 }
 
+/// The trace policy torture workers run under: the `TORTURE_TRACE`
+/// override when set, the default postmortem ring otherwise. History
+/// (lincheck) cases always keep the full ring — their oracle consumes the
+/// complete `lin-*` mark stream, which sampling (or `off`) would starve.
+fn worker_trace(spec: &TortureSpec) -> TraceConfig {
+    if spec.lincheck {
+        return TraceConfig::ring(worker_ring(spec));
+    }
+    trace_override().unwrap_or_else(|| TraceConfig::ring(worker_ring(spec)))
+}
+
 /// In the linearizability history, a mirror pair is **one register** of
 /// the sequential model: a committed write section is a fetch-and-add
 /// returning the pre-value, a read section observes one value per pair.
@@ -473,7 +521,7 @@ fn worker(
     // tail of what each thread was doing — the lock's own lifecycle events
     // (for the instrumented schemes) plus one mark per issued op — and, for
     // lincheck cases, the full `lin-*` operation history.
-    let mut t = LockThread::with_trace(htm.thread(tid), TraceConfig::ring(worker_ring(spec)));
+    let mut t = LockThread::with_trace(htm.thread(tid), worker_trace(spec));
     let mut rng = Prng::new(mix64(case_seed ^ ((tid as u64 + 1) << 32)));
     let mut incr = vec![0u64; spec.pairs];
     let mut reader_ops = 0u64;
@@ -604,7 +652,7 @@ fn worker_cross(
     tid: usize,
 ) -> ThreadOut {
     let [a1, b1, a2, b2] = banks;
-    let mut t = LockThread::with_trace(htm.thread(tid), TraceConfig::ring(worker_ring(spec)));
+    let mut t = LockThread::with_trace(htm.thread(tid), worker_trace(spec));
     let mut rng = Prng::new(mix64(case_seed ^ ((tid as u64 + 1) << 32)));
     // Outer-lock pairs occupy registers [0, pairs), inner [pairs, 2*pairs).
     let mut incr = vec![0u64; 2 * spec.pairs];
@@ -1167,6 +1215,9 @@ fn determinism_note(
 ///
 /// Panics on harness misconfiguration (invalid [`HtmConfig`], a worker
 /// thread panicking) — not on lock bugs, which are reported as `Err`.
+// A `Violation` is constructed at most once per case, on the cold path
+// that ends it — boxing it would complicate every consumer for nothing.
+#[allow(clippy::result_large_err)]
 pub fn run_case(spec: &TortureSpec, base_seed: u64) -> Result<RunSummary, Violation> {
     run_case_with(spec, base_seed, &|htm| spec.lock.build(htm))
 }
@@ -1183,6 +1234,7 @@ pub fn run_case(spec: &TortureSpec, base_seed: u64) -> Result<RunSummary, Violat
 /// # Panics
 ///
 /// As for [`run_case`].
+#[allow(clippy::result_large_err)]
 pub fn run_case_with(
     spec: &TortureSpec,
     base_seed: u64,
@@ -1209,6 +1261,7 @@ pub fn run_case_with(
                 base_seed,
                 sched_seed,
                 detail,
+                trace: worker_trace(spec).label(),
                 postmortem: None,
             };
             v.postmortem = write_postmortem(&v, &run.traces());
@@ -1617,6 +1670,7 @@ mod tests {
             base_seed: 0x1234,
             sched_seed: None,
             detail: "something broke".into(),
+            trace: "ring:512".into(),
             postmortem: None,
         };
         let s = v.to_string();

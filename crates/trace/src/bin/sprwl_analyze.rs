@@ -1,0 +1,99 @@
+//! `sprwl-analyze` — contention analysis over a JSONL trace capture.
+//!
+//! ```text
+//! sprwl-analyze <capture.jsonl> [--top K] [--buckets N] [--out report.json]
+//! ```
+//!
+//! Ingests a capture written by the JSONL exporter (a bench `--capture`
+//! file, a torture postmortem, or any [`sprwl_trace::export::jsonl`]
+//! output, full or sampled) and prints the [`sprwl_trace::analyze`] report
+//! as JSON — to stdout, or to `--out` with a one-line summary on stdout.
+//!
+//! ## Exit codes (pinned contract, relied on by `scripts/ci.sh`)
+//!
+//! * `0` — report produced; the capture contained section lifecycles.
+//! * `1` — capture parsed cleanly but contains no section lifecycle
+//!   events (vacuous: wrong file, or tracing was off). The report is
+//!   still written so callers can inspect what *was* there.
+//! * `2` — usage, I/O, or parse error.
+
+use sprwl_trace::analyze::{analyze_with, AnalyzeConfig};
+
+const USAGE: &str =
+    "usage: sprwl-analyze <capture.jsonl> [--top K] [--buckets N] [--out report.json]";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("sprwl-analyze: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut cfg = AnalyzeConfig::default();
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--top" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(k)) if k > 0 => cfg.top_k = k,
+                _ => fail("--top wants a positive integer"),
+            },
+            "--buckets" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => cfg.timeline_buckets = n,
+                _ => fail("--buckets wants a positive integer"),
+            },
+            "--out" => match it.next() {
+                Some(p) => out = Some(p.clone()),
+                None => fail("--out wants a path"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other if other.starts_with('-') => fail(&format!("unknown flag {other}")),
+            other => {
+                if path.replace(other.to_string()).is_some() {
+                    fail("more than one capture path");
+                }
+            }
+        }
+    }
+    let Some(path) = path else {
+        fail("missing capture path");
+    };
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => fail(&format!("cannot read {path}: {e}")),
+    };
+    let report = match analyze_with(&text, &cfg) {
+        Ok(r) => r,
+        Err(e) => fail(&format!("{path}: {e}")),
+    };
+
+    let json = report.to_json();
+    match &out {
+        Some(p) => {
+            if let Err(e) = std::fs::write(p, &json) {
+                fail(&format!("cannot write {p}: {e}"));
+            }
+            println!(
+                "sprwl-analyze: {} events, {} threads, {} sections, {} pairs -> {}",
+                report.events,
+                report.threads,
+                report.sections.len(),
+                report.top_pairs.len(),
+                p
+            );
+        }
+        None => print!("{json}"),
+    }
+
+    if !report.has_sections() {
+        eprintln!("sprwl-analyze: vacuous capture (no section lifecycle events)");
+        std::process::exit(1);
+    }
+}

@@ -82,6 +82,9 @@ fn push_kind_fields(out: &mut String, kind: &EventKind) {
         EventKind::SglWaitSenior { my_version } => {
             let _ = write!(out, r#""my_version":{}"#, my_version);
         }
+        EventKind::TuneDecision { knob, sec, value } => {
+            let _ = write!(out, r#""knob":"{}","sec":{},"value":{}"#, knob, sec, value);
+        }
         EventKind::Mark { label: _, a, b } => {
             let _ = write!(out, r#""a":{},"b":{}"#, a, b);
         }
@@ -90,17 +93,27 @@ fn push_kind_fields(out: &mut String, kind: &EventKind) {
 
 /// Renders traces as JSON Lines: one `{"tid":..,"ts":..,"ev":..,...}`
 /// object per line, in per-thread chronological order. Threads with
-/// dropped (ring-overwritten) events get a leading `trace-meta` line.
+/// dropped (ring-overwritten) events, or harvested from a sampled buffer,
+/// get a leading `trace-meta` line carrying the counters an analyzer
+/// needs to rescale or distrust the capture.
 pub fn jsonl(traces: &[ThreadTrace]) -> String {
     use std::fmt::Write;
     let mut out = String::new();
     for t in traces {
-        if t.dropped > 0 {
-            let _ = writeln!(
+        if t.dropped > 0 || t.sampling.is_some() {
+            let _ = write!(
                 out,
-                r#"{{"tid":{},"ev":"trace-meta","dropped":{}}}"#,
+                r#"{{"tid":{},"ev":"trace-meta","dropped":{}"#,
                 t.tid, t.dropped
             );
+            if let Some(s) = &t.sampling {
+                let _ = write!(
+                    out,
+                    r#","sample_rate":{},"sections_seen":{},"sections_sampled":{},"unsampled":{}"#,
+                    s.rate, s.sections_seen, s.sections_sampled, s.unsampled
+                );
+            }
+            out.push_str("}\n");
         }
         for e in &t.events {
             let _ = write!(
@@ -206,6 +219,16 @@ pub fn chrome_trace_json(traces: &[ThreadTrace]) -> String {
             r#"{{"name":"thread_name","ph":"M","pid":{},"tid":{},"args":{{"name":"thread {}"}}}}"#,
             PID, t.tid, t.tid
         );
+        // Sampled tracks carry their rescaling metadata as a second "M"
+        // record; viewers that don't know the name simply ignore it.
+        if let Some(s) = &t.sampling {
+            out.push_str(",\n");
+            let _ = write!(
+                out,
+                r#"{{"name":"sampling","ph":"M","pid":{},"tid":{},"args":{{"rate":{},"sections_seen":{},"sections_sampled":{},"unsampled":{}}}}}"#,
+                PID, t.tid, s.rate, s.sections_seen, s.sections_sampled, s.unsampled
+            );
+        }
         let flows = flow_targets(&t.events);
         let flow_id = |i: usize| -> Option<usize> {
             flows
@@ -371,10 +394,9 @@ mod tests {
     }
 
     fn sample() -> Vec<ThreadTrace> {
-        vec![ThreadTrace {
-            tid: 0,
-            dropped: 0,
-            events: vec![
+        vec![ThreadTrace::full(
+            0,
+            vec![
                 ev(
                     100,
                     EventKind::SectionBegin {
@@ -422,7 +444,8 @@ mod tests {
                     },
                 ),
             ],
-        }]
+            0,
+        )]
     }
 
     #[test]
@@ -441,10 +464,9 @@ mod tests {
 
     #[test]
     fn jsonl_omits_unattributed_conflicts() {
-        let t = vec![ThreadTrace {
-            tid: 1,
-            dropped: 0,
-            events: vec![ev(
+        let t = vec![ThreadTrace::full(
+            1,
+            vec![ev(
                 5,
                 EventKind::TxAbort {
                     cause: "capacity",
@@ -452,7 +474,8 @@ mod tests {
                     peer: NO_PEER,
                 },
             )],
-        }];
+            0,
+        )];
         let s = jsonl(&t);
         assert!(!s.contains("\"line\""));
         assert!(!s.contains("\"peer\""));
@@ -460,13 +483,62 @@ mod tests {
 
     #[test]
     fn jsonl_reports_dropped() {
-        let t = vec![ThreadTrace {
-            tid: 2,
-            dropped: 9,
-            events: vec![ev(1, EventKind::ReaderArrive)],
-        }];
+        let t = vec![ThreadTrace::full(
+            2,
+            vec![ev(1, EventKind::ReaderArrive)],
+            9,
+        )];
         let s = jsonl(&t);
         assert!(s.lines().next().unwrap().contains(r#""dropped":9"#));
+    }
+
+    #[test]
+    fn jsonl_reports_sampling_meta() {
+        let t = vec![ThreadTrace {
+            tid: 3,
+            dropped: 0,
+            events: vec![ev(1, EventKind::ReaderArrive)],
+            sampling: Some(crate::SampleMeta {
+                rate: 16,
+                sections_seen: 160,
+                sections_sampled: 10,
+                unsampled: 600,
+            }),
+        }];
+        let s = jsonl(&t);
+        let meta = s.lines().next().unwrap();
+        assert!(meta.contains(r#""ev":"trace-meta""#));
+        assert!(meta.contains(r#""sample_rate":16"#));
+        assert!(meta.contains(r#""sections_seen":160"#));
+        assert!(meta.contains(r#""sections_sampled":10"#));
+        assert!(meta.contains(r#""unsampled":600"#));
+        // The meta line parses as one JSON object per the JSONL contract.
+        assert!(meta.starts_with('{') && meta.ends_with('}'));
+        // And the chrome exporter carries the same counters as an M record.
+        let c = chrome_trace_json(&t);
+        assert!(c.contains(r#""name":"sampling","ph":"M""#));
+        assert!(c.contains(r#""rate":16"#));
+    }
+
+    #[test]
+    fn jsonl_tune_decision_fields() {
+        let t = vec![ThreadTrace::full(
+            0,
+            vec![ev(
+                7,
+                EventKind::TuneDecision {
+                    knob: "delta-boost",
+                    sec: 3,
+                    value: 1500,
+                },
+            )],
+            0,
+        )];
+        let s = jsonl(&t);
+        assert!(s.contains(r#""ev":"tune-decision""#));
+        assert!(s.contains(r#""knob":"delta-boost""#));
+        assert!(s.contains(r#""sec":3"#));
+        assert!(s.contains(r#""value":1500"#));
     }
 
     #[test]
@@ -485,10 +557,9 @@ mod tests {
     fn chrome_truncated_ring_still_balances() {
         // Ring overwrite ate the SectionBegin/TxAttempt: the orphan commit
         // must not emit an unmatched "E".
-        let t = vec![ThreadTrace {
-            tid: 0,
-            dropped: 3,
-            events: vec![
+        let t = vec![ThreadTrace::full(
+            0,
+            vec![
                 ev(
                     10,
                     EventKind::TxCommit {
@@ -505,7 +576,8 @@ mod tests {
                     },
                 ),
             ],
-        }];
+            3,
+        )];
         let s = chrome_trace_json(&t);
         let b = s.matches(r#""ph":"B""#).count();
         let e = s.matches(r#""ph":"E""#).count();

@@ -92,8 +92,9 @@ pub fn marks_of(traces: &[ThreadTrace]) -> MarkHistory {
     h
 }
 
-/// Scans `line` for `"key":<uint>` and parses the integer.
-fn json_u64(line: &str, key: &str) -> Option<u64> {
+/// Scans `line` for `"key":<uint>` and parses the integer. Shared with the
+/// contention analyzer ([`crate::analyze`]), which reads the same JSONL.
+pub(crate) fn json_u64(line: &str, key: &str) -> Option<u64> {
     let pat = format!("\"{key}\":");
     let i = line.find(&pat)? + pat.len();
     let rest = &line[i..];
@@ -107,7 +108,7 @@ fn json_u64(line: &str, key: &str) -> Option<u64> {
 }
 
 /// Scans `line` for `"key":"<value>"` and returns the raw string value.
-fn json_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+pub(crate) fn json_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     let pat = format!("\"{key}\":\"");
     let i = line.find(&pat)? + pat.len();
     let rest = &line[i..];
@@ -167,11 +168,7 @@ mod tests {
     use crate::{Event, TraceRole};
 
     fn trace(tid: u32, dropped: u64, events: Vec<Event>) -> ThreadTrace {
-        ThreadTrace {
-            tid,
-            events,
-            dropped,
-        }
+        ThreadTrace::full(tid, events, dropped)
     }
 
     fn mark(ts: u64, label: &'static str, a: u64, b: u64) -> Event {

@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod analyze;
 pub mod export;
 pub mod history;
 pub mod schedule;
@@ -173,6 +174,17 @@ pub enum EventKind {
         /// The version this writer holds the lock under.
         my_version: u64,
     },
+    /// The runtime self-tuner adjusted one per-section policy knob. Emitted
+    /// outside any critical section so the decision survives sampling.
+    TuneDecision {
+        /// Static knob name (e.g. `"delta-boost"`, `"htm-skip"`,
+        /// `"tracking-mode"`).
+        knob: &'static str,
+        /// The section the knob applies to.
+        sec: u32,
+        /// The new knob value.
+        value: u64,
+    },
     /// Free-form harness marker (used by the torture driver to log the
     /// operation stream independently of the lock under test).
     Mark {
@@ -203,6 +215,7 @@ impl EventKind {
             EventKind::FallbackRelease => "fallback-release",
             EventKind::SglBypassEnter { .. } => "sgl-bypass-enter",
             EventKind::SglWaitSenior { .. } => "sgl-wait-senior",
+            EventKind::TuneDecision { .. } => "tune-decision",
             EventKind::Mark { label, .. } => label,
         }
     }
@@ -229,6 +242,19 @@ pub enum TraceConfig {
         /// Maximum events retained per thread (the "last N").
         capacity: usize,
     },
+    /// Record a deterministic 1-in-`rate` subset of critical sections into
+    /// a fixed-capacity ring. Whole sections are sampled atomically — every
+    /// event of a sampled section (attempts, aborts, scheduler decisions)
+    /// is kept, every event of an unsampled one is counted and discarded —
+    /// so retry chains stay intact and downstream analysis can rescale
+    /// counts by `rate`. Events outside any section (harness marks, tuner
+    /// decisions) are always recorded.
+    Sampled {
+        /// Record every `rate`-th section (1 = everything).
+        rate: u32,
+        /// Maximum events retained per thread (the "last N").
+        capacity: usize,
+    },
 }
 
 impl TraceConfig {
@@ -239,9 +265,48 @@ impl TraceConfig {
         }
     }
 
+    /// Sampled tracing: every `rate`-th section, `capacity` events retained.
+    pub fn sampled(rate: u32, capacity: usize) -> Self {
+        TraceConfig::Sampled {
+            rate: rate.max(1),
+            capacity: capacity.max(1),
+        }
+    }
+
     /// Whether this configuration records anything.
     pub fn is_on(&self) -> bool {
-        matches!(self, TraceConfig::Ring { .. })
+        !matches!(self, TraceConfig::Off)
+    }
+
+    /// Stable textual form: `off`, `ring:<capacity>`, or
+    /// `sampled:<rate>:<capacity>`. Round-trips through [`Self::parse`].
+    pub fn label(&self) -> String {
+        match self {
+            TraceConfig::Off => "off".to_string(),
+            TraceConfig::Ring { capacity } => format!("ring:{capacity}"),
+            TraceConfig::Sampled { rate, capacity } => format!("sampled:{rate}:{capacity}"),
+        }
+    }
+
+    /// Parses the [`Self::label`] form (used by the bench CLI and the
+    /// torture `TORTURE_TRACE` environment knob). Returns `None` on
+    /// malformed input rather than guessing.
+    pub fn parse(s: &str) -> Option<Self> {
+        let s = s.trim();
+        if s.eq_ignore_ascii_case("off") {
+            return Some(TraceConfig::Off);
+        }
+        if let Some(cap) = s.strip_prefix("ring:") {
+            return cap.parse::<usize>().ok().map(TraceConfig::ring);
+        }
+        if let Some(rest) = s.strip_prefix("sampled:") {
+            let (rate, cap) = rest.split_once(':')?;
+            return Some(TraceConfig::sampled(
+                rate.parse::<u32>().ok()?,
+                cap.parse::<usize>().ok()?,
+            ));
+        }
+        None
     }
 }
 
@@ -261,6 +326,18 @@ pub struct TraceBuffer {
     next: usize,
     /// Events ever pushed (recorded + overwritten).
     total: u64,
+    /// Section sampling stride (0 = not sampling, record everything).
+    sample_rate: u32,
+    /// Nesting depth of open sections (composed locks nest sections).
+    section_depth: u32,
+    /// Whether the outermost open section was selected for recording.
+    section_sampled: bool,
+    /// Events suppressed because their section was not sampled.
+    unsampled: u64,
+    /// Outermost sections observed (sampled + skipped).
+    sections_seen: u64,
+    /// Outermost sections selected for recording.
+    sections_sampled: u64,
 }
 
 impl TraceBuffer {
@@ -269,12 +346,17 @@ impl TraceBuffer {
         match cfg {
             TraceConfig::Off => Self::disabled(tid),
             TraceConfig::Ring { capacity } => Self {
-                tid,
                 capacity: capacity.max(1),
                 enabled: true,
                 events: Vec::with_capacity(capacity.clamp(1, 4096)),
-                next: 0,
-                total: 0,
+                ..Self::disabled(tid)
+            },
+            TraceConfig::Sampled { rate, capacity } => Self {
+                capacity: capacity.max(1),
+                enabled: true,
+                events: Vec::with_capacity(capacity.clamp(1, 4096)),
+                sample_rate: rate.max(1),
+                ..Self::disabled(tid)
             },
         }
     }
@@ -288,6 +370,12 @@ impl TraceBuffer {
             events: Vec::new(),
             next: 0,
             total: 0,
+            sample_rate: 0,
+            section_depth: 0,
+            section_sampled: false,
+            unsampled: 0,
+            sections_seen: 0,
+            sections_sampled: 0,
         }
     }
 
@@ -315,6 +403,45 @@ impl TraceBuffer {
     pub fn push(&mut self, kind: EventKind) {
         if !self.enabled {
             return;
+        }
+        // Section-granular sampling: the keep/skip decision is made once at
+        // the *outermost* SectionBegin and applies to every event until the
+        // matching SectionEnd, so retry chains are never torn. Suppressed
+        // events return before the clock read below — on the deterministic
+        // scheduler each `clock::now` advances virtual time, so an
+        // unsampled section must not perturb the schedule.
+        if self.sample_rate > 0 {
+            match kind {
+                EventKind::SectionBegin { .. } => {
+                    if self.section_depth == 0 {
+                        self.section_sampled = self
+                            .sections_seen
+                            .is_multiple_of(u64::from(self.sample_rate));
+                        self.sections_seen += 1;
+                        if self.section_sampled {
+                            self.sections_sampled += 1;
+                        }
+                    }
+                    self.section_depth += 1;
+                    if !self.section_sampled {
+                        self.unsampled += 1;
+                        return;
+                    }
+                }
+                EventKind::SectionEnd { .. } => {
+                    self.section_depth = self.section_depth.saturating_sub(1);
+                    if !self.section_sampled {
+                        self.unsampled += 1;
+                        return;
+                    }
+                }
+                _ => {
+                    if self.section_depth > 0 && !self.section_sampled {
+                        self.unsampled += 1;
+                        return;
+                    }
+                }
+            }
         }
         let ev = Event {
             ts: htm_sim::clock::now(),
@@ -350,6 +477,17 @@ impl TraceBuffer {
         self.total
     }
 
+    /// Events lost so far to ring overwrite.
+    pub fn dropped(&self) -> u64 {
+        self.total - self.events.len() as u64
+    }
+
+    /// Events suppressed so far because their section was not sampled
+    /// (always 0 outside [`TraceConfig::Sampled`]).
+    pub fn unsampled(&self) -> u64 {
+        self.unsampled
+    }
+
     /// The retained events in chronological order, plus bookkeeping.
     pub fn snapshot(&self) -> ThreadTrace {
         let mut events = Vec::with_capacity(self.events.len());
@@ -363,8 +501,29 @@ impl TraceBuffer {
             tid: self.tid,
             dropped: self.total - events.len() as u64,
             events,
+            sampling: (self.sample_rate > 0).then_some(SampleMeta {
+                rate: self.sample_rate,
+                sections_seen: self.sections_seen,
+                sections_sampled: self.sections_sampled,
+                unsampled: self.unsampled,
+            }),
         }
     }
+}
+
+/// Sampling bookkeeping attached to a [`ThreadTrace`] harvested from a
+/// [`TraceConfig::Sampled`] buffer. Lets downstream analysis rescale
+/// sampled counts (`seen / sampled`) and detect starved captures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleMeta {
+    /// The configured stride (every `rate`-th section recorded).
+    pub rate: u32,
+    /// Outermost sections observed, sampled or not.
+    pub sections_seen: u64,
+    /// Outermost sections selected for recording.
+    pub sections_sampled: u64,
+    /// Events suppressed because their section was skipped.
+    pub unsampled: u64,
 }
 
 /// One thread's harvested trace, in chronological order.
@@ -376,6 +535,20 @@ pub struct ThreadTrace {
     pub events: Vec<Event>,
     /// Events lost to ring overwrite (0 when the ring never filled).
     pub dropped: u64,
+    /// Sampling metadata when the buffer ran under [`TraceConfig::Sampled`].
+    pub sampling: Option<SampleMeta>,
+}
+
+impl ThreadTrace {
+    /// A trace with no sampling metadata (the common full-capture case).
+    pub fn full(tid: u32, events: Vec<Event>, dropped: u64) -> Self {
+        Self {
+            tid,
+            events,
+            dropped,
+            sampling: None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -441,8 +614,132 @@ mod tests {
         assert_eq!(TraceConfig::default(), TraceConfig::Off);
         assert!(!TraceConfig::Off.is_on());
         assert!(TraceConfig::ring(16).is_on());
+        assert!(TraceConfig::sampled(8, 16).is_on());
         // ring(0) clamps to a usable capacity instead of panicking.
         assert_eq!(TraceConfig::ring(0), TraceConfig::Ring { capacity: 1 });
+        // sampled(0, 0) likewise clamps both knobs.
+        assert_eq!(
+            TraceConfig::sampled(0, 0),
+            TraceConfig::Sampled {
+                rate: 1,
+                capacity: 1
+            }
+        );
+    }
+
+    #[test]
+    fn config_labels_round_trip() {
+        for cfg in [
+            TraceConfig::Off,
+            TraceConfig::ring(512),
+            TraceConfig::sampled(16, 4096),
+        ] {
+            assert_eq!(TraceConfig::parse(&cfg.label()), Some(cfg));
+        }
+        assert_eq!(TraceConfig::parse("OFF"), Some(TraceConfig::Off));
+        assert_eq!(TraceConfig::parse("ring:"), None);
+        assert_eq!(TraceConfig::parse("sampled:4"), None);
+        assert_eq!(TraceConfig::parse("sampled:x:4"), None);
+        assert_eq!(TraceConfig::parse("firehose"), None);
+    }
+
+    #[cfg(feature = "record")]
+    fn push_section(b: &mut TraceBuffer, role: TraceRole, sec: u32) {
+        b.push(EventKind::SectionBegin { role, sec });
+        b.push(EventKind::TxAttempt { role, attempt: 1 });
+        b.push(EventKind::TxCommit {
+            mode: "HTM",
+            read_fp: 1,
+            write_fp: 1,
+        });
+        b.push(EventKind::SectionEnd {
+            role,
+            sec,
+            mode: "HTM",
+            latency_ns: 10,
+        });
+    }
+
+    #[cfg(feature = "record")]
+    #[test]
+    fn sampling_keeps_whole_sections() {
+        let mut b = TraceBuffer::new(0, TraceConfig::sampled(3, 64));
+        for i in 0..9 {
+            push_section(&mut b, TraceRole::Writer, i % 2);
+        }
+        let snap = b.snapshot();
+        // Sections 0, 3 and 6 are kept — 4 events each, nothing torn.
+        assert_eq!(snap.events.len(), 12);
+        let meta = snap.sampling.expect("sampled buffer carries meta");
+        assert_eq!(meta.rate, 3);
+        assert_eq!(meta.sections_seen, 9);
+        assert_eq!(meta.sections_sampled, 3);
+        assert_eq!(meta.unsampled, 24);
+        assert_eq!(snap.dropped, 0);
+        // Every kept section begins and ends: begin/end counts balance.
+        let begins = snap
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::SectionBegin { .. }))
+            .count();
+        let ends = snap
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::SectionEnd { .. }))
+            .count();
+        assert_eq!((begins, ends), (3, 3));
+    }
+
+    #[cfg(feature = "record")]
+    #[test]
+    fn sampling_is_deterministic_and_first_section_is_kept() {
+        let runs: Vec<Vec<Event>> = (0..2)
+            .map(|_| {
+                let mut b = TraceBuffer::new(0, TraceConfig::sampled(4, 64));
+                for i in 0..8 {
+                    push_section(&mut b, TraceRole::Reader, i);
+                }
+                b.snapshot().events
+            })
+            .collect();
+        let kinds = |evs: &[Event]| evs.iter().map(|e| e.kind).collect::<Vec<_>>();
+        assert_eq!(kinds(&runs[0]), kinds(&runs[1]));
+        assert!(matches!(
+            runs[0][0].kind,
+            EventKind::SectionBegin { sec: 0, .. }
+        ));
+    }
+
+    #[cfg(feature = "record")]
+    #[test]
+    fn sampling_records_out_of_section_events() {
+        let mut b = TraceBuffer::new(0, TraceConfig::sampled(1000, 64));
+        push_section(&mut b, TraceRole::Writer, 0); // sampled (first)
+        push_section(&mut b, TraceRole::Writer, 1); // skipped
+        b.push(EventKind::TuneDecision {
+            knob: "delta-boost",
+            sec: 1,
+            value: 500,
+        });
+        push_section(&mut b, TraceRole::Writer, 2); // skipped
+        let snap = b.snapshot();
+        assert!(
+            snap.events
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::TuneDecision { .. })),
+            "out-of-section events must survive sampling"
+        );
+        assert_eq!(snap.events.len(), 5);
+        assert_eq!(snap.sampling.unwrap().unsampled, 8);
+    }
+
+    #[cfg(feature = "record")]
+    #[test]
+    fn ring_snapshot_has_no_sampling_meta() {
+        let mut b = TraceBuffer::new(0, TraceConfig::ring(8));
+        b.push(EventKind::ReaderArrive);
+        assert_eq!(b.snapshot().sampling, None);
+        assert_eq!(b.unsampled(), 0);
     }
 
     #[test]
@@ -463,6 +760,15 @@ mod tests {
             }
             .name(),
             "torture-op"
+        );
+        assert_eq!(
+            EventKind::TuneDecision {
+                knob: "delta-boost",
+                sec: 0,
+                value: 0
+            }
+            .name(),
+            "tune-decision"
         );
         assert_eq!(TraceRole::Reader.label(), "reader");
         assert_eq!(TraceRole::Writer.label(), "writer");

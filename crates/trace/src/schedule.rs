@@ -248,6 +248,11 @@ pub fn behavior_fingerprint(traces: &[ThreadTrace]) -> u64 {
                 EventKind::FallbackAcquire { version } => fp.push(*version),
                 EventKind::SglBypassEnter { registered } => fp.push(*registered),
                 EventKind::SglWaitSenior { my_version } => fp.push(*my_version),
+                EventKind::TuneDecision { knob, sec, value } => {
+                    fp.push_str(knob);
+                    fp.push(u64::from(*sec));
+                    fp.push(*value);
+                }
                 EventKind::Mark { label: _, a, b } => {
                     fp.push(*a);
                     fp.push(*b);
@@ -297,9 +302,9 @@ mod tests {
 
     #[test]
     fn fingerprint_ignores_time_but_not_behaviour() {
-        let base = vec![ThreadTrace {
-            tid: 0,
-            events: vec![
+        let base = vec![ThreadTrace::full(
+            0,
+            vec![
                 ev(
                     10,
                     EventKind::SectionBegin {
@@ -317,8 +322,8 @@ mod tests {
                     },
                 ),
             ],
-            dropped: 0,
-        }];
+            0,
+        )];
         let mut shifted = base.clone();
         shifted[0].events[0].ts = 500;
         shifted[0].events[1].ts = 700;
@@ -343,9 +348,9 @@ mod tests {
 
     #[test]
     fn fingerprint_distinguishes_threads_and_marks() {
-        let a = vec![ThreadTrace {
-            tid: 0,
-            events: vec![ev(
+        let a = vec![ThreadTrace::full(
+            0,
+            vec![ev(
                 1,
                 EventKind::Mark {
                     label: "op",
@@ -353,8 +358,8 @@ mod tests {
                     b: 9,
                 },
             )],
-            dropped: 0,
-        }];
+            0,
+        )];
         let mut b = a.clone();
         b[0].tid = 1;
         assert_ne!(behavior_fingerprint(&a), behavior_fingerprint(&b));

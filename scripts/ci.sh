@@ -112,6 +112,45 @@ if [ "$rc" -ne 1 ]; then
     exit 1
 fi
 
+echo "==> trace-overhead smoke (sampled tracing within 3% of off) + analyzer contract"
+# Two single-policy sweeps over an identical deterministic grid produce
+# documents with identical point keys, so bench-compare can bound the
+# sampled policy's throughput cost against tracing-off directly. The
+# deterministic virtual clock makes the 3% bound tight-but-stable: any
+# drift here is sampling bookkeeping on the hot path, not host noise.
+bench_sweep --det --threads 2 --ops 600 --warmup-ops 50 --locks SpRWL \
+    --workloads mixed-90-10,hot-key --trace off \
+    --category traceoff --out "$BENCH_SMOKE_DIR" > /dev/null
+bench_sweep --det --threads 2 --ops 600 --warmup-ops 50 --locks SpRWL \
+    --workloads mixed-90-10,hot-key --trace sampled:64:4096 \
+    --capture "$BENCH_SMOKE_DIR/capture.jsonl" \
+    --category tracesampled --out "$BENCH_SMOKE_DIR" > /dev/null
+bench_compare "$BENCH_SMOKE_DIR"/BENCH_traceoff_*.json \
+    "$BENCH_SMOKE_DIR"/BENCH_tracesampled_*.json \
+    --throughput-drop-pct 3 --abort-rise-pp 5 --p99-rise-pct 50
+# sprwl-analyze exit contract: 0 = report with sections. The report is a
+# workflow artifact; the summarizer renders its top-conflict table.
+sprwl_analyze() { cargo run -q --release --offline -p sprwl-trace --bin sprwl-analyze -- "$@"; }
+sprwl_analyze "$BENCH_SMOKE_DIR/capture.jsonl" --out "$BENCH_SMOKE_DIR/analyze-report.json"
+python3 scripts/summarize_bench.py "$BENCH_SMOKE_DIR/analyze-report.json"
+# ...1 = vacuous capture (parses, but no section lifecycles): the gate
+# must distinguish "empty" from "broken" — a sampling or export bug that
+# empties every capture would otherwise pass as a quiet success.
+printf '{"tid":0,"ev":"trace-meta","dropped":0}\n' > "$BENCH_SMOKE_DIR/vacuous.jsonl"
+rc=0
+sprwl_analyze "$BENCH_SMOKE_DIR/vacuous.jsonl" > /dev/null || rc=$?
+if [ "$rc" -ne 1 ]; then
+    echo "sprwl-analyze vacuous smoke: expected exit 1, got $rc" >&2
+    exit 1
+fi
+# ...and 2 = unusable input (missing file, malformed line).
+rc=0
+sprwl_analyze "$BENCH_SMOKE_DIR/no-such-capture.jsonl" > /dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 2 ]; then
+    echo "sprwl-analyze IO smoke: expected exit 2, got $rc" >&2
+    exit 1
+fi
+
 echo "==> perf baseline gate (regenerate the committed grid, compare with loose thresholds)"
 # The committed baseline is deterministic (virtual clock, fixed work), so
 # point-for-point drift here is caused by code changes, not host speed.

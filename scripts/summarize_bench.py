@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
 """Summarizes benchmark captures into the comparison tables EXPERIMENTS.md
-embeds. Two input shapes:
+embeds. Three input shapes:
 
 * ``BENCH_*.json`` — a schema-versioned results document from
   ``bench-sweep`` (see ``results/SCHEMA.md``). Detected by a ``.json``
   suffix or a leading ``{``.
+* an ``sprwl-analyze`` report (also ``.json``; detected by its
+  ``top_pairs`` key) — rendered as the top-conflict/line-heat tables.
 * ``bench_output.txt`` — legacy ``CSV:``-prefixed rows from the figure
   benches (19 columns):
     fig,profile,param,lock,threads,tx_s,abort_pct,htm,rot,gl,unins,
@@ -52,6 +54,52 @@ def summarize_json(doc: dict) -> None:
             )
         if cells:
             print(f"  rd lat us p50/p95/p99 {workload} thr={threads}: " + " | ".join(cells))
+
+
+def summarize_analyzer(doc: dict) -> None:
+    """Renders an ``sprwl-analyze`` contention report as the tables
+    EXPERIMENTS.md §7f embeds: top conflicting section pairs, cache-line
+    heat with peer attribution, per-section rollups, tune decisions."""
+    if doc.get("schema_version") != 1:
+        sys.exit(f"unsupported analyzer schema_version {doc.get('schema_version')!r}")
+    samp = doc.get("sampling")
+    scale = ""
+    if samp:
+        scale = (
+            f", sampled 1/{samp['max_rate']}"
+            f" ({samp['sections_sampled']}/{samp['sections_seen']} sections kept)"
+        )
+    print(
+        f"analyzer report: {doc['events']} events, {doc['threads']} threads, "
+        f"{doc['dropped']} dropped{scale}"
+    )
+    if doc["top_pairs"]:
+        print("top conflicting section pairs:")
+        for p in doc["top_pairs"]:
+            causes = ", ".join(f"{k}={v}" for k, v in sorted(p["causes"].items()))
+            print(f"  sec {p['a']} x sec {p['b']}: {p['count']} aborts ({causes})")
+    else:
+        print("top conflicting section pairs: none")
+    if doc["line_heat"]:
+        print("hottest cache lines:")
+        for ln in doc["line_heat"]:
+            peers = ", ".join(
+                f"tid{t}={n}"
+                for t, n in sorted(ln["peers"].items(), key=lambda kv: (-kv[1], kv[0]))
+            )
+            print(f"  line {ln['line']}: {ln['count']} conflicts (winners: {peers})")
+    for s in doc["sections"]:
+        lat = s["latency_ns"]
+        modes = ", ".join(f"{k}:{v}" for k, v in sorted(s["modes"].items()))
+        print(
+            f"  sec {s['sec']}: {s['reader_execs']}r/{s['writer_execs']}w execs, "
+            f"abort rate {100 * s['abort_rate']:.1f}%, modes [{modes}], "
+            f"lat p50/p99 {lat['p50']}/{lat['p99']}ns"
+        )
+    for d in doc.get("tune_decisions", []):
+        print(
+            f"  tune @{d['ts']} tid{d['tid']}: {d['knob']} sec {d['sec']} -> {d['value']}"
+        )
 
 
 def summarize_csv(path: str) -> None:
@@ -110,7 +158,11 @@ def main(path: str) -> None:
     with open(path, encoding="utf-8", errors="replace") as f:
         head = f.read(1)
     if path.endswith(".json") or head == "{":
-        summarize_json(json.load(open(path, encoding="utf-8")))
+        doc = json.load(open(path, encoding="utf-8"))
+        if "top_pairs" in doc:
+            summarize_analyzer(doc)
+        else:
+            summarize_json(doc)
     else:
         summarize_csv(path)
 

@@ -7,6 +7,7 @@
 //!             [--ops 1500] [--warmup-ops 150] [--schedule-seed 7]   (det)
 //!             [--secs 0.25] [--warmup-secs 0.05]                    (wall)
 //!             [--locks SpRWL,TLE,RWL] [--workloads read-only,...]
+//!             [--fill 1024,4096,16384]
 //!             [--profile broadwell-sim | power8-sim]
 //!             [--trace off|ring:CAP|sampled:RATE:CAP]...
 //!             [--capture FILE.jsonl]
@@ -41,10 +42,13 @@ use sprwl_workloads::SweepWorkload;
 fn parse_lock(name: &str) -> Option<LockKind> {
     Some(match name {
         "SpRWL" => LockKind::Sprwl(SprwlConfig::default()),
+        "SNZI" => LockKind::Sprwl(SprwlConfig::with_snzi()),
+        "BRAVO" => LockKind::Sprwl(SprwlConfig::with_bravo()),
         "TLE" => LockKind::Tle,
         "RW-LE" => LockKind::RwLe,
         "RWL" => LockKind::Rwl,
         "BRLock" => LockKind::BrLock,
+        "BRLock+bias" => LockKind::BrLockBias,
         "PF-RWL" => LockKind::PhaseFair,
         "MCS-RWL" => LockKind::Mcs,
         "PRWL" => LockKind::Passive,
@@ -56,7 +60,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: bench-sweep [--det|--wall] [--threads N,N,..] [--seed N] \
          [--ops N] [--warmup-ops N] [--schedule-seed N] [--secs F] [--warmup-secs F] \
-         [--locks A,B,..] [--workloads A,B,..] [--profile NAME] \
+         [--locks A,B,..] [--workloads A,B,..] [--fill N,N,..] [--profile NAME] \
          [--trace off|ring:CAP|sampled:RATE:CAP].. [--capture FILE.jsonl] \
          [--category NAME] [--out DIR] [--date YYYY-MM-DD] [--commit HASH]"
     );
@@ -134,14 +138,29 @@ fn main() -> ExitCode {
                         Some(l) => locks.push(l),
                         None => {
                             eprintln!(
-                                "error: unknown lock {name:?} (expected SpRWL, TLE, RW-LE, \
-                                 RWL, BRLock, PF-RWL, MCS-RWL or PRWL)"
+                                "error: unknown lock {name:?} (expected SpRWL, SNZI, BRAVO, \
+                                 TLE, RW-LE, RWL, BRLock, BRLock+bias, PF-RWL, MCS-RWL or PRWL)"
                             );
                             return usage();
                         }
                     }
                 }
                 cfg.locks = locks;
+            }
+            "--fill" => {
+                let v = match val("--fill") {
+                    Ok(v) => v,
+                    Err(code) => return code,
+                };
+                let parsed: Result<Vec<u64>, _> =
+                    v.split(',').map(|t| t.trim().parse::<u64>()).collect();
+                match parsed {
+                    Ok(f) if !f.is_empty() && f.iter().all(|&n| n >= 1) => cfg.fill_levels = f,
+                    _ => {
+                        eprintln!("error: bad fill list {v:?}");
+                        return usage();
+                    }
+                }
             }
             "--workloads" => {
                 let v = match val("--workloads") {

@@ -39,6 +39,9 @@ pub enum LockKind {
     Rwl,
     /// Big-reader lock.
     BrLock,
+    /// Big-reader lock with the BRAVO visible-readers bias layer — the
+    /// pessimistic counterpart of `Sprwl(with_bravo())`.
+    BrLockBias,
     /// Phase-fair ticket read-write lock.
     PhaseFair,
     /// Queue-based MCS-style read-write lock.
@@ -59,11 +62,14 @@ impl LockKind {
                     "Adaptive".to_string()
                 }
                 (s, sprwl::ReaderTracking::Adaptive) => format!("{}+Adaptive", s.label()),
+                (sprwl::Scheduling::Full, sprwl::ReaderTracking::Bravo) => "BRAVO".to_string(),
+                (s, sprwl::ReaderTracking::Bravo) => format!("{}+BRAVO", s.label()),
             },
             LockKind::Tle => "TLE".into(),
             LockKind::RwLe => "RW-LE".into(),
             LockKind::Rwl => "RWL".into(),
             LockKind::BrLock => "BRLock".into(),
+            LockKind::BrLockBias => "BRLock+bias".into(),
             LockKind::PhaseFair => "PF-RWL".into(),
             LockKind::Mcs => "MCS-RWL".into(),
             LockKind::Passive => "PRWL".into(),
@@ -97,6 +103,10 @@ impl LockKind {
             LockKind::RwLe => Box::new(RwLe::new(htm)),
             LockKind::Rwl => Box::new(PthreadRwLock::new()),
             LockKind::BrLock => Box::new(BrLock::new(htm.max_threads())),
+            LockKind::BrLockBias => Box::new(BrLock::with_bias(
+                htm.max_threads(),
+                sprwl_locks::BiasPolicy::default(),
+            )),
             LockKind::PhaseFair => Box::new(PhaseFairRwLock::new()),
             LockKind::Mcs => Box::new(McsRwLock::new(htm.max_threads())),
             LockKind::Passive => Box::new(PassiveRwLock::new(htm.max_threads())),

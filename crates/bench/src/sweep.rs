@@ -83,6 +83,12 @@ pub struct SweepConfig {
     /// a single results document can hold e.g. `off` next to `sampled`
     /// numbers for overhead comparisons.
     pub traces: Vec<(String, TraceConfig)>,
+    /// Fill levels (map populations) to sweep — the latency-vs-data-size
+    /// axis. Empty means each workload's default spec; non-empty overrides
+    /// the population (key space scales with it, buckets stay fixed so
+    /// chains lengthen) and suffixes each point's workload name
+    /// `#fill<population>`.
+    pub fill_levels: Vec<u64>,
     /// Result category (names the output file).
     pub category: String,
 }
@@ -109,6 +115,7 @@ impl Default for SweepConfig {
             ],
             workloads: SweepWorkload::ALL.to_vec(),
             traces: vec![("off".to_string(), TraceConfig::Off)],
+            fill_levels: Vec::new(),
             category: "sweep".to_string(),
         }
     }
@@ -154,6 +161,23 @@ pub fn run_sweep(cfg: &SweepConfig, date: &str, git_commit: &str) -> BenchResult
             .collect::<Vec<_>>()
             .join(","),
     );
+    if !cfg.fill_levels.is_empty() {
+        params.insert(
+            "fills".to_string(),
+            cfg.fill_levels
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+    }
+    // The fill axis: `None` is the workload's own spec; `Some(p)` overrides
+    // the population (and scales the key space) and tags the point.
+    let fills: Vec<Option<u64>> = if cfg.fill_levels.is_empty() {
+        vec![None]
+    } else {
+        cfg.fill_levels.iter().copied().map(Some).collect()
+    };
     let mut points = Vec::new();
     let det = matches!(cfg.mode, SweepMode::Det { .. });
     for workload in &cfg.workloads {
@@ -162,21 +186,32 @@ pub fn run_sweep(cfg: &SweepConfig, date: &str, git_commit: &str) -> BenchResult
                 continue;
             }
             for &threads in &cfg.threads {
-                for (trace_label, trace) in &cfg.traces {
-                    let (mut point, _) = run_sweep_point_traced(
-                        &cfg.profile,
-                        lock,
-                        *workload,
-                        threads,
-                        cfg.seed,
-                        &cfg.mode,
-                        trace,
-                        false,
-                    );
-                    if cfg.traces.len() > 1 {
-                        point.workload = format!("{}@{trace_label}", point.workload);
+                for fill in &fills {
+                    let mut spec = workload.spec();
+                    if let Some(population) = *fill {
+                        spec.population = population;
+                        spec.key_space = population * 2;
                     }
-                    points.push(point);
+                    for (trace_label, trace) in &cfg.traces {
+                        let (mut point, _) = run_sweep_point_spec_traced(
+                            &cfg.profile,
+                            lock,
+                            *workload,
+                            &spec,
+                            threads,
+                            cfg.seed,
+                            &cfg.mode,
+                            trace,
+                            false,
+                        );
+                        if let Some(population) = *fill {
+                            point.workload = format!("{}#fill{population}", point.workload);
+                        }
+                        if cfg.traces.len() > 1 {
+                            point.workload = format!("{}@{trace_label}", point.workload);
+                        }
+                        points.push(point);
+                    }
                 }
             }
         }
@@ -246,12 +281,45 @@ pub fn run_sweep_point_traced(
     trace: &TraceConfig,
     capture: bool,
 ) -> (BenchPoint, Vec<ThreadTrace>) {
+    run_sweep_point_spec_traced(
+        profile,
+        lock_kind,
+        workload,
+        &workload.spec(),
+        threads,
+        seed,
+        mode,
+        trace,
+        capture,
+    )
+}
+
+/// [`run_sweep_point_traced`] with an explicit hashmap spec — the
+/// fill-level axis of the sweep. The spec's population/key-space override
+/// the workload's default so one document can hold latency-vs-data-size
+/// curves (see [`SweepConfig::fill_levels`]).
+///
+/// # Panics
+///
+/// Same det-compatibility panic as [`run_sweep_point`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_sweep_point_spec_traced(
+    profile: &CapacityProfile,
+    lock_kind: &LockKind,
+    workload: SweepWorkload,
+    spec: &HashmapSpec,
+    threads: usize,
+    seed: u64,
+    mode: &SweepMode,
+    trace: &TraceConfig,
+    capture: bool,
+) -> (BenchPoint, Vec<ThreadTrace>) {
     assert!(
         matches!(mode, SweepMode::Wall { .. }) || lock_kind.det_compatible(),
         "{} parks on OS primitives and would deadlock the deterministic scheduler",
         lock_kind.name()
     );
-    let spec = workload.spec();
+    let spec = *spec;
     let scheduler = match mode {
         SweepMode::Wall { .. } => SchedulerKind::Os,
         SweepMode::Det { schedule_seed, .. } => SchedulerKind::Deterministic {
@@ -302,7 +370,13 @@ pub fn run_sweep_point_traced(
         ),
     };
     (
-        BenchPoint::from_stats(workload.name(), lock.name(), threads, &stats, elapsed_s),
+        BenchPoint::from_stats(
+            workload.name(),
+            &lock_kind.name(),
+            threads,
+            &stats,
+            elapsed_s,
+        ),
         traces,
     )
 }
@@ -572,6 +646,33 @@ mod tests {
             42,
             &det_mode(),
         );
+    }
+
+    #[test]
+    fn fill_axis_tags_points_and_records_params() {
+        let cfg = SweepConfig {
+            threads: vec![1],
+            locks: vec![LockKind::Tle],
+            workloads: vec![SweepWorkload::ReadOnly],
+            fill_levels: vec![1024, 4096],
+            mode: SweepMode::Det {
+                warmup_ops: 10,
+                ops_per_thread: 60,
+                schedule_seed: 7,
+            },
+            category: "fill".to_string(),
+            ..SweepConfig::default()
+        };
+        let r = run_sweep(&cfg, "2026-08-09", "abc1234");
+        assert_eq!(r.params["fills"], "1024,4096");
+        let names: Vec<&str> = r.points.iter().map(|p| p.workload.as_str()).collect();
+        assert_eq!(names, vec!["read-only#fill1024", "read-only#fill4096"]);
+        assert_eq!(r.file_name(), "BENCH_fill_2026-08-09.json");
+        // A fuller map means longer chains, hence more work per lookup —
+        // both points must still commit all their measured ops.
+        for p in &r.points {
+            assert_eq!(p.commits, 60);
+        }
     }
 
     #[test]

@@ -26,6 +26,7 @@ fn small_det_config() -> SweepConfig {
         ],
         workloads: vec![SweepWorkload::ReadOnly, SweepWorkload::Mixed90_10],
         traces: vec![("off".to_string(), sprwl_trace::TraceConfig::Off)],
+        fill_levels: Vec::new(),
         category: "test".to_string(),
     }
 }
@@ -165,6 +166,8 @@ fn bench_sweep_binary_rejects_bad_flags() {
         vec!["--locks", "NopeLock"],
         vec!["--workloads", "nope"],
         vec!["--threads", "0"],
+        vec!["--fill", "0"],
+        vec!["--fill", "nope"],
         vec!["--profile", "nope"],
         vec!["--frobnicate"],
     ] {

@@ -52,21 +52,56 @@ const DRAIN_TIMEOUT_NS: u64 = 2_000_000;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReaderReg {
     pub(crate) in_snzi: bool,
+    /// Bravo fast path: the visible-table slot this reader published in.
+    pub(crate) vslot: Option<usize>,
+    /// Bravo: whether this arrival re-armed the bias word (traced).
+    pub(crate) rearmed: bool,
+}
+
+impl ReaderReg {
+    pub(crate) fn flags() -> Self {
+        Self {
+            in_snzi: false,
+            vslot: None,
+            rearmed: false,
+        }
+    }
+
+    pub(crate) fn snzi() -> Self {
+        Self {
+            in_snzi: true,
+            vslot: None,
+            rearmed: false,
+        }
+    }
+
+    pub(crate) fn bravo_visible(vslot: usize, rearmed: bool) -> Self {
+        Self {
+            in_snzi: false,
+            vslot: Some(vslot),
+            rearmed,
+        }
+    }
+
+    pub(crate) fn bravo_snzi(rearmed: bool) -> Self {
+        Self {
+            in_snzi: true,
+            vslot: None,
+            rearmed,
+        }
+    }
 }
 
 impl SpRwl {
     /// The current tracking mode word (static modes never consult it).
     pub(crate) fn mode(&self, mem: &SimMemory) -> u64 {
-        match self.mode_cell {
-            Some(cell) => mem.peek(cell),
-            None => unreachable!("mode() is only called in adaptive tracking"),
-        }
+        self.readers.mode(mem)
     }
 
     /// Records per-role durations and, on the sampling thread, evaluates
     /// the switching policy. Called at the end of every critical section.
     pub(crate) fn adapt_after_section(&self, t: &mut LockThread<'_>, is_reader: bool, dur: u64) {
-        if self.mode_cell.is_none() || t.tid() != 0 {
+        if self.readers.mode_cell.is_none() || t.tid() != 0 {
             return;
         }
         let slot = if is_reader {
@@ -99,7 +134,7 @@ impl SpRwl {
         } else if mode == MODE_SNZI && ratio <= RATIO_LO {
             self.last_switch_ns.store(now);
             // Instantaneous and safe: flags are always maintained.
-            let cell = self.mode_cell.expect("adaptive");
+            let cell = self.readers.mode_cell.expect("adaptive");
             let _ = d.compare_exchange(cell, MODE_SNZI, MODE_FLAGS);
         }
     }
@@ -109,7 +144,7 @@ impl SpRwl {
     /// timeout, which is always safe because writers scan flags throughout
     /// the transition.
     pub(crate) fn switch_to_snzi(&self, d: &Direct<'_>, me: usize, mem: &SimMemory) {
-        let cell = self.mode_cell.expect("adaptive");
+        let cell = self.readers.mode_cell.expect("adaptive");
         if d.compare_exchange(cell, MODE_FLAGS, MODE_TRANS_TO_SNZI)
             .is_err()
         {
@@ -123,10 +158,10 @@ impl SpRwl {
                 continue;
             }
             let mut spin = clock::SpinWait::new();
-            while mem.peek(self.state[i]) == STATE_READER && clock::now() < deadline {
+            while mem.peek(self.readers.state[i]) == STATE_READER && clock::now() < deadline {
                 spin.snooze();
             }
-            if mem.peek(self.state[i]) == STATE_READER {
+            if mem.peek(self.readers.state[i]) == STATE_READER {
                 // Timed out: roll the transition back (safe — writers have
                 // been scanning flags all along) and try again later.
                 let _ = d.compare_exchange(cell, MODE_TRANS_TO_SNZI, MODE_FLAGS);
@@ -143,6 +178,9 @@ impl SpRwl {
             crate::config::ReaderTracking::Flags => false,
             crate::config::ReaderTracking::Snzi => true,
             crate::config::ReaderTracking::Adaptive => self.mode(mem) == MODE_SNZI,
+            // Bravo always queries the SNZI at commit (it is the backstop);
+            // the bias word is the extra, cheaper structure on top.
+            crate::config::ReaderTracking::Bravo => true,
         }
     }
 }

@@ -131,12 +131,16 @@ impl SpRwlPair {
         let adv_outer = self.outer.cfg.scheduling.readers_wait();
         if adv_outer {
             self.outer.clock_w[tid].store(self.outer.est.end_time(sec));
-            t.ctx.direct().store(self.outer.state[tid], STATE_WRITER);
+            t.ctx
+                .direct()
+                .store(self.outer.readers.state[tid], STATE_WRITER);
         }
         let adv_inner = inner_mode == InnerMode::Write && self.inner.cfg.scheduling.readers_wait();
         if adv_inner {
             self.inner.clock_w[tid].store(self.inner.est.end_time(sec));
-            t.ctx.direct().store(self.inner.state[tid], STATE_WRITER);
+            t.ctx
+                .direct()
+                .store(self.inner.readers.state[tid], STATE_WRITER);
         }
 
         let mut attempts = 0u32;
@@ -185,11 +189,15 @@ impl SpRwlPair {
 
         if let Some(r) = committed {
             if adv_inner {
-                t.ctx.direct().store(self.inner.state[tid], STATE_EMPTY);
+                t.ctx
+                    .direct()
+                    .store(self.inner.readers.state[tid], STATE_EMPTY);
                 self.inner.clock_w[tid].store(0);
             }
             if adv_outer {
-                t.ctx.direct().store(self.outer.state[tid], STATE_EMPTY);
+                t.ctx
+                    .direct()
+                    .store(self.outer.readers.state[tid], STATE_EMPTY);
                 self.outer.clock_w[tid].store(0);
             }
             let latency_ns = clock::now() - start;
@@ -262,7 +270,9 @@ impl SpRwlPair {
             }
             None => {
                 if adv_inner {
-                    t.ctx.direct().store(self.inner.state[tid], STATE_EMPTY);
+                    t.ctx
+                        .direct()
+                        .store(self.inner.readers.state[tid], STATE_EMPTY);
                     self.inner.clock_w[tid].store(0);
                 }
                 self.inner.fallback.release(&d);
@@ -270,7 +280,9 @@ impl SpRwlPair {
             }
         }
         if adv_outer {
-            t.ctx.direct().store(self.outer.state[tid], STATE_EMPTY);
+            t.ctx
+                .direct()
+                .store(self.outer.readers.state[tid], STATE_EMPTY);
             self.outer.clock_w[tid].store(0);
         }
         self.outer.fallback.release(&d);

@@ -65,6 +65,13 @@ pub enum ReaderTracking {
     /// to SNZI when readers dwarf writers, and back — with a sound
     /// transition protocol (see [`crate::adaptive`]).
     Adaptive,
+    /// BRAVO-style biased admission (Dice & Kogan): while bias is armed,
+    /// readers publish with a single CAS into a hashed visible-readers
+    /// table and writers' commit-time read-set is two lines (bias word +
+    /// SNZI root); writers revoke bias by draining the table — cost
+    /// proportional to *active* readers, not registered threads. The SNZI
+    /// is the backstop when bias is off (see [`crate::reader_table`]).
+    Bravo,
 }
 
 /// The δ slack of the writer-synchronization scheme (§3.2.2): a delayed
@@ -215,6 +222,15 @@ impl SprwlConfig {
         }
     }
 
+    /// The full algorithm with BRAVO-biased reader admission (SNZI as the
+    /// revocation backstop).
+    pub fn with_bravo() -> Self {
+        Self {
+            reader_tracking: ReaderTracking::Bravo,
+            ..Self::default()
+        }
+    }
+
     /// The full algorithm with self-tuning reader tracking (§5 future
     /// work: automatically enable/disable SNZI).
     pub fn adaptive() -> Self {
@@ -263,6 +279,10 @@ mod tests {
         assert_eq!(
             SprwlConfig::with_snzi().reader_tracking,
             ReaderTracking::Snzi
+        );
+        assert_eq!(
+            SprwlConfig::with_bravo().reader_tracking,
+            ReaderTracking::Bravo
         );
     }
 }

@@ -60,6 +60,7 @@ pub mod estimator;
 mod lock;
 pub mod packed;
 mod reader;
+pub mod reader_table;
 pub mod tuner;
 mod writer;
 

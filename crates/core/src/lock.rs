@@ -4,15 +4,13 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use htm_sim::{CellId, Direct, Htm, SimMemory, Tx, TxResult};
-use snzi::Snzi;
-use sprwl_locks::{
-    GlobalLock, LockThread, RwSync, SectionBody, SectionId, VersionedLock, ABORT_READER,
-};
+use htm_sim::{Direct, Htm, SimMemory, Tx, TxResult};
+use sprwl_locks::{GlobalLock, LockThread, RwSync, SectionBody, SectionId, VersionedLock};
 
-use crate::adaptive::{ReaderReg, MODE_SNZI, MODE_TRANS_TO_SNZI};
+use crate::adaptive::ReaderReg;
 use crate::config::{ReaderTracking, SprwlConfig};
 use crate::estimator::DurationEstimator;
+use crate::reader_table::ReaderTable;
 
 /// `state[i]` values (Alg. 1 of the paper).
 pub(crate) const STATE_EMPTY: u64 = 0;
@@ -27,7 +25,7 @@ pub(crate) const NONE: u64 = u64::MAX;
 pub(crate) struct Slot(pub AtomicU64);
 
 impl Slot {
-    fn new(v: u64) -> Self {
+    pub(crate) fn new(v: u64) -> Self {
         Self(AtomicU64::new(v))
     }
 
@@ -120,10 +118,10 @@ pub struct SpRwl {
     pub(crate) cfg: SprwlConfig,
     pub(crate) n: usize,
     pub(crate) fallback: Fallback,
-    /// Per-thread state flags (⊥/READER/WRITER), each on its own simulated
-    /// cache line so writers' commit-time scans conflict only with the
-    /// owner's announcements.
-    pub(crate) state: Vec<CellId>,
+    /// Every reader-tracking structure writers consult — the per-thread
+    /// state flags, the SNZI, the adaptive mode word and the BRAVO bias
+    /// machinery — behind one abstraction (see [`crate::reader_table`]).
+    pub(crate) readers: ReaderTable,
     /// Writers' expected end times (`clock_w`).
     pub(crate) clock_w: Box<[Slot]>,
     /// Readers' expected end times (`clock_r`).
@@ -132,15 +130,11 @@ pub struct SpRwl {
     pub(crate) waiting_for: Box<[Slot]>,
     /// First fallback-lock version each blocked reader observed (§3.3).
     pub(crate) waiting_version: Box<[Slot]>,
-    pub(crate) snzi: Option<Snzi>,
     pub(crate) est: DurationEstimator,
     /// Per-section skip budget for the predictive readers-try-HTM variant
     /// (§3.4): non-zero means "this section recently overflowed capacity;
     /// go straight to the uninstrumented path".
     pub(crate) htm_skip: Box<[Slot]>,
-    /// Adaptive tracking (§5 future work): the mode word, in simulated
-    /// memory so writers subscribe to it. `None` for static tracking.
-    pub(crate) mode_cell: Option<CellId>,
     /// Global EWMA of read critical-section durations (adaptive policy).
     pub(crate) avg_read_ns: Slot,
     /// Global EWMA of write critical-section durations (adaptive policy).
@@ -163,21 +157,37 @@ impl SpRwl {
     ///
     /// Panics if the simulated memory is exhausted.
     pub fn new(htm: &Htm, cfg: SprwlConfig) -> Self {
-        let n = htm.max_threads();
+        Self::with_threads(htm, cfg, htm.max_threads())
+            .expect("htm.max_threads() is always a valid thread count")
+    }
+
+    /// Creates an SpRWL instance sized for exactly `n` threads — thread ids
+    /// `0..n` may enter sections; anything else is rejected up front with a
+    /// clear error at section entry instead of an index panic deep inside a
+    /// scheduling scan.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when `n` is zero or exceeds the HTM
+    /// instance's registered thread capacity.
+    pub fn with_threads(htm: &Htm, cfg: SprwlConfig, n: usize) -> Result<Self, String> {
+        if n == 0 {
+            return Err("SpRWL needs at least one thread slot (n = 0)".into());
+        }
+        if n > htm.max_threads() {
+            return Err(format!(
+                "SpRWL sized for {n} threads, but the HTM instance registers only {} \
+                 thread contexts",
+                htm.max_threads()
+            ));
+        }
         let mem = htm.memory();
         let fallback = if cfg.versioned_sgl {
             Fallback::Versioned(VersionedLock::new(mem))
         } else {
             Fallback::Plain(GlobalLock::new(mem))
         };
-        let snzi = match cfg.reader_tracking {
-            ReaderTracking::Flags => None,
-            ReaderTracking::Snzi | ReaderTracking::Adaptive => Some(Snzi::new(mem, n)),
-        };
-        let mode_cell = match cfg.reader_tracking {
-            ReaderTracking::Adaptive => Some(mem.alloc_line_aligned(1).cell(0)),
-            _ => None,
-        };
+        let readers = ReaderTable::new(mem, n, cfg.reader_tracking);
         let est = DurationEstimator::with_default(
             cfg.max_sections,
             cfg.sample_all_threads,
@@ -187,24 +197,34 @@ impl SpRwl {
         let tuner = cfg
             .self_tuning
             .then(|| crate::tuner::SectionTuner::new(cfg.max_sections));
-        Self {
+        Ok(Self {
             n,
             fallback,
-            state: mem.alloc_padded(n),
+            readers,
             clock_w: slots(n, 0),
             clock_r: slots(n, 0),
             waiting_for: slots(n, NONE),
             waiting_version: slots(n, NONE),
-            snzi,
             est,
             htm_skip,
-            mode_cell,
             avg_read_ns: Slot::new(0),
             avg_write_ns: Slot::new(0),
             last_switch_ns: Slot::new(0),
             tuner,
             cfg,
-        }
+        })
+    }
+
+    /// Rejects a thread id outside the registered range with a clear
+    /// message (called at every section entry).
+    #[inline]
+    pub(crate) fn check_tid(&self, tid: usize) {
+        assert!(
+            tid < self.n,
+            "thread id {tid} out of range: this SpRWL instance is sized for {} threads \
+             (construct it with SpRwl::with_threads to size it explicitly)",
+            self.n
+        );
     }
 
     /// With the default (paper) configuration.
@@ -231,63 +251,31 @@ impl SpRwl {
             (crate::config::Scheduling::Full, ReaderTracking::Snzi) => "SNZI",
             (_, ReaderTracking::Snzi) => "SNZI-variant",
             (_, ReaderTracking::Adaptive) => "Adaptive",
+            (crate::config::Scheduling::Full, ReaderTracking::Bravo) => "BRAVO",
+            (_, ReaderTracking::Bravo) => "BRAVO-variant",
         }
     }
 
     // ---- shared helpers ----
 
     /// `check_for_readers()` (Alg. 1): run inside the writer's transaction
-    /// just before commit. Aborts with [`ABORT_READER`] if any concurrent
+    /// just before commit. Aborts with `ABORT_READER` if any concurrent
     /// reader is active. In `Flags` mode this subscribes every thread's
-    /// state line; in `Snzi` mode, a single line.
+    /// state line; in `Snzi` mode a single line; in `Bravo` mode two (the
+    /// bias word and the SNZI root).
     pub(crate) fn check_for_readers(&self, tx: &mut Tx<'_>, me: usize) -> TxResult<()> {
         if self.cfg.debug_skip_commit_reader_check {
             // Test-only fault injection: pretend no reader is ever active,
             // re-opening the torn-read window the explorer hunts for.
             return Ok(());
         }
-        let use_snzi = match self.cfg.reader_tracking {
-            ReaderTracking::Flags => false,
-            ReaderTracking::Snzi => true,
-            ReaderTracking::Adaptive => {
-                // Subscribing the mode word means a concurrent switch dooms
-                // this transaction — it retries under the new mode.
-                let mode = tx.read(self.mode_cell.expect("adaptive"))?;
-                mode == MODE_SNZI
-            }
-        };
-        if use_snzi {
-            if self.snzi.as_ref().expect("snzi tracking").query(tx)? {
-                return tx.abort(ABORT_READER);
-            }
-            return Ok(());
-        }
-        // Flags scan: correct in every mode, since readers always maintain
-        // their state flags.
-        for i in 0..self.n {
-            if i != me && tx.read(self.state[i])? == STATE_READER {
-                return tx.abort(ABORT_READER);
-            }
-        }
-        Ok(())
+        self.readers.check_at_commit(tx, me)
     }
 
     /// Whether any reader other than `me` is currently active (untracked
     /// probe; used by the fallback path's `wait_for_readers`).
     pub(crate) fn any_reader_active(&self, d: &Direct<'_>, me: usize) -> bool {
-        match self.cfg.reader_tracking {
-            ReaderTracking::Snzi => self
-                .snzi
-                .as_ref()
-                .expect("snzi tracking")
-                .query_untracked(d),
-            // Flags are maintained in every mode, so the scan is always
-            // correct (and runs outside transactions, so it costs no
-            // footprint).
-            ReaderTracking::Flags | ReaderTracking::Adaptive => (0..self.n)
-                .filter(|&i| i != me)
-                .any(|i| d.htm().memory().peek(self.state[i]) == STATE_READER),
-        }
+        self.readers.any_active(d, me)
     }
 
     /// `wait_for_readers()` (Alg. 1): the fallback writer, already holding
@@ -299,44 +287,17 @@ impl SpRwl {
         }
     }
 
-    /// Announces this thread as an active reader. The untracked store to
-    /// the state line (and/or the SNZI root, on 0→1 transitions) is what
-    /// dooms in-flight writers that already passed their reader check —
-    /// the paper's strong-isolation argument.
+    /// Announces this thread as an active reader (see
+    /// [`ReaderTable::arrive`] for the per-mode protocol and ordering
+    /// arguments).
     pub(crate) fn flag_reader(&self, d: &Direct<'_>, tid: usize) -> ReaderReg {
-        // The state flag is always maintained: the scheduling scans (which
-        // run outside transactions) use it to find reader end times, and it
-        // keeps a flags scan correct in every tracking mode — the key to
-        // sound adaptive switching.
-        //
-        // Ordering matters in adaptive mode: the flag is stored *before*
-        // the mode is sampled. In the SeqCst total order, either this store
-        // precedes the transition controller's drain scan (which then waits
-        // for us), or our mode sample follows its mode CAS (and we register
-        // in the SNZI too). Sampling first would open a window where a
-        // reader is visible in neither structure the writers check.
-        d.store(self.state[tid], STATE_READER);
-        let in_snzi = match self.cfg.reader_tracking {
-            ReaderTracking::Flags => false,
-            ReaderTracking::Snzi => true,
-            ReaderTracking::Adaptive => {
-                let mode = self.mode(d.htm().memory());
-                mode == MODE_SNZI || mode == MODE_TRANS_TO_SNZI
-            }
-        };
-        if in_snzi {
-            self.snzi.as_ref().expect("snzi tracking").arrive(d, tid);
-        }
-        ReaderReg { in_snzi }
+        self.readers.arrive(d, tid)
     }
 
     /// Withdraws the reader announcement (balancing whatever `flag_reader`
-    /// registered, even across a mode switch).
+    /// registered, even across a mode switch or bias revocation).
     pub(crate) fn unflag_reader(&self, d: &Direct<'_>, tid: usize, reg: ReaderReg) {
-        d.store(self.state[tid], STATE_EMPTY);
-        if reg.in_snzi {
-            self.snzi.as_ref().expect("snzi tracking").depart(d, tid);
-        }
+        self.readers.depart(d, tid, reg)
     }
 
     // ---- white-box test hooks (versioned-SGL bypass, §3.3) ----
@@ -359,6 +320,25 @@ impl SpRwl {
     #[doc(hidden)]
     pub fn debug_fallback_peek(&self, mem: &SimMemory) -> (u64, bool) {
         self.fallback.peek(mem)
+    }
+
+    /// Test hook: the BRAVO bias word (0 = off, 1 = on, 2 = revoking).
+    /// Only meaningful under [`ReaderTracking::Bravo`].
+    #[doc(hidden)]
+    pub fn debug_bias_state(&self, mem: &SimMemory) -> u64 {
+        self.readers.bias_state(mem)
+    }
+
+    /// Test hook: the tuner's bias re-arm knob.
+    #[doc(hidden)]
+    pub fn debug_set_bias_enabled(&self, on: bool) {
+        self.readers.set_bias_enabled(on)
+    }
+
+    /// Test hook: whether readers may currently re-arm bias.
+    #[doc(hidden)]
+    pub fn debug_bias_enabled(&self) -> bool {
+        self.readers.bias_enabled()
     }
 
     /// Test hook: the §3.3 registration slot for `tid` (`u64::MAX` = none).
@@ -393,20 +373,11 @@ impl RwSync for SpRwl {
     }
 
     fn check_quiescent(&self, mem: &SimMemory) -> Result<(), String> {
-        for i in 0..self.n {
-            let s = mem.peek(self.state[i]);
-            if s != STATE_EMPTY {
-                return Err(format!(
-                    "SpRWL: state[{i}] is {s} (not EMPTY) at quiescence"
-                ));
-            }
-        }
+        self.readers
+            .check_quiescent(mem)
+            .map_err(|e| format!("SpRWL: {e}"))?;
         if self.fallback.is_locked_peek(mem) {
             return Err("SpRWL: fallback lock still held at quiescence".into());
-        }
-        if let Some(snzi) = &self.snzi {
-            snzi.check_balanced(mem)
-                .map_err(|e| format!("SpRWL: {e}"))?;
         }
         for i in 0..self.n {
             if self.waiting_for[i].load() != NONE {

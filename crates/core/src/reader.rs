@@ -38,6 +38,7 @@ impl SpRwl {
     ) -> u64 {
         let start = clock::now();
         let tid = t.tid();
+        self.check_tid(tid);
         let mem = t.ctx.htm().memory();
         t.trace.push(EventKind::SectionBegin {
             role: TraceRole::Reader,
@@ -127,6 +128,11 @@ impl SpRwl {
             self.unflag_reader(&d, tid, reg);
             self.reader_wait_for_gl(tid, mem);
         };
+        if reg.rearmed {
+            // This arrival flipped the BRAVO bias word back on after a
+            // revocation cooldown.
+            t.trace.push(EventKind::BiasRearm);
+        }
         t.trace.push(EventKind::ReaderArrive);
 
         let t0 = clock::now();
@@ -182,7 +188,7 @@ impl SpRwl {
             if i == tid {
                 continue;
             }
-            if mem.peek(self.state[i]) == STATE_WRITER {
+            if mem.peek(self.readers.state[i]) == STATE_WRITER {
                 let end = self.clock_w[i].load();
                 if end >= max_end {
                     max_end = end;
@@ -223,7 +229,7 @@ impl SpRwl {
             clock::spin_until(advertised_end.min(deadline));
         }
         let mut spin = clock::SpinWait::new();
-        while mem.peek(self.state[w]) == STATE_WRITER && clock::now() < deadline {
+        while mem.peek(self.readers.state[w]) == STATE_WRITER && clock::now() < deadline {
             spin.snooze();
         }
         self.waiting_for[tid].store(NONE);
@@ -299,7 +305,7 @@ impl SpRwl {
         }
         (0..self.n).any(|i| {
             i != tid
-                && (mem.peek(self.state[i]) == STATE_WRITER
+                && (mem.peek(self.readers.state[i]) == STATE_WRITER
                     || (self.cfg.scheduling.readers_join() && self.waiting_for[i].load() != NONE))
         })
     }

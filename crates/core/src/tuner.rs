@@ -171,7 +171,7 @@ impl SpRwl {
         // flags suggests the commit-time scan itself is the hot set —
         // request the flags→SNZI transition through the existing protocol,
         // honouring its hysteresis clock.
-        if self.mode_cell.is_some() && conflicts >= SCAN_PRESSURE_THRESHOLD {
+        if self.readers.mode_cell.is_some() && conflicts >= SCAN_PRESSURE_THRESHOLD {
             let now = clock::now();
             if now.saturating_sub(self.last_switch_ns.load()) >= SWITCH_COOLDOWN_NS {
                 let mem = t.ctx.htm().memory();
@@ -187,6 +187,29 @@ impl SpRwl {
                         });
                     }
                 }
+            }
+        }
+
+        // (d) BRAVO bias: sustained writer pressure (reader-check aborts
+        // keep killing writers, each paying a full revocation drain) means
+        // the bias is hurting — stop readers from re-arming it, making
+        // `BIAS_OFF` sticky after the next revocation. A fully quiet window
+        // hands the fast path back to the readers.
+        if self.cfg.reader_tracking == crate::config::ReaderTracking::Bravo {
+            if readers >= PRESSURE_THRESHOLD && self.readers.bias_enabled() {
+                self.readers.set_bias_enabled(false);
+                t.trace.push(EventKind::TuneDecision {
+                    knob: "bravo-bias",
+                    sec: sec.0,
+                    value: 0,
+                });
+            } else if readers == 0 && !self.readers.bias_enabled() {
+                self.readers.set_bias_enabled(true);
+                t.trace.push(EventKind::TuneDecision {
+                    knob: "bravo-bias",
+                    sec: sec.0,
+                    value: 1,
+                });
             }
         }
     }

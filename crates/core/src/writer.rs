@@ -20,6 +20,7 @@ impl SpRwl {
     ) -> u64 {
         let start = clock::now();
         let tid = t.tid();
+        self.check_tid(tid);
         let mem = t.ctx.htm().memory();
         t.trace.push(EventKind::SectionBegin {
             role: TraceRole::Writer,
@@ -33,12 +34,21 @@ impl SpRwl {
         let advertise = self.cfg.scheduling.readers_wait();
         if advertise {
             self.clock_w[tid].store(self.est.end_time(sec));
-            t.ctx.direct().store(self.state[tid], STATE_WRITER);
+            t.ctx.direct().store(self.readers.state[tid], STATE_WRITER);
         }
 
         let mut attempts = 0u32;
         let committed = loop {
             self.fallback.wait_until_free(mem);
+            // BRAVO: the commit-time check requires the bias word verifiably
+            // OFF inside the transaction, so revoke (untracked, draining the
+            // visible-readers table) before attempting. One peek when bias
+            // is already off; drain cost proportional to *active* readers.
+            if self.cfg.reader_tracking == crate::config::ReaderTracking::Bravo {
+                if let Some((occupied, scanned)) = self.readers.revoke_bias(&t.ctx.direct()) {
+                    t.trace.push(EventKind::BiasRevoke { occupied, scanned });
+                }
+            }
             attempts += 1;
             t.trace.push(EventKind::TxAttempt {
                 role: TraceRole::Writer,
@@ -86,7 +96,7 @@ impl SpRwl {
 
         if let Some(r) = committed {
             if advertise {
-                t.ctx.direct().store(self.state[tid], STATE_EMPTY);
+                t.ctx.direct().store(self.readers.state[tid], STATE_EMPTY);
                 self.clock_w[tid].store(0);
             }
             let latency_ns = clock::now() - start;
@@ -125,7 +135,7 @@ impl SpRwl {
         // WRITER flag with a stale end time and spin against it until the
         // deadline expired.
         if advertise {
-            t.ctx.direct().store(self.state[tid], STATE_EMPTY);
+            t.ctx.direct().store(self.readers.state[tid], STATE_EMPTY);
             self.clock_w[tid].store(0);
         }
         self.fallback.release(&t.ctx.direct());
@@ -163,7 +173,7 @@ impl SpRwl {
             if i == tid {
                 continue;
             }
-            if mem.peek(self.state[i]) == STATE_READER {
+            if mem.peek(self.readers.state[i]) == STATE_READER {
                 last_reader_end = last_reader_end.max(self.clock_r[i].load());
             }
         }
@@ -205,6 +215,6 @@ impl SpRwl {
     /// Test hook: the commit-time reader check exposed for white-box tests.
     #[doc(hidden)]
     pub fn any_reader_flag_set(&self, mem: &htm_sim::SimMemory, me: usize) -> bool {
-        (0..self.n).any(|i| i != me && mem.peek(self.state[i]) == STATE_READER)
+        (0..self.n).any(|i| i != me && mem.peek(self.readers.state[i]) == STATE_READER)
     }
 }

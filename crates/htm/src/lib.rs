@@ -69,6 +69,7 @@ pub mod clock;
 pub mod config;
 mod directory;
 pub mod memory;
+pub mod registry;
 pub mod sched;
 mod slots;
 pub mod stats;
@@ -78,6 +79,7 @@ mod util;
 pub use access::{AccessMode, Direct, MemAccess, Suspended};
 pub use config::{CapacityProfile, ConflictPolicy, HtmConfig, SchedulerKind};
 pub use memory::{CellId, LineId, Region, SimMemory};
+pub use registry::SlotRegistry;
 pub use sched::{
     DecisionRecord, DetScheduler, OsScheduler, SchedulePolicy, SchedulePolicyKind, Scheduler,
     SleepSetLite, YieldKind,

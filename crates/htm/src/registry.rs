@@ -1,0 +1,177 @@
+//! Dynamic thread-slot registry: which hardware-thread contexts are live.
+//!
+//! The runtime used to track claimed contexts in a plain
+//! `Box<[AtomicBool]>` indexed by a caller-chosen `tid` — a *static*
+//! registration table: thread pools could never pick a free slot at
+//! runtime, and the bools shared cache lines, so claim/release churn on
+//! one thread invalidated its neighbours' lines. This module replaces it
+//! with a padded, sharded slot array supporting both the historical
+//! claim-by-tid path ([`SlotRegistry::claim`]) and dynamic acquisition
+//! ([`SlotRegistry::acquire`]), the prerequisite for thread pools that
+//! grow and shrink while a lock is live.
+//!
+//! Layout: one word per slot, each on its own cache line (the same `Pad`
+//! idiom as the transaction table), so a slot's claim/release traffic
+//! never false-shares with a neighbour. Acquisition scans are *sharded*:
+//! a rotating hint spreads concurrent acquirers across `SHARD` slot
+//! groups so they do not all contend on slot 0.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use crate::util::Pad;
+
+/// Slots per shard of the acquisition scan. Concurrent acquirers start
+/// their scans one shard apart, so under burst registration each lands
+/// on a free slot without racing the others' CAS traffic.
+const SHARD: usize = 8;
+
+const FREE: u64 = 0;
+const CLAIMED: u64 = 1;
+
+/// Padded per-slot claim words plus the rotating acquisition hint.
+#[derive(Debug)]
+pub struct SlotRegistry {
+    slots: Box<[Pad<AtomicU64>]>,
+    /// Next shard an [`SlotRegistry::acquire`] scan starts from.
+    hint: Pad<AtomicUsize>,
+}
+
+impl SlotRegistry {
+    /// A registry with `n` free slots.
+    pub fn new(n: usize) -> Self {
+        let mut v = Vec::with_capacity(n);
+        v.resize_with(n, || Pad(AtomicU64::new(FREE)));
+        Self {
+            slots: v.into_boxed_slice(),
+            hint: Pad(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Number of slots (free or claimed).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the registry has no slots at all.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Claims a specific slot. `false` means it was already claimed.
+    pub fn claim(&self, slot: usize) -> bool {
+        self.slots[slot]
+            .0
+            .compare_exchange(FREE, CLAIMED, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    /// Claims *some* free slot, scanning from a rotating shard offset, and
+    /// returns its index. `None` means every slot is claimed.
+    pub fn acquire(&self) -> Option<usize> {
+        let n = self.slots.len();
+        if n == 0 {
+            return None;
+        }
+        let start = (self.hint.0.fetch_add(1, Ordering::SeqCst) * SHARD) % n;
+        for i in 0..n {
+            let slot = (start + i) % n;
+            if self.claim(slot) {
+                return Some(slot);
+            }
+        }
+        None
+    }
+
+    /// Releases a claimed slot so it can be acquired again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot was not claimed — a double release is always a
+    /// lifecycle bug worth failing loudly on.
+    pub fn release(&self, slot: usize) {
+        let was = self.slots[slot].0.swap(FREE, Ordering::SeqCst);
+        assert_eq!(was, CLAIMED, "slot {slot} released while free");
+    }
+
+    /// Whether a slot is currently claimed.
+    pub fn is_claimed(&self, slot: usize) -> bool {
+        self.slots[slot].0.load(Ordering::SeqCst) == CLAIMED
+    }
+
+    /// Number of currently claimed slots.
+    pub fn active(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.0.load(Ordering::SeqCst) == CLAIMED)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claim_release_cycle() {
+        let r = SlotRegistry::new(4);
+        assert_eq!(r.len(), 4);
+        assert!(r.claim(2));
+        assert!(!r.claim(2), "double claim must fail");
+        assert!(r.is_claimed(2));
+        assert_eq!(r.active(), 1);
+        r.release(2);
+        assert!(!r.is_claimed(2));
+        assert!(r.claim(2), "released slot is claimable again");
+    }
+
+    #[test]
+    #[should_panic(expected = "released while free")]
+    fn double_release_panics() {
+        let r = SlotRegistry::new(2);
+        assert!(r.claim(0));
+        r.release(0);
+        r.release(0);
+    }
+
+    #[test]
+    fn acquire_finds_every_slot_then_exhausts() {
+        let r = SlotRegistry::new(3);
+        let mut got: Vec<usize> = (0..3).map(|_| r.acquire().expect("free slot")).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2]);
+        assert_eq!(r.acquire(), None, "all slots claimed");
+        r.release(1);
+        assert_eq!(r.acquire(), Some(1));
+    }
+
+    #[test]
+    fn acquire_spreads_across_shards() {
+        // With > SHARD slots, consecutive acquirers start in different
+        // shards: the first two acquisitions must not be adjacent slots.
+        let r = SlotRegistry::new(4 * SHARD);
+        let a = r.acquire().unwrap();
+        let b = r.acquire().unwrap();
+        assert_ne!(a / SHARD, b / SHARD, "scans should start a shard apart");
+    }
+
+    #[test]
+    fn concurrent_acquire_is_exclusive() {
+        let r = std::sync::Arc::new(SlotRegistry::new(16));
+        let mut handles = Vec::new();
+        for _ in 0..16 {
+            let r = std::sync::Arc::clone(&r);
+            handles.push(std::thread::spawn(move || r.acquire().expect("slot")));
+        }
+        let mut got: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        got.sort_unstable();
+        got.dedup();
+        assert_eq!(got.len(), 16, "every thread got a distinct slot");
+    }
+
+    #[test]
+    fn empty_registry_never_acquires() {
+        let r = SlotRegistry::new(0);
+        assert!(r.is_empty());
+        assert_eq!(r.acquire(), None);
+    }
+}

@@ -124,6 +124,10 @@ impl DetState {
 ///   [`crate::ThreadCtx`]; registration blocks until all have arrived
 ///   (a start barrier that erases OS spawn-order nondeterminism), so
 ///   claiming fewer contexts than `participants` deadlocks by design.
+/// * After the barrier releases, a context released mid-run may be
+///   re-claimed (dynamic thread churn): the re-registrant joins the
+///   running schedule at its next pick instead of re-arming the barrier,
+///   even when every other participant has already deregistered.
 /// * Participating threads must not block on OS primitives the scheduler
 ///   cannot see (condvars, channels, `std::sync::Barrier`) while they hold
 ///   the virtual CPU — spin-and-snooze waits, which route through
@@ -183,7 +187,11 @@ impl DetScheduler {
 
 impl Scheduler for DetScheduler {
     /// Blocks until every participant has registered *and* the seeded
-    /// picker selects this thread for the first time.
+    /// picker selects this thread for the first time. Once the start
+    /// barrier has released, later registrants (mid-run churn: a thread
+    /// released its context and claimed a fresh one) simply become
+    /// runnable and wait for their next pick — including restarting the
+    /// schedule when every other participant already left.
     fn register(&self, tid: u32) {
         let mut st = self.inner.lock();
         let i = tid as usize;
@@ -202,6 +210,11 @@ impl Scheduler for DetScheduler {
             st.started = true;
             st.current = st.pick(PickReason::Start);
             self.cv.notify_all();
+        } else if st.started && st.current.is_none() {
+            // Everyone else deregistered while this thread was between
+            // contexts; the schedule must restart or it waits forever.
+            st.current = st.pick(PickReason::Start);
+            self.cv.notify_all();
         }
         while !(st.started && st.current == Some(tid)) {
             self.cv.wait(&mut st);
@@ -217,10 +230,10 @@ impl Scheduler for DetScheduler {
         st.threads[i] = Slot::Absent;
         st.registered -= 1;
         if st.registered == 0 {
-            // Last one out resets the barrier so the scheduler could host
-            // a fresh wave of claims (harnesses normally build a new Htm
-            // per run instead).
-            st.started = false;
+            // `started` stays set: the start barrier is a first-wave
+            // device (it erases OS spawn-order nondeterminism), and a
+            // churning thread that re-registers after everyone else left
+            // must rejoin the run, not wait for a full house again.
             st.current = None;
         } else if st.current == Some(tid) {
             st.current = st.pick(PickReason::Exit);
@@ -371,6 +384,77 @@ mod tests {
             .collect();
         assert_eq!(picks, replayed);
         assert!(replay.policy.divergence().is_none());
+    }
+
+    #[test]
+    fn churned_thread_rejoins_the_running_schedule() {
+        let s = Arc::new(DetScheduler::new(3, 2));
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let churner = {
+            let (s, log) = (Arc::clone(&s), Arc::clone(&log));
+            std::thread::spawn(move || {
+                s.register(0);
+                for _ in 0..10 {
+                    log.lock().push(0u32);
+                    s.yield_point(0, YieldKind::Access);
+                }
+                // Mid-run churn: leave and come back.
+                s.deregister(0);
+                s.register(0);
+                for _ in 0..10 {
+                    log.lock().push(0u32);
+                    s.yield_point(0, YieldKind::Access);
+                }
+                s.deregister(0);
+            })
+        };
+        let steady = {
+            let (s, log) = (Arc::clone(&s), Arc::clone(&log));
+            std::thread::spawn(move || {
+                s.register(1);
+                for _ in 0..30 {
+                    log.lock().push(1u32);
+                    s.yield_point(1, YieldKind::Access);
+                }
+                s.deregister(1);
+            })
+        };
+        churner.join().unwrap();
+        steady.join().unwrap();
+        assert_eq!(log.lock().len(), 50, "every iteration of both ran");
+    }
+
+    #[test]
+    fn reregistration_after_everyone_left_does_not_deadlock() {
+        let s = Arc::new(DetScheduler::new(5, 2));
+        let b = Arc::new(std::sync::Barrier::new(2));
+        let churner = {
+            let (s, b) = (Arc::clone(&s), Arc::clone(&b));
+            std::thread::spawn(move || {
+                s.register(0);
+                s.yield_point(0, YieldKind::Access);
+                s.deregister(0);
+                // Wait (off-schedule) until thread 1 has fully exited, so
+                // the re-registration below finds an empty schedule.
+                b.wait();
+                s.register(0);
+                s.yield_point(0, YieldKind::Access);
+                s.deregister(0);
+            })
+        };
+        let other = {
+            let (s, b) = (Arc::clone(&s), Arc::clone(&b));
+            std::thread::spawn(move || {
+                s.register(1);
+                for _ in 0..5 {
+                    s.yield_point(1, YieldKind::Access);
+                }
+                s.deregister(1);
+                b.wait();
+            })
+        };
+        churner.join().unwrap();
+        other.join().unwrap();
     }
 
     #[test]

@@ -2,13 +2,13 @@
 //! [`Tx`] handle passed to transactional closures.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use crate::access::{Direct, Suspended};
 use crate::config::{CapacityProfile, ConflictPolicy, HtmConfig, SchedulerKind};
 use crate::directory::Directory;
 use crate::memory::{CellId, LineId, SimMemory};
+use crate::registry::SlotRegistry;
 use crate::sched::{self, DetScheduler, OsScheduler, Scheduler, YieldKind};
 use crate::slots::{
     Owner, TxTable, ST_ACTIVE, ST_COMMITTED, ST_COMMITTING, ST_DOOMED, ST_INACTIVE, ST_SUSPENDED,
@@ -95,7 +95,7 @@ pub struct Htm {
     dir: Directory,
     table: TxTable,
     cfg: HtmConfig,
-    registered: Box<[AtomicBool]>,
+    registry: SlotRegistry,
     /// The execution substrate: owns interleaving decisions and the clock
     /// (see [`crate::sched`]).
     sched: Arc<dyn Scheduler>,
@@ -109,8 +109,7 @@ impl Htm {
     /// Panics if the configuration is invalid (see [`HtmConfig::validate`]).
     pub fn new(cfg: HtmConfig, memory_cells: usize) -> Self {
         cfg.validate().expect("invalid HtmConfig");
-        let mut registered = Vec::with_capacity(cfg.max_threads);
-        registered.resize_with(cfg.max_threads, || AtomicBool::new(false));
+        let registry = SlotRegistry::new(cfg.max_threads);
         let sched: Arc<dyn Scheduler> = match &cfg.scheduler {
             SchedulerKind::Os => Arc::new(OsScheduler::new(cfg.sched_shake_prob, cfg.seed)),
             SchedulerKind::Deterministic { schedule_seed } => {
@@ -125,7 +124,7 @@ impl Htm {
             dir: Directory::new(),
             table: TxTable::new(cfg.max_threads),
             cfg,
-            registered: registered.into_boxed_slice(),
+            registry,
             sched,
         }
     }
@@ -165,8 +164,32 @@ impl Htm {
             "tid {tid} out of range (max_threads = {})",
             self.cfg.max_threads
         );
-        let was = self.registered[tid].swap(true, Ordering::SeqCst);
-        assert!(!was, "thread context {tid} is already claimed");
+        assert!(
+            self.registry.claim(tid),
+            "thread context {tid} is already claimed"
+        );
+        self.claimed_ctx(tid)
+    }
+
+    /// Claims *some* free per-thread context, picking the slot dynamically
+    /// (sharded scan, see [`crate::registry`]). This is the entry point for
+    /// thread pools that grow and shrink at runtime: callers need not
+    /// pre-assign stable hardware-thread ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every context is claimed.
+    pub fn acquire_thread(&self) -> ThreadCtx<'_> {
+        let tid = self
+            .registry
+            .acquire()
+            .expect("no free thread contexts (all slots claimed)");
+        self.claimed_ctx(tid)
+    }
+
+    /// Shared tail of [`Htm::thread`]/[`Htm::acquire_thread`]: the slot is
+    /// already claimed; register with the scheduler and build the context.
+    fn claimed_ctx(&self, tid: usize) -> ThreadCtx<'_> {
         self.sched.register(tid as u32);
         sched::bind(Arc::clone(&self.sched), tid as u32);
         ThreadCtx {
@@ -177,6 +200,16 @@ impl Htm {
             stats: ThreadStats::new(),
             last_conflict: None,
         }
+    }
+
+    /// Number of currently claimed per-thread contexts.
+    pub fn active_threads(&self) -> usize {
+        self.registry.active()
+    }
+
+    /// Whether hardware thread `tid`'s context is currently claimed.
+    pub fn thread_claimed(&self, tid: usize) -> bool {
+        self.registry.is_claimed(tid)
     }
 
     /// An untracked (non-transactional) accessor for thread `tid`.
@@ -225,7 +258,7 @@ impl Drop for ThreadCtx<'_> {
     fn drop(&mut self) {
         sched::unbind();
         self.htm.sched.deregister(self.tid);
-        self.htm.registered[self.tid as usize].store(false, Ordering::SeqCst);
+        self.htm.registry.release(self.tid as usize);
     }
 }
 

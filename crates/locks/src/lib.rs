@@ -36,13 +36,14 @@ pub mod sgl;
 pub mod spin;
 pub mod stats;
 pub mod tle;
+pub mod visible;
 
 pub use api::{LockThread, RwSync, SectionBody, SectionId};
 pub use brlock::BrLock;
 pub use mcs::McsRwLock;
 pub use passive::PassiveRwLock;
 pub use phase_fair::PhaseFairRwLock;
-pub use policy::RetryPolicy;
+pub use policy::{BiasPolicy, RetryPolicy};
 pub use pthread_rw::PthreadRwLock;
 pub use rwle::RwLe;
 pub use sgl::{GlobalLock, VersionedLock, ABORT_LOCKED, ABORT_READER};
@@ -52,3 +53,4 @@ pub use stats::{
     SessionStats,
 };
 pub use tle::Tle;
+pub use visible::VisibleReaders;

@@ -43,6 +43,36 @@ impl Default for RetryPolicy {
     }
 }
 
+/// BRAVO-style reader-bias policy (see [`crate::visible`]): when and how
+/// readers may take the single-CAS visible-table fast path instead of
+/// their per-thread lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BiasPolicy {
+    /// Whether readers may (re-)arm the bias at all. Off makes `BIAS_OFF`
+    /// sticky after the first revocation — the writer-pressure response.
+    pub enabled: bool,
+    /// How long after a revocation readers wait before re-arming, ns.
+    pub rearm_cooldown_ns: u64,
+    /// Visible-table slots per registered thread (rounded up to a power of
+    /// two overall); oversizing keeps hash collisions rare.
+    pub slots_per_thread: usize,
+}
+
+impl BiasPolicy {
+    /// Matches the SpRWL core's BRAVO defaults.
+    pub const DEFAULT: BiasPolicy = BiasPolicy {
+        enabled: true,
+        rearm_cooldown_ns: 200_000,
+        slots_per_thread: 4,
+    };
+}
+
+impl Default for BiasPolicy {
+    fn default() -> Self {
+        Self::DEFAULT
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

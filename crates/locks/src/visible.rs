@@ -1,0 +1,257 @@
+//! A BRAVO-style visible-readers table over plain `std` atomics, for the
+//! OS-lock baselines.
+//!
+//! This is the same three-state bias protocol as the SpRWL core's
+//! `reader_table` module (bias word `OFF`/`ON`/`REVOKING`, hashed
+//! single-CAS reader publish, writer-side drain proportional to *active*
+//! readers), but expressed over host atomics instead of simulated-memory
+//! cells — so the pessimistic baselines ([`crate::BrLock`] in its biased
+//! flavour) can be compared against the speculative lock with the same
+//! reader-admission machinery on both sides.
+//!
+//! The safety argument is identical: `OFF` is only ever published by a
+//! revoker that finished draining the table, and a reader whose publish
+//! races a revocation re-checks the bias word under the SeqCst total order
+//! — it either stays visible (and the drain waits on its slot) or
+//! withdraws to the slow path the writer also excludes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use htm_sim::clock;
+
+use crate::policy::BiasPolicy;
+
+/// Bias word values.
+pub const BIAS_OFF: u64 = 0;
+/// Readers may take the fast path.
+pub const BIAS_ON: u64 = 1;
+/// A writer is draining the table; readers must withdraw.
+pub const BIAS_REVOKING: u64 = 2;
+
+/// Pads a slot to a cache line so concurrent publishes never false-share.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct PaddedSlot(AtomicU64);
+
+/// The visible-readers table plus its bias word.
+#[derive(Debug)]
+pub struct VisibleReaders {
+    bias: AtomicU64,
+    slots: Box<[PaddedSlot]>,
+    /// Earliest instant (ns) readers may re-arm after a revocation.
+    rearm_at: AtomicU64,
+    policy: BiasPolicy,
+}
+
+impl VisibleReaders {
+    /// A table for `n_threads` participants under `policy` (bias starts
+    /// armed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_threads` is zero.
+    pub fn new(n_threads: usize, policy: BiasPolicy) -> Self {
+        assert!(n_threads > 0, "visible-readers table needs threads");
+        let len = (n_threads * policy.slots_per_thread.max(1)).next_power_of_two();
+        let mut v = Vec::with_capacity(len);
+        v.resize_with(len, PaddedSlot::default);
+        Self {
+            bias: AtomicU64::new(BIAS_ON),
+            slots: v.into_boxed_slice(),
+            rearm_at: AtomicU64::new(0),
+            policy,
+        }
+    }
+
+    /// Table length (a power of two).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the table has no slots (never true — `new` rejects 0).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The slot `tid` hashes to (Fibonacci hashing).
+    #[inline]
+    fn slot_of(&self, tid: usize) -> usize {
+        ((tid as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & (self.slots.len() - 1)
+    }
+
+    /// The current bias word.
+    pub fn bias_state(&self) -> u64 {
+        self.bias.load(Ordering::SeqCst)
+    }
+
+    /// Fast-path reader arrival: publish into the hashed slot while bias is
+    /// armed (re-arming it first if allowed and the cooldown has passed).
+    /// Returns the occupied slot on success; `None` means the caller must
+    /// take the slow path (its per-thread lock) instead.
+    pub fn arrive(&self, tid: usize) -> Option<usize> {
+        let mut armed = self.bias.load(Ordering::SeqCst) == BIAS_ON;
+        if !armed
+            && self.policy.enabled
+            && clock::now() >= self.rearm_at.load(Ordering::SeqCst)
+            && self
+                .bias
+                .compare_exchange(BIAS_OFF, BIAS_ON, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+        {
+            armed = true;
+        }
+        if !armed {
+            return None;
+        }
+        let slot = self.slot_of(tid);
+        if self.slots[slot]
+            .0
+            .compare_exchange(0, tid as u64 + 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return None;
+        }
+        if self.bias.load(Ordering::SeqCst) == BIAS_ON {
+            return Some(slot);
+        }
+        // A revocation began between our publish and the re-check; its
+        // drain may already have passed our slot. Withdraw.
+        self.slots[slot].0.store(0, Ordering::SeqCst);
+        None
+    }
+
+    /// Releases a slot returned by [`VisibleReaders::arrive`].
+    pub fn depart(&self, slot: usize) {
+        self.slots[slot].0.store(0, Ordering::SeqCst);
+    }
+
+    /// Writer-side revocation: flip `ON → REVOKING`, wait for every
+    /// occupied slot to drain, publish `OFF`, start the cooldown. Returns
+    /// `(occupied, scanned)` when a revocation ran, `None` when bias was
+    /// already off.
+    pub fn revoke(&self) -> Option<(u64, u64)> {
+        if self.bias.load(Ordering::SeqCst) == BIAS_OFF {
+            return None;
+        }
+        // Start the revocation or join one already in flight.
+        let _ =
+            self.bias
+                .compare_exchange(BIAS_ON, BIAS_REVOKING, Ordering::SeqCst, Ordering::SeqCst);
+        let mut occupied = 0u64;
+        for s in self.slots.iter() {
+            if s.0.load(Ordering::SeqCst) != 0 {
+                occupied += 1;
+                let mut spin = clock::SpinWait::new();
+                while s.0.load(Ordering::SeqCst) != 0 {
+                    spin.snooze();
+                }
+            }
+        }
+        self.rearm_at.store(
+            clock::now() + self.policy.rearm_cooldown_ns,
+            Ordering::SeqCst,
+        );
+        // CAS, not store: never stomp a completed concurrent revocation
+        // followed by a re-arm.
+        let _ =
+            self.bias
+                .compare_exchange(BIAS_REVOKING, BIAS_OFF, Ordering::SeqCst, Ordering::SeqCst);
+        Some((occupied, self.slots.len() as u64))
+    }
+
+    /// Quiescence invariants: no occupied slots, no revocation in flight.
+    pub fn check_quiescent(&self) -> Result<(), String> {
+        for (i, s) in self.slots.iter().enumerate() {
+            let v = s.0.load(Ordering::SeqCst);
+            if v != 0 {
+                return Err(format!(
+                    "visible[{i}] still holds reader {} at quiescence",
+                    v - 1
+                ));
+            }
+        }
+        if self.bias.load(Ordering::SeqCst) == BIAS_REVOKING {
+            return Err("bias revocation still in flight at quiescence".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(n: usize) -> VisibleReaders {
+        VisibleReaders::new(n, BiasPolicy::default())
+    }
+
+    #[test]
+    fn arrive_depart_cycle_under_armed_bias() {
+        let t = table(4);
+        assert_eq!(t.bias_state(), BIAS_ON);
+        let slot = t.arrive(2).expect("bias armed → fast path");
+        t.check_quiescent().unwrap_err();
+        t.depart(slot);
+        t.check_quiescent().unwrap();
+    }
+
+    #[test]
+    fn revoke_turns_bias_off_and_blocks_fast_path() {
+        let t = table(4);
+        let (occupied, scanned) = t.revoke().expect("first revocation runs");
+        assert_eq!(occupied, 0);
+        assert_eq!(scanned, t.len() as u64);
+        assert_eq!(t.bias_state(), BIAS_OFF);
+        assert!(t.revoke().is_none(), "already off → no drain");
+        // Inside the cooldown the fast path stays closed.
+        assert!(t.arrive(0).is_none());
+    }
+
+    #[test]
+    fn revoke_waits_for_active_reader() {
+        let t = std::sync::Arc::new(table(2));
+        let slot = t.arrive(1).unwrap();
+        let t2 = std::sync::Arc::clone(&t);
+        let h = std::thread::spawn(move || t2.revoke().expect("revocation runs"));
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        // The revoker is stuck on our slot until we depart.
+        assert_eq!(t.bias_state(), BIAS_REVOKING);
+        t.depart(slot);
+        let (occupied, _) = h.join().unwrap();
+        assert_eq!(occupied, 1);
+        assert_eq!(t.bias_state(), BIAS_OFF);
+    }
+
+    #[test]
+    fn disabled_policy_never_rearms() {
+        let t = VisibleReaders::new(
+            2,
+            BiasPolicy {
+                enabled: false,
+                rearm_cooldown_ns: 0,
+                ..BiasPolicy::default()
+            },
+        );
+        t.revoke().unwrap();
+        for tid in 0..2 {
+            assert!(t.arrive(tid).is_none());
+        }
+        assert_eq!(t.bias_state(), BIAS_OFF);
+    }
+
+    #[test]
+    fn zero_cooldown_rearms_immediately() {
+        let t = VisibleReaders::new(
+            2,
+            BiasPolicy {
+                rearm_cooldown_ns: 0,
+                ..BiasPolicy::default()
+            },
+        );
+        t.revoke().unwrap();
+        let slot = t.arrive(0).expect("re-arm with zero cooldown");
+        assert_eq!(t.bias_state(), BIAS_ON);
+        t.depart(slot);
+        t.check_quiescent().unwrap();
+    }
+}

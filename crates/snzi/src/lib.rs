@@ -28,6 +28,18 @@
 //! indicator inside a transaction is doomed the moment the indicator
 //! changes — the very conflict SpRWL’s correctness needs.
 //!
+//! ## Root tag bits
+//!
+//! Only the low [`ROOT_COUNT_MASK`] bits of the root word hold the count;
+//! the bits at and above [`ROOT_TAG_SHIFT`] are reserved for a **client
+//! tag** (BRAVO parks its three-state bias word there, so a writer's
+//! "bias off *and* no backstop readers?" check is a single subscribed
+//! line and a single compare against zero). The indicator's own updates
+//! preserve the tag for free: the root only ever moves by balanced
+//! `±1` steps, so the count can neither borrow from nor carry into the
+//! tag bits. Clients mutate the tag with full-word CAS ([`with_root_tag`])
+//! and must leave the count bits untouched.
+//!
 //! ```
 //! use htm_sim::{Htm, HtmConfig};
 //! use snzi::Snzi;
@@ -68,6 +80,30 @@ fn version_of(word: u64) -> u64 {
 #[inline]
 fn node_pack(version: u64, count: u64) -> u64 {
     (version << 32) | (count & COUNT_MASK)
+}
+
+/// First bit of the root word's client-tag field (see the crate docs).
+pub const ROOT_TAG_SHIFT: u32 = 32;
+
+/// Mask of the root word's count bits; everything above is client tag.
+pub const ROOT_COUNT_MASK: u64 = 0xFFFF_FFFF;
+
+/// The reader count encoded in a root word.
+#[inline]
+pub fn root_count(word: u64) -> u64 {
+    word & ROOT_COUNT_MASK
+}
+
+/// The client tag encoded in a root word.
+#[inline]
+pub fn root_tag(word: u64) -> u64 {
+    word >> ROOT_TAG_SHIFT
+}
+
+/// `word` with its client tag replaced by `tag` (count bits preserved).
+#[inline]
+pub fn with_root_tag(word: u64, tag: u64) -> u64 {
+    (tag << ROOT_TAG_SHIFT) | (word & ROOT_COUNT_MASK)
 }
 
 /// A scalable non-zero indicator for up to `n_threads` participants.
@@ -147,9 +183,10 @@ impl Snzi {
         self.depart_node(d, self.leaf_of(tid));
     }
 
-    /// One-word query, untracked (for readers and diagnostics).
+    /// One-word query, untracked (for readers and diagnostics). Ignores
+    /// the root's client-tag bits.
     pub fn query_untracked(&self, d: &Direct<'_>) -> bool {
-        d.load(self.root) > 0
+        root_count(d.load(self.root)) > 0
     }
 
     /// Diagnostic for quiescent-state oracles: verifies every counter in
@@ -161,7 +198,7 @@ impl Snzi {
     ///
     /// Names the first unbalanced counter found.
     pub fn check_balanced(&self, mem: &SimMemory) -> Result<(), String> {
-        let root = mem.peek(self.root);
+        let root = root_count(mem.peek(self.root));
         if root != 0 {
             return Err(format!("snzi root count is {root}, expected 0"));
         }
@@ -183,7 +220,20 @@ impl Snzi {
     ///
     /// Propagates the accessor's abort, if transactional.
     pub fn query<A: MemAccess + ?Sized>(&self, a: &mut A) -> TxResult<bool> {
-        Ok(a.read(self.root)? > 0)
+        Ok(root_count(a.read(self.root)?) > 0)
+    }
+
+    /// The raw root word — count *and* client tag — through any accessor,
+    /// subscribing the root line when transactional. Lets a client whose
+    /// tag encodes extra admission state (BRAVO's bias word) fold its
+    /// whole commit-time check into one read: `word == 0` ⇔ the count is
+    /// zero and the tag is clear.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the accessor's abort, if transactional.
+    pub fn query_word<A: MemAccess + ?Sized>(&self, a: &mut A) -> TxResult<u64> {
+        a.read(self.root)
     }
 
     /// Ellen et al., Figure 2 (hierarchical node `Arrive`).
@@ -390,6 +440,36 @@ mod tests {
             })
             .unwrap_err();
         assert_eq!(err, htm_sim::Abort::Conflict);
+    }
+
+    #[test]
+    fn root_tag_survives_arrive_depart_traffic_and_is_masked_from_queries() {
+        let (htm, snzi) = setup(8);
+        let d = htm.direct(0);
+        // Plant a client tag, then run balanced traffic through the root.
+        let w = d.load(snzi.root_cell());
+        d.store(snzi.root_cell(), with_root_tag(w, 0b10));
+        for tid in 0..8 {
+            snzi.arrive(&d, tid);
+        }
+        assert!(snzi.query_untracked(&d), "count visible despite tag");
+        for tid in 0..8 {
+            snzi.depart(&d, tid);
+        }
+        assert!(!snzi.query_untracked(&d), "tag must not read as presence");
+        let w = d.load(snzi.root_cell());
+        assert_eq!(root_tag(w), 0b10, "±1 traffic must preserve the tag");
+        assert_eq!(root_count(w), 0);
+        // The tagged-but-empty indicator still passes the balance check.
+        snzi.check_balanced(htm.memory()).unwrap();
+        // And the raw word is exactly tag | count.
+        let mut ctx = htm.thread(0);
+        ctx.txn(htm_sim::TxKind::Htm, |tx| {
+            assert_eq!(snzi.query_word(tx)?, 0b10 << ROOT_TAG_SHIFT);
+            assert_eq!(tx.read_footprint(), 1);
+            Ok(())
+        })
+        .unwrap();
     }
 
     #[test]

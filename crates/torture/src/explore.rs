@@ -579,6 +579,7 @@ pub fn injected_bug_spec(threads: usize, ops_per_thread: usize) -> TortureSpec {
         reader_span: 2,
         workload: Workload::Mirror,
         lincheck: false,
+        churn: false,
     }
 }
 

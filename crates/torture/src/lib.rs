@@ -82,7 +82,7 @@ use sprwl_locks::{
     BrLock, CommitMode, LockThread, McsRwLock, PassiveRwLock, PhaseFairRwLock, PthreadRwLock, Role,
     RwLe, RwSync, SectionId, SessionStats, Tle,
 };
-use sprwl_trace::{export, EventKind, ThreadTrace, TraceConfig};
+use sprwl_trace::{export, EventKind, ThreadTrace, TraceBuffer, TraceConfig};
 
 pub mod explore;
 
@@ -228,6 +228,8 @@ pub enum LockKind {
     McsRw,
     /// The Linux-style big-reader lock.
     BrLock,
+    /// The big-reader lock with the BRAVO visible-readers bias layer.
+    BrLockBias,
     /// Brandenburg–Anderson phase-fair ticket lock.
     PhaseFair,
     /// The version-consensus passive read-write lock.
@@ -252,6 +254,15 @@ impl LockKind {
             LockKind::RwLe => Box::new(RwLe::new(htm)),
             LockKind::McsRw => Box::new(McsRwLock::new(n)),
             LockKind::BrLock => Box::new(BrLock::new(n)),
+            LockKind::BrLockBias => Box::new(BrLock::with_bias(
+                n,
+                sprwl_locks::BiasPolicy {
+                    // Zero cooldown: readers re-arm on their next arrival,
+                    // so every writer pays a real revocation drain.
+                    rearm_cooldown_ns: 0,
+                    ..sprwl_locks::BiasPolicy::default()
+                },
+            )),
             LockKind::PhaseFair => Box::new(PhaseFairRwLock::new()),
             LockKind::Passive => Box::new(PassiveRwLock::new(n)),
             LockKind::PthreadRw => Box::new(PthreadRwLock::new()),
@@ -311,6 +322,13 @@ pub struct TortureSpec {
     /// end-state oracle. Enlarges the per-thread trace ring so the whole
     /// history fits.
     pub lincheck: bool,
+    /// Mid-case dynamic thread churn: halfway through its op quota each
+    /// worker releases its claimed thread context back to the registry
+    /// and re-acquires a (possibly different) slot before continuing —
+    /// the dynamic-registration torture axis. The quiescence oracle then
+    /// also requires every context to be released after the workers join.
+    /// Mirror workload only.
+    pub churn: bool,
 }
 
 impl TortureSpec {
@@ -508,6 +526,26 @@ fn reg_of(bank: usize, pair: usize, pairs: usize) -> u64 {
     (bank * pairs + pair) as u64
 }
 
+/// Mid-case context churn: tears the worker's [`LockThread`] down
+/// (releasing its registry slot and deregistering from the scheduler) and
+/// rebuilds it on a freshly acquired — possibly different — slot,
+/// carrying the accumulated stats and trace across. The gap between
+/// release and re-acquire runs off-schedule; surviving that window is
+/// exactly what the dynamic-registration machinery is for.
+fn churn_ctx<'h>(mut t: LockThread<'h>, htm: &'h Htm) -> LockThread<'h> {
+    let old = t.tid() as u32;
+    t.trace.push(EventKind::SlotRelease { slot: old });
+    let stats = std::mem::take(&mut t.stats);
+    let trace = std::mem::replace(&mut t.trace, TraceBuffer::disabled(old));
+    drop(t);
+    let mut t = LockThread::with_trace(htm.acquire_thread(), TraceConfig::Off);
+    t.stats = stats;
+    t.trace = trace;
+    let new = t.tid() as u32;
+    t.trace.push(EventKind::SlotAcquire { slot: new });
+    t
+}
+
 fn worker(
     lock: &dyn RwSync,
     htm: &Htm,
@@ -531,6 +569,9 @@ fn worker(
     let mut obs: Vec<(usize, u64)> = Vec::with_capacity(spec.pairs);
 
     for seq in 0..spec.ops_per_thread as u64 {
+        if spec.churn && seq > 0 && seq == spec.ops_per_thread as u64 / 2 {
+            t = churn_ctx(t, htm);
+        }
         let is_write = rng.next() % 100 < u64::from(spec.write_pct);
         let p = (rng.next() as usize) % spec.pairs;
         t.trace.push(EventKind::Mark {
@@ -961,7 +1002,10 @@ fn execute_mirror(
     let pairs_final = (0..spec.pairs)
         .map(|p| (mem.peek(bank_a[p]), mem.peek(bank_b[p])))
         .collect();
-    let quiescence = lock.check_quiescent(mem).map_err(|e| e.to_string());
+    let quiescence = lock
+        .check_quiescent(mem)
+        .map_err(|e| e.to_string())
+        .and_then(|()| check_slots_released(&htm));
     let schedule = htm.scheduler().decision_trace().unwrap_or_default();
     let sched_divergence = htm.scheduler().schedule_divergence();
     CaseRun {
@@ -1020,7 +1064,10 @@ fn execute_cross(
             pairs_final.push((mem.peek(a), mem.peek(b)));
         }
     }
-    let quiescence = pair.check_quiescent(mem).map_err(|e| e.to_string());
+    let quiescence = pair
+        .check_quiescent(mem)
+        .map_err(|e| e.to_string())
+        .and_then(|()| check_slots_released(&htm));
     let schedule = htm.scheduler().decision_trace().unwrap_or_default();
     let sched_divergence = htm.scheduler().schedule_divergence();
     CaseRun {
@@ -1029,6 +1076,18 @@ fn execute_cross(
         quiescence,
         schedule,
         sched_divergence,
+    }
+}
+
+/// The slot-registry leg of the quiescence oracle: after every worker has
+/// joined (dropping its `ThreadCtx`, churned or not), no thread context
+/// may remain claimed — a leftover claim is a leaked registration.
+fn check_slots_released(htm: &Htm) -> Result<(), String> {
+    match htm.active_threads() {
+        0 => Ok(()),
+        n => Err(format!(
+            "{n} thread context(s) still claimed after all workers joined"
+        )),
     }
 }
 
@@ -1326,7 +1385,7 @@ pub fn run_case_artifacts(spec: &TortureSpec, base_seed: u64) -> CaseArtifacts {
 }
 
 /// The SpRWL variants the acceptance matrix must cover:
-/// {Flags, Snzi, Adaptive} × {NoSched, Full}.
+/// {Flags, Snzi, Adaptive, Bravo} × {NoSched, Full}.
 pub fn sprwl_matrix_configs() -> Vec<(String, SprwlConfig)> {
     use sprwl::{ReaderTracking, Scheduling};
     let mut out = Vec::new();
@@ -1335,6 +1394,7 @@ pub fn sprwl_matrix_configs() -> Vec<(String, SprwlConfig)> {
             ("flags", ReaderTracking::Flags),
             ("snzi", ReaderTracking::Snzi),
             ("adaptive", ReaderTracking::Adaptive),
+            ("bravo", ReaderTracking::Bravo),
         ] {
             let cfg = SprwlConfig {
                 scheduling: sched,
@@ -1369,6 +1429,7 @@ pub fn default_matrix(threads: usize, ops_per_thread: usize) -> Vec<TortureSpec>
         reader_span: 4,
         workload: Workload::Mirror,
         lincheck: false,
+        churn: false,
     };
     let quiet = HtmConfig::default();
     let shaken = HtmConfig {
@@ -1409,6 +1470,36 @@ pub fn default_matrix(threads: usize, ops_per_thread: usize) -> Vec<TortureSpec>
         LockKind::Sprwl(unins_readers.clone()),
         shaken.clone(),
     ));
+
+    // BRAVO bias with uninstrumented readers: the bias word, the visible
+    // table and the revocation drain sit on every reader/writer path
+    // (with HTM probing on, short readers commit speculatively and never
+    // touch the bias machinery).
+    let bravo_unins = SprwlConfig {
+        readers_try_htm: false,
+        ..SprwlConfig::with_bravo()
+    };
+    m.push(base(
+        "sprwl-bravo-unins-readers",
+        LockKind::Sprwl(bravo_unins.clone()),
+        shaken.clone(),
+    ));
+
+    // Mid-case register/run/deregister: every worker swaps its thread
+    // context halfway through, under the trackers with per-thread state
+    // (BRAVO visible slots, reader state array) and the biased baseline.
+    for (name, lock) in [
+        ("churn-sprwl-bravo", LockKind::Sprwl(bravo_unins.clone())),
+        (
+            "churn-sprwl-snzi",
+            LockKind::Sprwl(SprwlConfig::with_snzi()),
+        ),
+        ("churn-brlock-bias", LockKind::BrLockBias),
+    ] {
+        let mut spec = base(name, lock, shaken.clone());
+        spec.churn = true;
+        m.push(spec);
+    }
 
     // Versioned SGL with uninstrumented readers *and* interrupt injection:
     // interrupts exhaust writer retry budgets, driving real fallback
@@ -1482,6 +1573,7 @@ pub fn default_matrix(threads: usize, ops_per_thread: usize) -> Vec<TortureSpec>
     ));
     m.push(base("mcs-rwl", LockKind::McsRw, quiet.clone()));
     m.push(base("brlock", LockKind::BrLock, quiet.clone()));
+    m.push(base("brlock-bias", LockKind::BrLockBias, quiet.clone()));
     m.push(base("phase-fair", LockKind::PhaseFair, quiet.clone()));
     m.push(base("passive", LockKind::Passive, quiet.clone()));
     m.push(base("pthread-rw", LockKind::PthreadRw, quiet));
@@ -1555,6 +1647,7 @@ pub fn det_matrix(threads: usize, ops_per_thread: usize) -> Vec<TortureSpec> {
         reader_span: 4,
         workload: Workload::Mirror,
         lincheck: true,
+        churn: false,
     };
 
     let mut m = Vec::new();
@@ -1589,6 +1682,33 @@ pub fn det_matrix(threads: usize, ops_per_thread: usize) -> Vec<TortureSpec> {
         det.clone(),
     ));
 
+    let bravo_unins = SprwlConfig {
+        readers_try_htm: false,
+        ..SprwlConfig::with_bravo()
+    };
+    m.push(base(
+        "det-sprwl-bravo-unins-readers".into(),
+        LockKind::Sprwl(bravo_unins.clone()),
+        det.clone(),
+    ));
+
+    // Mid-case register/run/deregister under the serialized scheduler —
+    // the dynamic-registration acceptance cases. The churn gap itself
+    // runs off-schedule (a deregistered thread is invisible to the
+    // scheduler), so these cases assert invariants, not bit-exactness.
+    for (name, lock) in [
+        ("det-churn-sprwl-bravo", LockKind::Sprwl(bravo_unins)),
+        (
+            "det-churn-sprwl-snzi",
+            LockKind::Sprwl(SprwlConfig::with_snzi()),
+        ),
+        ("det-churn-brlock-bias", LockKind::BrLockBias),
+    ] {
+        let mut spec = base(name.into(), lock, det.clone());
+        spec.churn = true;
+        m.push(spec);
+    }
+
     // Fault axes stay meaningful under determinism: interrupt injection
     // and capacity pressure both draw from seeded streams, so a failing
     // seed replays the same aborts at the same points.
@@ -1620,6 +1740,11 @@ pub fn det_matrix(threads: usize, ops_per_thread: usize) -> Vec<TortureSpec> {
     ));
     m.push(base("det-mcs-rwl".into(), LockKind::McsRw, det.clone()));
     m.push(base("det-brlock".into(), LockKind::BrLock, det.clone()));
+    m.push(base(
+        "det-brlock-bias".into(),
+        LockKind::BrLockBias,
+        det.clone(),
+    ));
     m.push(base(
         "det-phase-fair".into(),
         LockKind::PhaseFair,
@@ -1744,8 +1869,28 @@ mod tests {
             "sprwl-snzi-full",
             "sprwl-adaptive-nosched",
             "sprwl-adaptive-full",
+            "sprwl-bravo-nosched",
+            "sprwl-bravo-full",
         ] {
             assert!(m.iter().any(|s| s.name == want), "matrix missing {want}");
+        }
+    }
+
+    #[test]
+    fn matrices_cover_dynamic_thread_churn() {
+        for (matrix, prefix) in [
+            (default_matrix(4, 10), "churn-"),
+            (det_matrix(4, 10), "det-churn-"),
+        ] {
+            let churned: Vec<&str> = matrix
+                .iter()
+                .filter(|s| s.churn)
+                .map(|s| s.name.as_str())
+                .collect();
+            assert!(!churned.is_empty(), "no churn cases with prefix {prefix}");
+            for name in churned {
+                assert!(name.starts_with(prefix), "{name} misnamed");
+            }
         }
     }
 
@@ -1762,6 +1907,7 @@ mod tests {
             reader_span: 4,
             workload: Workload::Mirror,
             lincheck: true,
+            churn: false,
         };
         let a = run_case(&spec, 7).expect("single-threaded run must be clean");
         let b = run_case(&spec, 7).expect("single-threaded run must be clean");

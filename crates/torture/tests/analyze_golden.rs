@@ -51,6 +51,7 @@ fn hot_key_spec() -> TortureSpec {
         reader_span: 1,
         workload: Workload::Mirror,
         lincheck: false,
+        churn: false,
     }
 }
 

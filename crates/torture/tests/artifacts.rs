@@ -55,6 +55,7 @@ fn small_det_spec() -> TortureSpec {
         reader_span: 2,
         workload: Workload::Mirror,
         lincheck: true,
+        churn: false,
     }
 }
 

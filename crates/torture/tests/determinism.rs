@@ -55,10 +55,42 @@ fn assert_bit_identical(spec: &TortureSpec, base_seed: u64) {
 #[test]
 fn every_det_case_replays_bit_identically() {
     // The full deterministic matrix, twice per case, under two base seeds:
-    // the property the whole substrate refactor exists to provide.
+    // the property the whole substrate refactor exists to provide. Churn
+    // cases are excluded — a deregistered thread's re-registration lands
+    // wherever the OS schedules it, so their interleavings are serialized
+    // but not seed-addressed (see `det_churn_cases_pass_every_invariant`).
     for base_seed in [DEFAULT_SEED, 0x5EED_0002] {
         for spec in det_matrix(3, 40) {
+            if spec.churn {
+                continue;
+            }
             assert_bit_identical(&spec, base_seed);
+        }
+    }
+}
+
+#[test]
+fn det_churn_cases_pass_every_invariant() {
+    // Mid-case register/run/deregister under the serialized scheduler:
+    // the oracle (mirror pairs, quiescence including released slots,
+    // stats accounting, linearizability) must hold across the context
+    // swap, for every seed, even though the interleaving is not
+    // replayable bit for bit.
+    let churn: Vec<_> = det_matrix(3, 40).into_iter().filter(|s| s.churn).collect();
+    assert!(!churn.is_empty(), "det matrix lost its churn cases");
+    for base_seed in [DEFAULT_SEED, 0x5EED_0002] {
+        for spec in &churn {
+            let art = run_case_artifacts(spec, base_seed);
+            let summary = art
+                .outcome
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            assert_eq!(
+                summary.reader_commits + summary.writer_commits,
+                3 * 40,
+                "{}: every issued section commits exactly once",
+                spec.name
+            );
         }
     }
 }
@@ -79,6 +111,7 @@ fn pinned_spec(schedule_seed: u64) -> TortureSpec {
         reader_span: 4,
         workload: Workload::Mirror,
         lincheck: true,
+        churn: false,
     }
 }
 

@@ -54,6 +54,7 @@ fn golden_spec() -> TortureSpec {
         // the history recorder.
         workload: Workload::Mirror,
         lincheck: false,
+        churn: false,
     }
 }
 
@@ -78,6 +79,7 @@ fn cross_golden_spec() -> TortureSpec {
         reader_span: 2,
         workload: Workload::CrossBank(CrossNesting::Mixed),
         lincheck: true,
+        churn: false,
     }
 }
 

@@ -22,6 +22,7 @@ fn spec() -> TortureSpec {
         reader_span: 2,
         workload: Workload::Mirror,
         lincheck: true,
+        churn: false,
     }
 }
 

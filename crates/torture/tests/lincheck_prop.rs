@@ -36,6 +36,7 @@ fn det_spec(schedule_seed: u64, workload: Workload) -> TortureSpec {
         reader_span: 2,
         workload,
         lincheck: true,
+        churn: false,
     }
 }
 

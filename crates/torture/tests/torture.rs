@@ -98,6 +98,7 @@ fn oracle_catches_unsynchronized_lock() {
         reader_span: 2,
         workload: Workload::Mirror,
         lincheck: false,
+        churn: false,
     };
     let caught = (0..10).any(|attempt| {
         run_case_with(&spec, 1000 + attempt, &|_htm: &Htm| {
@@ -131,6 +132,7 @@ fn violations_dump_a_postmortem_event_trace() {
         reader_span: 2,
         workload: Workload::Mirror,
         lincheck: false,
+        churn: false,
     };
     for attempt in 0..10 {
         if let Err(v) = run_case_with(&spec, 3000 + attempt, &|_htm: &Htm| {
@@ -178,6 +180,7 @@ fn violation_report_includes_the_lincheck_verdict() {
         reader_span: 2,
         workload: Workload::Mirror,
         lincheck: true,
+        churn: false,
     };
     for attempt in 0..10 {
         if let Err(v) = run_case_with(&spec, 4000 + attempt, &|_htm: &Htm| {
@@ -213,6 +216,7 @@ fn violation_report_names_case_and_seed() {
         reader_span: 2,
         workload: Workload::Mirror,
         lincheck: false,
+        churn: false,
     };
     for attempt in 0..10 {
         if let Err(v) = run_case_with(&spec, 2000 + attempt, &|_htm: &Htm| {

@@ -85,6 +85,13 @@ fn push_kind_fields(out: &mut String, kind: &EventKind) {
         EventKind::TuneDecision { knob, sec, value } => {
             let _ = write!(out, r#""knob":"{}","sec":{},"value":{}"#, knob, sec, value);
         }
+        EventKind::BiasRevoke { occupied, scanned } => {
+            let _ = write!(out, r#""occupied":{},"scanned":{}"#, occupied, scanned);
+        }
+        EventKind::BiasRearm => {}
+        EventKind::SlotAcquire { slot } | EventKind::SlotRelease { slot } => {
+            let _ = write!(out, r#""slot":{}"#, slot);
+        }
         EventKind::Mark { label: _, a, b } => {
             let _ = write!(out, r#""a":{},"b":{}"#, a, b);
         }

@@ -185,6 +185,30 @@ pub enum EventKind {
         /// The new knob value.
         value: u64,
     },
+    /// A writer revoked BRAVO reader bias: it flipped the bias word to
+    /// `REVOKING`, drained the visible-readers table, and published
+    /// `BIAS_OFF` — after which reader tracking falls back to the SNZI.
+    BiasRevoke {
+        /// Visible-reader slots found occupied (waited on) during the drain
+        /// — the *active* readers the revocation actually paid for.
+        occupied: u64,
+        /// Total visible-reader slots scanned (the table size).
+        scanned: u64,
+    },
+    /// A reader re-armed BRAVO bias (`BIAS_OFF` → `BIAS_ON`) after the
+    /// post-revocation cooldown, restoring the single-store reader fast
+    /// path.
+    BiasRearm,
+    /// A thread context was claimed from the dynamic slot registry.
+    SlotAcquire {
+        /// The hardware-thread slot claimed.
+        slot: u32,
+    },
+    /// A thread context released its slot back to the registry.
+    SlotRelease {
+        /// The hardware-thread slot released.
+        slot: u32,
+    },
     /// Free-form harness marker (used by the torture driver to log the
     /// operation stream independently of the lock under test).
     Mark {
@@ -216,6 +240,10 @@ impl EventKind {
             EventKind::SglBypassEnter { .. } => "sgl-bypass-enter",
             EventKind::SglWaitSenior { .. } => "sgl-wait-senior",
             EventKind::TuneDecision { .. } => "tune-decision",
+            EventKind::BiasRevoke { .. } => "bias-revoke",
+            EventKind::BiasRearm => "bias-rearm",
+            EventKind::SlotAcquire { .. } => "slot-acquire",
+            EventKind::SlotRelease { .. } => "slot-release",
             EventKind::Mark { label, .. } => label,
         }
     }

@@ -257,7 +257,17 @@ pub fn behavior_fingerprint(traces: &[ThreadTrace]) -> u64 {
                     fp.push(*a);
                     fp.push(*b);
                 }
-                EventKind::ReaderArrive | EventKind::ReaderDepart | EventKind::FallbackRelease => {}
+                EventKind::BiasRevoke { occupied, scanned } => {
+                    fp.push(*occupied);
+                    fp.push(*scanned);
+                }
+                EventKind::SlotAcquire { slot } | EventKind::SlotRelease { slot } => {
+                    fp.push(u64::from(*slot));
+                }
+                EventKind::ReaderArrive
+                | EventKind::ReaderDepart
+                | EventKind::FallbackRelease
+                | EventKind::BiasRearm => {}
             }
         }
     }

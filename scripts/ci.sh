@@ -25,7 +25,7 @@ cargo test -q --offline
 echo "==> torture smoke (full matrix, reduced depth)"
 cargo run -q --release --offline -p sprwl-torture -- --threads 2 --ops 100
 
-echo "==> deterministic torture smoke (serialized scheduler, bit-exact replay)"
+echo "==> deterministic torture smoke (serialized scheduler, incl. mid-run thread churn cases)"
 cargo run -q --release --offline -p sprwl-torture -- --det --threads 2 --ops 100
 
 echo "==> lincheck smoke (checker accepts the committed cross-lock golden history)"
@@ -150,6 +150,28 @@ if [ "$rc" -ne 2 ]; then
     echo "sprwl-analyze IO smoke: expected exit 2, got $rc" >&2
     exit 1
 fi
+
+echo "==> bravo-vs-snzi bench smoke (biased admission holds the SNZI baseline)"
+# Same deterministic grid under the two reader-tracking policies. BRAVO's
+# committed claim is "never worse than plain SNZI": with the bias word in
+# the SNZI root's tag bits the writer's commit check costs the same line,
+# and the adaptive re-arm backoff keeps revocation thrash off the
+# writer-pressure shapes. Rewriting the SNZI document's lock labels lets
+# bench-compare pair the points, so the thresholds read "BRAVO may not
+# collapse against SNZI" on both the read-dominated and contended shapes.
+bench_sweep --det --threads 2,4 --ops 800 --warmup-ops 80 --locks SNZI \
+    --workloads read-only,hot-key --category snzibase --out "$BENCH_SMOKE_DIR" > /dev/null
+bench_sweep --det --threads 2,4 --ops 800 --warmup-ops 80 --locks BRAVO \
+    --workloads read-only,hot-key --category bravocand --out "$BENCH_SMOKE_DIR" > /dev/null
+python3 - "$BENCH_SMOKE_DIR"/BENCH_snzibase_*.json "$BENCH_SMOKE_DIR/snzi-as-bravo.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+for p in doc["points"]:
+    p["lock"] = "BRAVO"
+json.dump(doc, open(sys.argv[2], "w"))
+EOF
+bench_compare "$BENCH_SMOKE_DIR/snzi-as-bravo.json" "$BENCH_SMOKE_DIR"/BENCH_bravocand_*.json \
+    --throughput-drop-pct 10 --abort-rise-pp 10 --p99-rise-pct 100
 
 echo "==> perf baseline gate (regenerate the committed grid, compare with loose thresholds)"
 # The committed baseline is deterministic (virtual clock, fixed work), so

@@ -128,6 +128,11 @@ impl DetState {
 ///   re-claimed (dynamic thread churn): the re-registrant joins the
 ///   running schedule at its next pick instead of re-arming the barrier,
 ///   even when every other participant has already deregistered.
+/// * The start barrier is a **first-wave device**: it never re-arms, not
+///   even when every participant has deregistered. A scheduler reused for
+///   a second full wave of registrations therefore does not erase that
+///   wave's spawn-order nondeterminism — build a fresh scheduler (and a
+///   fresh `Htm`, as the in-repo harnesses do) per run.
 /// * Participating threads must not block on OS primitives the scheduler
 ///   cannot see (condvars, channels, `std::sync::Barrier`) while they hold
 ///   the virtual CPU — spin-and-snooze waits, which route through

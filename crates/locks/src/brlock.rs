@@ -10,6 +10,8 @@
 //! the speculative lock's `Bravo` tracking, for apples-to-apples
 //! comparisons.
 
+use std::sync::atomic::{fence, Ordering};
+
 use htm_sim::clock;
 
 use crate::api::{run_untracked, LockThread, RwSync, SectionBody, SectionId};
@@ -88,7 +90,14 @@ impl BrLock {
                 // drain): either we see the global mutex held and withdraw,
                 // or the writer's drain sees our occupied slot and waits.
                 // Without this check a reader re-arming bias mid-write
-                // could slip past the mutex sweep.
+                // could slip past the mutex sweep. The SeqCst fence — paired
+                // with the one in `write_lock` — is what makes the pair
+                // sound: `SpinMutex` itself is only Acquire/Release, so
+                // without the fences there is no total order between our
+                // slot publish and the `is_locked` load versus the writer's
+                // lock CAS and its drain loads, and on weakly ordered
+                // targets (aarch64) both sides could miss each other.
+                fence(Ordering::SeqCst);
                 if !self.global.is_locked() {
                     return ReadPass::Visible(slot);
                 }
@@ -118,6 +127,10 @@ impl BrLock {
     pub fn write_lock(&self) {
         self.global.lock();
         if let Some(bias) = &self.bias {
+            // Writer half of the Dekker pair (see `read_lock`): order the
+            // global-lock CAS before the drain's bias and slot loads, so a
+            // reader that missed the lock is seen by the drain.
+            fence(Ordering::SeqCst);
             let _ = bias.revoke();
         }
         for m in self.per_thread.iter() {

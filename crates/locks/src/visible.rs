@@ -13,7 +13,12 @@
 //! revoker that finished draining the table, and a reader whose publish
 //! races a revocation re-checks the bias word under the SeqCst total order
 //! — it either stays visible (and the drain waits on its slot) or
-//! withdraws to the slow path the writer also excludes.
+//! withdraws to the slow path the writer also excludes. Every atomic here
+//! is SeqCst, so that total order covers the table's own protocol; a
+//! caller that additionally Dekker-pairs a slot publish against one of its
+//! *own* non-SeqCst atomics (as [`crate::BrLock`] does against its
+//! Acquire/Release global mutex) must supply SeqCst fences on both sides
+//! of that pair itself.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -127,16 +132,39 @@ impl VisibleReaders {
 
     /// Writer-side revocation: flip `ON → REVOKING`, wait for every
     /// occupied slot to drain, publish `OFF`, start the cooldown. Returns
-    /// `(occupied, scanned)` when a revocation ran, `None` when bias was
-    /// already off.
+    /// `(occupied, scanned)` when this caller's own revocation ran, `None`
+    /// when bias was already off — or when another revocation was in
+    /// flight, in which case the call blocks until that winner publishes
+    /// `OFF` before returning.
+    ///
+    /// Concurrent calls are safe: only the thread that wins the
+    /// `ON → REVOKING` transition scans the table. A joiner must not run
+    /// its own drain (as the core's `reader_table::revoke_bias` also
+    /// doesn't) — if the winner published `OFF` and a reader re-armed
+    /// mid-scan, the joiner would return with bias `ON` and fresh
+    /// fast-path readers occupying slots it had already passed.
     pub fn revoke(&self) -> Option<(u64, u64)> {
-        if self.bias.load(Ordering::SeqCst) == BIAS_OFF {
-            return None;
+        // Win the revocation, or wait out one already in flight.
+        loop {
+            match self.bias.compare_exchange(
+                BIAS_ON,
+                BIAS_REVOKING,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => break,
+                Err(BIAS_OFF) => return None,
+                Err(_) => {
+                    let mut spin = clock::SpinWait::new();
+                    while self.bias.load(Ordering::SeqCst) == BIAS_REVOKING {
+                        spin.snooze();
+                    }
+                    // The winner published OFF. A reader may already have
+                    // re-armed; the next loop turn then wins a fresh
+                    // revocation of its own.
+                }
+            }
         }
-        // Start the revocation or join one already in flight.
-        let _ =
-            self.bias
-                .compare_exchange(BIAS_ON, BIAS_REVOKING, Ordering::SeqCst, Ordering::SeqCst);
         let mut occupied = 0u64;
         for s in self.slots.iter() {
             if s.0.load(Ordering::SeqCst) != 0 {
@@ -151,11 +179,10 @@ impl VisibleReaders {
             clock::now() + self.policy.rearm_cooldown_ns,
             Ordering::SeqCst,
         );
-        // CAS, not store: never stomp a completed concurrent revocation
-        // followed by a re-arm.
-        let _ =
-            self.bias
-                .compare_exchange(BIAS_REVOKING, BIAS_OFF, Ordering::SeqCst, Ordering::SeqCst);
+        // Only the CAS winner reaches here, and readers re-arm only from
+        // OFF, so nobody else can have touched the bias word since we
+        // published REVOKING — a plain store cannot stomp anything.
+        self.bias.store(BIAS_OFF, Ordering::SeqCst);
         Some((occupied, self.slots.len() as u64))
     }
 
@@ -220,6 +247,30 @@ mod tests {
         let (occupied, _) = h.join().unwrap();
         assert_eq!(occupied, 1);
         assert_eq!(t.bias_state(), BIAS_OFF);
+    }
+
+    #[test]
+    fn concurrent_revokers_produce_one_drain() {
+        // Whichever thread wins ON → REVOKING runs the (single) drain; the
+        // other must wait it out and return None rather than scanning a
+        // table the winner already swept.
+        let t = std::sync::Arc::new(table(2));
+        let slot = t.arrive(1).unwrap();
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let t = std::sync::Arc::clone(&t);
+            handles.push(std::thread::spawn(move || t.revoke()));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        t.depart(slot);
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(
+            results.iter().filter(|r| r.is_some()).count(),
+            1,
+            "exactly one revoker drains, got {results:?}"
+        );
+        assert_eq!(t.bias_state(), BIAS_OFF);
+        t.check_quiescent().unwrap();
     }
 
     #[test]

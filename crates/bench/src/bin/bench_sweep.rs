@@ -28,12 +28,20 @@
 //! numbers for overhead comparison. `--capture` re-runs the grid's last
 //! (workload, lock, threads) point under the last `--trace` policy and
 //! writes its per-thread traces as JSONL — feed that to `sprwl-analyze`.
+//!
+//! `--server` switches to the service grid: the `sprwl-server` sharded
+//! async KV store under redis-shaped load, swept over `--shards N,N` ×
+//! tracking flavours × `--threads` worker counts. Server sweeps are
+//! deterministic-only (`--wall` is rejected); `--locks` restricts the
+//! tracking flavours (`SpRWL`, `SNZI`, `BRAVO` — defaults to SNZI and
+//! BRAVO), and the emitted category defaults to `server`.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
-use sprwl::SprwlConfig;
+use sprwl::{ReaderTracking, SprwlConfig};
 use sprwl_bench::results::{git_commit, today};
+use sprwl_bench::server_sweep::{run_server_sweep, ServerSweepConfig};
 use sprwl_bench::sweep::{run_sweep, run_sweep_point_traced, SweepConfig, SweepMode};
 use sprwl_bench::{BenchPoint, LockKind};
 use sprwl_trace::TraceConfig;
@@ -62,9 +70,21 @@ fn usage() -> ExitCode {
          [--ops N] [--warmup-ops N] [--schedule-seed N] [--secs F] [--warmup-secs F] \
          [--locks A,B,..] [--workloads A,B,..] [--fill N,N,..] [--profile NAME] \
          [--trace off|ring:CAP|sampled:RATE:CAP].. [--capture FILE.jsonl] \
+         [--server] [--shards N,N,..] \
          [--category NAME] [--out DIR] [--date YYYY-MM-DD] [--commit HASH]"
     );
     ExitCode::from(2)
+}
+
+/// The tracking flavour a `--locks` name selects under `--server`, if any.
+fn parse_tracking(name: &str) -> Option<ReaderTracking> {
+    Some(match name {
+        "SpRWL" => ReaderTracking::Flags,
+        "SNZI" => ReaderTracking::Snzi,
+        "BRAVO" => ReaderTracking::Bravo,
+        "SpRWL-adaptive" => ReaderTracking::Adaptive,
+        _ => return None,
+    })
 }
 
 fn main() -> ExitCode {
@@ -80,6 +100,11 @@ fn main() -> ExitCode {
     let mut commit = git_commit();
     let mut trace_axis: Vec<(String, TraceConfig)> = Vec::new();
     let mut capture_path: Option<std::path::PathBuf> = None;
+    let mut server = false;
+    let mut shards: Vec<usize> = vec![2, 4];
+    let mut locks_raw: Option<String> = None;
+    let mut category_set = false;
+    let mut wall_requested = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -105,7 +130,26 @@ fn main() -> ExitCode {
         }
         match a.as_str() {
             "--det" => det = true,
-            "--wall" => det = false,
+            "--wall" => {
+                det = false;
+                wall_requested = true;
+            }
+            "--server" => server = true,
+            "--shards" => {
+                let v = match val("--shards") {
+                    Ok(v) => v,
+                    Err(code) => return code,
+                };
+                let parsed: Result<Vec<usize>, _> =
+                    v.split(',').map(|t| t.trim().parse::<usize>()).collect();
+                match parsed {
+                    Ok(s) if !s.is_empty() && s.iter().all(|&n| n >= 1) => shards = s,
+                    _ => {
+                        eprintln!("error: bad shard list {v:?}");
+                        return usage();
+                    }
+                }
+            }
             "--seed" => cfg.seed = parse_val!("--seed", u64),
             "--ops" => ops = parse_val!("--ops", usize),
             "--warmup-ops" => warmup_ops = parse_val!("--warmup-ops", usize),
@@ -128,24 +172,12 @@ fn main() -> ExitCode {
                 }
             }
             "--locks" => {
-                let v = match val("--locks") {
-                    Ok(v) => v,
+                // Deferred: the same flag names lock schemes for the
+                // lock-level grid and tracking flavours under --server.
+                locks_raw = match val("--locks") {
+                    Ok(v) => Some(v),
                     Err(code) => return code,
                 };
-                let mut locks = Vec::new();
-                for name in v.split(',') {
-                    match parse_lock(name.trim()) {
-                        Some(l) => locks.push(l),
-                        None => {
-                            eprintln!(
-                                "error: unknown lock {name:?} (expected SpRWL, SNZI, BRAVO, \
-                                 TLE, RW-LE, RWL, BRLock, BRLock+bias, PF-RWL, MCS-RWL or PRWL)"
-                            );
-                            return usage();
-                        }
-                    }
-                }
-                cfg.locks = locks;
             }
             "--fill" => {
                 let v = match val("--fill") {
@@ -222,7 +254,8 @@ fn main() -> ExitCode {
                 cfg.category = match val("--category") {
                     Ok(v) => v,
                     Err(code) => return code,
-                }
+                };
+                category_set = true;
             }
             "--out" => {
                 out_dir = match val("--out") {
@@ -251,6 +284,88 @@ fn main() -> ExitCode {
                 return usage();
             }
         }
+    }
+
+    if server {
+        if wall_requested {
+            eprintln!(
+                "error: --server is deterministic-only (the service parks futures on \
+                 wake-lists and measures on the virtual clock); drop --wall"
+            );
+            return ExitCode::from(2);
+        }
+        if capture_path.is_some() {
+            eprintln!("error: --capture applies to the lock-level grid, not --server");
+            return ExitCode::from(2);
+        }
+        let mut scfg = ServerSweepConfig {
+            shard_counts: shards,
+            workers: cfg.threads.clone(),
+            seed: cfg.seed,
+            schedule_seed,
+            warmup_ops,
+            ops_per_worker: ops,
+            ..ServerSweepConfig::default()
+        };
+        if category_set {
+            scfg.category = cfg.category.clone();
+        }
+        if let Some(raw) = &locks_raw {
+            let mut trackings = Vec::new();
+            for name in raw.split(',') {
+                match parse_tracking(name.trim()) {
+                    Some(t) => trackings.push(t),
+                    None => {
+                        eprintln!(
+                            "error: unknown tracking {name:?} under --server (expected \
+                             SpRWL, SNZI, BRAVO or SpRWL-adaptive)"
+                        );
+                        return usage();
+                    }
+                }
+            }
+            scfg.trackings = trackings;
+        }
+        let results = run_server_sweep(&scfg, &date, &commit);
+        println!(
+            "# {} @ {} ({}, {} points)",
+            results.file_name(),
+            results.git_commit,
+            results.mode,
+            results.points.len()
+        );
+        println!("{}", BenchPoint::header());
+        for p in &results.points {
+            println!("{}", p.row());
+        }
+        if let Err(e) = std::fs::create_dir_all(&out_dir) {
+            eprintln!("error: cannot create {}: {e}", out_dir.display());
+            return ExitCode::from(2);
+        }
+        let path = out_dir.join(results.file_name());
+        if let Err(e) = std::fs::write(&path, results.to_json()) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("wrote {}", path.display());
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(raw) = &locks_raw {
+        let mut locks = Vec::new();
+        for name in raw.split(',') {
+            match parse_lock(name.trim()) {
+                Some(l) => locks.push(l),
+                None => {
+                    eprintln!(
+                        "error: unknown lock {name:?} (expected SpRWL, SNZI, BRAVO, \
+                         TLE, RW-LE, RWL, BRLock, BRLock+bias, PF-RWL, MCS-RWL or PRWL)"
+                    );
+                    return usage();
+                }
+            }
+        }
+        cfg.locks = locks;
     }
 
     if det {

@@ -20,6 +20,7 @@
 
 pub mod harness;
 pub mod results;
+pub mod server_sweep;
 pub mod sweep;
 
 pub use harness::{
@@ -28,6 +29,7 @@ pub use harness::{
 };
 pub use results::{
     compare, BenchPoint, BenchResults, CompareReport, Hardware, LatencySummary, Regression,
-    Thresholds, SCHEMA_VERSION,
+    ShardStat, Thresholds, SCHEMA_MINOR, SCHEMA_VERSION,
 };
+pub use server_sweep::{run_server_sweep, tracking_label, ServerSweepConfig};
 pub use sweep::{run_sweep, run_sweep_point, SweepConfig, SweepMode};

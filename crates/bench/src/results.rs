@@ -26,6 +26,30 @@ use sprwl_locks::{AbortCause, CommitMode, LatencyRecorder, SessionStats};
 /// the JSON layout; `bench-compare` refuses to diff mismatched versions.
 pub const SCHEMA_VERSION: u64 = 1;
 
+/// The schema *minor* version: bumped for purely additive growth (new
+/// optional fields, new categories) that old documents simply lack.
+/// Minor 1 added the `schema_minor` field itself, the `server` category,
+/// and the optional per-point `shards` breakdown. Documents without the
+/// field read as minor 0; documents with a *larger* minor than this
+/// build's are refused (they may carry fields we would silently drop),
+/// but `bench-compare` never gates on the minor — old baselines stay
+/// comparable.
+pub const SCHEMA_MINOR: u64 = 1;
+
+/// Per-shard breakdown of one server-category point: integer commit and
+/// abort tallies for the sections routed to one shard.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ShardStat {
+    /// Shard index.
+    pub shard: u64,
+    /// Committed sections routed here (reads and writes).
+    pub commits: u64,
+    /// Aborted speculative attempts routed here.
+    pub aborts: u64,
+    /// Commits per mode, in [`CommitMode::ALL`] order (HTM/ROT/GL/Unins).
+    pub commit_mode: [u64; 4],
+}
+
 /// Latency digest of one role (reader or writer) at one point, ns.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct LatencySummary {
@@ -85,6 +109,9 @@ pub struct BenchPoint {
     pub reader: LatencySummary,
     /// Writer-latency digest.
     pub writer: LatencySummary,
+    /// Per-shard breakdown (server category only; empty elsewhere and
+    /// omitted from the JSON when empty — a schema-minor-1 addition).
+    pub shards: Vec<ShardStat>,
 }
 
 impl BenchPoint {
@@ -110,6 +137,7 @@ impl BenchPoint {
             aborts: AbortCause::ALL.map(|c| stats.aborts_of(c)),
             reader: LatencySummary::from_recorder(&stats.reader_latency),
             writer: LatencySummary::from_recorder(&stats.writer_latency),
+            shards: Vec::new(),
         }
     }
 
@@ -188,6 +216,9 @@ impl Hardware {
 pub struct BenchResults {
     /// Always [`SCHEMA_VERSION`] for documents this module writes.
     pub schema_version: u64,
+    /// Always [`SCHEMA_MINOR`] for documents this module writes; 0 for
+    /// documents predating the field.
+    pub schema_minor: u64,
     /// Result category — the `<category>` of the file name.
     pub category: String,
     /// Capture date, `YYYY-MM-DD`.
@@ -217,6 +248,7 @@ impl BenchResults {
         let mut s = String::with_capacity(4096 + self.points.len() * 512);
         s.push_str("{\n");
         let _ = writeln!(s, "  \"schema_version\": {},", self.schema_version);
+        let _ = writeln!(s, "  \"schema_minor\": {},", self.schema_minor);
         let _ = writeln!(s, "  \"category\": {},", json_string(&self.category));
         let _ = writeln!(s, "  \"date\": {},", json_string(&self.date));
         let _ = writeln!(s, "  \"git_commit\": {},", json_string(&self.git_commit));
@@ -289,6 +321,32 @@ impl BenchResults {
                     s.push_str(",\n");
                 }
             }
+            if !p.shards.is_empty() {
+                s.push_str(",\n     \"shards\": [");
+                for (j, sh) in p.shards.iter().enumerate() {
+                    if j > 0 {
+                        s.push_str(", ");
+                    }
+                    let _ = write!(
+                        s,
+                        "{{\"shard\": {}, \"commits\": {}, \"aborts\": {}, \"commit_mode\": {{",
+                        sh.shard, sh.commits, sh.aborts
+                    );
+                    for (k, m) in CommitMode::ALL.iter().enumerate() {
+                        if k > 0 {
+                            s.push_str(", ");
+                        }
+                        let _ = write!(
+                            s,
+                            "\"{}\": {}",
+                            m.label().to_ascii_lowercase(),
+                            sh.commit_mode[k]
+                        );
+                    }
+                    s.push_str("}}");
+                }
+                s.push(']');
+            }
             s.push('}');
             if i + 1 < self.points.len() {
                 s.push(',');
@@ -314,6 +372,19 @@ impl BenchResults {
                 "unsupported schema_version {schema_version} (this tool reads {SCHEMA_VERSION})"
             ));
         }
+        // Minor versions are additive: older documents (field absent ⇒ 0)
+        // read fine, but a *newer* minor may carry fields this build would
+        // silently drop, so refuse it.
+        let schema_minor = match obj.get("schema_minor") {
+            Some(_) => obj.u64_field("schema_minor")?,
+            None => 0,
+        };
+        if schema_minor > SCHEMA_MINOR {
+            return Err(format!(
+                "unsupported schema_minor {schema_minor} (this tool reads up to {SCHEMA_MINOR}; \
+                 upgrade to read this document)"
+            ));
+        }
         let hardware_v = obj.field("hardware")?;
         let hw = hardware_v.as_obj("hardware")?;
         let params_v = obj.field("params")?;
@@ -327,6 +398,7 @@ impl BenchResults {
         }
         Ok(Self {
             schema_version,
+            schema_minor,
             category: obj.str_field("category")?,
             date: obj.str_field("date")?,
             git_commit: obj.str_field("git_commit")?,
@@ -368,6 +440,24 @@ impl BenchResults {
                 samples: lo.u64_field("samples")?,
             })
         };
+        let mut shards = Vec::new();
+        if let Some(sv) = obj.get("shards") {
+            for shv in sv.as_arr("shards")?.iter() {
+                let sho = shv.as_obj("shard stat")?;
+                let cm = sho.field("commit_mode")?;
+                let cm = cm.as_obj("commit_mode")?;
+                let mut commit_mode = [0u64; 4];
+                for (k, m) in CommitMode::ALL.iter().enumerate() {
+                    commit_mode[k] = cm.u64_field(&m.label().to_ascii_lowercase())?;
+                }
+                shards.push(ShardStat {
+                    shard: sho.u64_field("shard")?,
+                    commits: sho.u64_field("commits")?,
+                    aborts: sho.u64_field("aborts")?,
+                    commit_mode,
+                });
+            }
+        }
         Ok(BenchPoint {
             workload: obj.str_field("workload")?,
             lock: obj.str_field("lock")?,
@@ -380,6 +470,7 @@ impl BenchResults {
             aborts,
             reader: latency("reader")?,
             writer: latency("writer")?,
+            shards,
         })
     }
 }
@@ -868,6 +959,7 @@ mod tests {
         params.insert("ops_per_thread".to_string(), "1500".to_string());
         BenchResults {
             schema_version: SCHEMA_VERSION,
+            schema_minor: SCHEMA_MINOR,
             category: "sweep".into(),
             date: "2026-08-09".into(),
             git_commit: "abc1234".into(),
@@ -899,6 +991,7 @@ mod tests {
                         samples: 5_400,
                     },
                     writer: LatencySummary::default(),
+                    shards: Vec::new(),
                 },
                 BenchPoint {
                     workload: "hot-key".into(),
@@ -926,6 +1019,20 @@ mod tests {
                         max_ns: 40_000,
                         samples: 1_500,
                     },
+                    shards: vec![
+                        ShardStat {
+                            shard: 0,
+                            commits: 3_000,
+                            aborts: 80,
+                            commit_mode: [1_800, 0, 1_200, 0],
+                        },
+                        ShardStat {
+                            shard: 1,
+                            commits: 2_500,
+                            aborts: 41,
+                            commit_mode: [1_500, 0, 1_000, 0],
+                        },
+                    ],
                 },
             ],
         }
@@ -961,6 +1068,43 @@ mod tests {
         let wrong_version = doc.replace("\"schema_version\": 1", "\"schema_version\": 99");
         let err = BenchResults::from_json(&wrong_version).unwrap_err();
         assert!(err.contains("schema_version"), "{err}");
+    }
+
+    #[test]
+    fn newer_schema_minor_is_refused_and_absent_minor_reads_as_zero() {
+        let doc = sample_results().to_json();
+        // A document from a *future* build carries fields we would silently
+        // drop — refuse it.
+        let future = doc.replace(
+            &format!("\"schema_minor\": {SCHEMA_MINOR}"),
+            "\"schema_minor\": 99",
+        );
+        let err = BenchResults::from_json(&future).unwrap_err();
+        assert!(err.contains("schema_minor"), "{err}");
+
+        // A pre-minor document (field absent) is minor 0 and parses fine —
+        // old committed baselines stay readable and comparable.
+        let legacy = doc.replace(&format!("  \"schema_minor\": {SCHEMA_MINOR},\n"), "");
+        let back = BenchResults::from_json(&legacy).expect("legacy doc parses");
+        assert_eq!(back.schema_minor, 0);
+        // compare() never gates on the minor: additive fields can't change
+        // the meaning of shared metrics.
+        let rep = compare(&back, &sample_results(), &Thresholds::default()).unwrap();
+        assert!(rep.regressions.is_empty());
+    }
+
+    #[test]
+    fn per_shard_stats_round_trip_and_are_optional() {
+        let r = sample_results();
+        let json = r.to_json();
+        // Point 0 has no shard stats: the key must be absent entirely so
+        // pre-minor readers of server-free documents see no new keys.
+        assert_eq!(json.matches("\"shards\"").count(), 1);
+        let back = BenchResults::from_json(&json).expect("parses");
+        assert_eq!(back.points[0].shards, Vec::new());
+        assert_eq!(back.points[1].shards.len(), 2);
+        assert_eq!(back.points[1].shards[1].commits, 2_500);
+        assert_eq!(back.points[1].shards[0].commit_mode, [1_800, 0, 1_200, 0]);
     }
 
     #[test]

@@ -28,7 +28,7 @@ use sprwl_workloads::spec::{hashmap_read_cs, hashmap_write_cs};
 use sprwl_workloads::{HashmapSpec, SimHashMap, SweepWorkload};
 
 use crate::harness::{LockKind, WorkerCtx, SEC_HASH_READ, SEC_HASH_WRITE};
-use crate::results::{BenchPoint, BenchResults, Hardware, SCHEMA_VERSION};
+use crate::results::{BenchPoint, BenchResults, Hardware, SCHEMA_MINOR, SCHEMA_VERSION};
 
 /// How a sweep point is driven.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -218,6 +218,7 @@ pub fn run_sweep(cfg: &SweepConfig, date: &str, git_commit: &str) -> BenchResult
     }
     BenchResults {
         schema_version: SCHEMA_VERSION,
+        schema_minor: SCHEMA_MINOR,
         category: cfg.category.clone(),
         date: date.to_string(),
         git_commit: git_commit.to_string(),

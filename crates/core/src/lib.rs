@@ -54,6 +54,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod adaptive;
+mod admission;
 mod composed;
 pub mod config;
 pub mod estimator;

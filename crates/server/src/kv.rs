@@ -1,0 +1,104 @@
+//! One shard's store: a [`SimHashMap`] plus a payload scratch region.
+//!
+//! Values are *op counters*: a SET is a fetch-add-1 returning the old
+//! value (absent keys read as 0). That gives every write a sequential
+//! specification the torture oracle and the linearizability checker can
+//! verify — per-key conservation (`final value == committed SETs`) and
+//! register-bank lincheck semantics — while the *payload* side of a real
+//! SET survives as extra cell writes into the scratch region: the write
+//! section's HTM footprint grows with the drawn payload size, exactly the
+//! capacity pressure a byte-payload store would see.
+
+use htm_sim::{MemAccess, Region, SimMemory, TxResult};
+use sprwl_workloads::SimHashMap;
+
+/// Per-shard KV state in simulated memory.
+#[derive(Debug)]
+pub struct KvShard {
+    map: SimHashMap,
+    payload: Region,
+    payload_cells: usize,
+}
+
+impl KvShard {
+    /// Builds one shard: `n_buckets` chains, room for `capacity` distinct
+    /// keys, `payload_cells` cells of payload scratch (0 disables payload
+    /// pressure), shared by `n_threads` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero sizes (other than `payload_cells`) or when the
+    /// simulated memory is exhausted.
+    pub fn new(
+        mem: &SimMemory,
+        n_buckets: usize,
+        capacity: u32,
+        n_threads: usize,
+        payload_cells: usize,
+    ) -> Self {
+        let map = SimHashMap::new(mem, n_buckets, capacity, n_threads);
+        let payload = mem.alloc_line_aligned(payload_cells.max(1));
+        for c in payload.iter() {
+            mem.init_store(c, 0);
+        }
+        Self {
+            map,
+            payload,
+            payload_cells,
+        }
+    }
+
+    /// Simulated cells one shard needs (for sizing the arena up front).
+    pub fn cells_needed(
+        n_buckets: usize,
+        capacity: u32,
+        n_threads: usize,
+        payload_cells: usize,
+    ) -> usize {
+        SimHashMap::cells_needed(n_buckets, capacity, n_threads) + payload_cells.max(1) + 8
+    }
+
+    /// GET: the key's current counter, `None` when never set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts (infallible under a read guard's
+    /// direct access).
+    pub fn get(&self, a: &mut dyn MemAccess, key: u64) -> TxResult<Option<u64>> {
+        self.map.lookup(a, key)
+    }
+
+    /// SET: fetch-add-1 on the key's counter, returning the old value
+    /// (0 when the key was absent), then `payload_bytes` worth of scratch
+    /// writes at a key-derived offset so the transaction's write footprint
+    /// tracks the payload-size distribution.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts (the whole SET retries).
+    pub fn bump(
+        &self,
+        a: &mut dyn MemAccess,
+        tid: usize,
+        key: u64,
+        payload_bytes: u32,
+    ) -> TxResult<u64> {
+        let old = self.map.lookup(a, key)?.unwrap_or(0);
+        self.map.insert(a, tid, key, old + 1)?;
+        if self.payload_cells > 0 {
+            let cells = (payload_bytes as usize).div_ceil(8).min(self.payload_cells);
+            let base = key as usize % self.payload_cells;
+            for i in 0..cells {
+                let idx = (base + i) % self.payload_cells;
+                a.write(self.payload.cell(idx), key ^ u64::from(payload_bytes))?;
+            }
+        }
+        Ok(old)
+    }
+
+    /// Post-run, non-transactional read of a key's final counter (store
+    /// dumps after every worker joined).
+    pub fn peek(&self, mem: &SimMemory, key: u64) -> Option<u64> {
+        self.map.lookup_peek(mem, key)
+    }
+}

@@ -1,0 +1,38 @@
+//! # sprwl-server — a sharded async KV service over SpRWL
+//!
+//! The paper pitches SpRWL at reader-dominated *services*; this crate is
+//! that scenario made concrete and testable:
+//!
+//! * [`router`] — hashed key → shard routing (one [`sprwl::SpRwl`] per
+//!   shard, any reader-tracking flavour including BRAVO bias).
+//! * [`kv`] — per-shard store: a [`sprwl_workloads::SimHashMap`] of op
+//!   counters plus a payload scratch region so write footprints track the
+//!   redis payload-size distribution.
+//! * [`guards`] + [`wake`] + [`exec`] — the async front-end: future-based
+//!   `read()`/`write()` acquisition that parks waiters on a per-shard
+//!   wake-list instead of spinning, driven by a minimal in-crate
+//!   `block_on` (no tokio; consistent with the offline-shims approach).
+//!   Futures are cancel-safe: dropping one mid-acquire leaks no reader
+//!   slot, bias state, or anti-starvation ticket.
+//! * [`service`] — the deterministic driver: a worker pool pushing
+//!   [`sprwl_workloads::redis`] traffic through the shards, with
+//!   per-shard statistics, `lin-*` histories for the linearizability
+//!   checker, a conservation oracle over the final store contents, and
+//!   byte-identical reruns under the deterministic scheduler.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod exec;
+pub mod guards;
+pub mod kv;
+pub mod router;
+pub mod service;
+pub mod wake;
+
+pub use exec::block_on;
+pub use guards::{ReadFuture, ReadGuard, ShardLock, WriteFuture};
+pub use kv::KvShard;
+pub use router::shard_of;
+pub use service::{run_det, run_det_with, split_lin_traces, ServerConfig, ServerRun, ShardTotals};
+pub use wake::WakeList;

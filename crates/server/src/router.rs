@@ -1,0 +1,54 @@
+//! Key → shard routing.
+//!
+//! Fibonacci hashing (multiply by 2⁶⁴/φ, keep the high bits) spreads the
+//! dense, low-entropy ids the redis-shaped generator draws across shards
+//! far better than `key % n` would — adjacent keys land on different
+//! shards, so a zipfian hot range does not collapse onto one lock.
+
+/// Routes a key id to a shard in `0..n_shards`.
+///
+/// Pure and total: the same `(key, n_shards)` always maps to the same
+/// shard, which is what lets an oracle recompute every op's shard from a
+/// trace after the fact.
+///
+/// # Panics
+///
+/// Panics when `n_shards` is zero.
+#[inline]
+pub fn shard_of(key: u64, n_shards: usize) -> usize {
+    assert!(n_shards > 0, "need at least one shard");
+    let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+    // h < 2^32, so h * n >> 32 is an exact range reduction to 0..n.
+    ((h * n_shards as u64) >> 32) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_in_range_and_is_stable() {
+        for n in 1..9 {
+            for key in 0..10_000u64 {
+                let s = shard_of(key, n);
+                assert!(s < n);
+                assert_eq!(s, shard_of(key, n), "routing must be pure");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_ids_spread_across_shards() {
+        let n = 8;
+        let mut counts = vec![0u64; n];
+        for key in 0..8_000u64 {
+            counts[shard_of(key, n)] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(
+                (700..=1_300).contains(&c),
+                "shard {s} got {c}/8000 dense keys — router is lumpy"
+            );
+        }
+    }
+}

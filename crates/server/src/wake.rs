@@ -1,0 +1,52 @@
+//! A wake-list: where pending `read()`/`write()` futures park their wakers
+//! instead of spinning on the lock word.
+//!
+//! One list per shard. Writers notify it after every completed write
+//! section (the only event that can unblock a parked acquirer). The
+//! critical sections below touch no simulated memory, so holding the
+//! `std` mutex never waits on a deterministic-scheduler turn — a parked
+//! OS thread can always be unblocked by the holder finishing its push.
+
+use std::sync::Mutex;
+use std::task::Waker;
+
+/// A set of wakers waiting for a shard's admission state to change.
+#[derive(Debug, Default)]
+pub struct WakeList {
+    wakers: Mutex<Vec<Waker>>,
+}
+
+impl WakeList {
+    /// An empty wake-list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parks `waker` until the next [`WakeList::notify_all`].
+    ///
+    /// Callers must re-check their admission condition *after* registering
+    /// (the state may have changed between the failed attempt and the
+    /// registration); spurious wakes are therefore harmless.
+    pub fn register(&self, waker: &Waker) {
+        self.wakers
+            .lock()
+            .expect("wake-list poisoned")
+            .push(waker.clone());
+    }
+
+    /// Wakes every parked future. Called after each completed write
+    /// section; also safe to call with nobody parked.
+    pub fn notify_all(&self) {
+        let drained = std::mem::take(&mut *self.wakers.lock().expect("wake-list poisoned"));
+        // Wake outside the lock so a waker that polls inline cannot
+        // re-enter the list while we hold it.
+        for w in drained {
+            w.wake();
+        }
+    }
+
+    /// Number of currently parked wakers (tests and introspection).
+    pub fn parked(&self) -> usize {
+        self.wakers.lock().expect("wake-list poisoned").len()
+    }
+}

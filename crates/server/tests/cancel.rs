@@ -1,0 +1,215 @@
+//! Cancellation-safety of the async guards: dropping a `read()`/`write()`
+//! future at any point of its acquisition protocol — never polled, parked
+//! mid-acquire (anti-starvation ticket published), or resolved with the
+//! guard unused — must leak no reader slot, no bias state, and no
+//! registration that would fail the lock's quiescence sweep.
+
+use std::future::Future;
+use std::pin::pin;
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+
+use htm_sim::{Htm, HtmConfig};
+use sprwl::{ReaderTracking, SpRwl, SprwlConfig};
+use sprwl_locks::RwSync;
+use sprwl_server::ShardLock;
+
+struct NoopWake;
+impl Wake for NoopWake {
+    fn wake(self: Arc<Self>) {}
+}
+
+fn poll_once<F: Future>(fut: &mut std::pin::Pin<&mut F>) -> Poll<F::Output> {
+    let waker = Waker::from(Arc::new(NoopWake));
+    let mut cx = Context::from_waker(&waker);
+    fut.as_mut().poll(&mut cx)
+}
+
+fn htm() -> Htm {
+    Htm::new(
+        HtmConfig {
+            max_threads: 4,
+            ..HtmConfig::default()
+        },
+        8192,
+    )
+}
+
+fn versioned(tracking: ReaderTracking) -> SprwlConfig {
+    SprwlConfig {
+        reader_tracking: tracking,
+        versioned_sgl: true,
+        ..SprwlConfig::default()
+    }
+}
+
+#[test]
+fn dropping_an_unpolled_read_future_leaves_no_state() {
+    let htm = htm();
+    let shard = ShardLock::new(SpRwl::new(&htm, versioned(ReaderTracking::Snzi)));
+    let d = htm.direct(0);
+    drop(shard.read(d, 0));
+    shard
+        .lock()
+        .check_quiescent(htm.memory())
+        .expect("unpolled future must leave the lock untouched");
+}
+
+#[test]
+fn dropping_a_parked_read_future_clears_the_published_ticket() {
+    let htm = htm();
+    let shard = ShardLock::new(SpRwl::new(&htm, versioned(ReaderTracking::Snzi)));
+    let writer = htm.direct(1);
+    shard.lock().debug_fallback_acquire(&writer);
+
+    let d = htm.direct(0);
+    {
+        let mut fut = pin!(shard.read(d, 0));
+        assert!(
+            poll_once(&mut fut).is_pending(),
+            "a fallback holder must defer the reader"
+        );
+        // The pending poll published the §3.3 anti-starvation ticket and
+        // parked the waker — this is the "after slot publish" drop point.
+        assert!(shard.lock().read_admission_pending(0));
+        assert_eq!(shard.wake().parked(), 1);
+    }
+    // Future dropped: the ticket must be gone even though the fallback
+    // writer is still in flight.
+    assert!(!shard.lock().read_admission_pending(0));
+
+    shard.lock().debug_fallback_release(&writer);
+    shard
+        .lock()
+        .check_quiescent(htm.memory())
+        .expect("cancelled acquire must not wedge quiescence");
+}
+
+#[test]
+fn dropping_a_resolved_but_unused_guard_releases_the_slot() {
+    let htm = htm();
+    let shard = ShardLock::new(SpRwl::new(&htm, versioned(ReaderTracking::Snzi)));
+    let d = htm.direct(0);
+    {
+        let mut fut = pin!(shard.read(d, 0));
+        let Poll::Ready(guard) = poll_once(&mut fut) else {
+            panic!("idle lock must admit immediately");
+        };
+        drop(guard);
+    }
+    shard
+        .lock()
+        .check_quiescent(htm.memory())
+        .expect("guard drop must withdraw the announcement");
+}
+
+#[test]
+fn cancelled_reader_does_not_stall_the_fallback_writer_drain() {
+    // The invariant behind cancel-safety: a future that returned Pending is
+    // NOT announced, so a fallback writer draining readers never waits on a
+    // cancelled acquirer.
+    let htm = htm();
+    let shard = ShardLock::new(SpRwl::new(&htm, versioned(ReaderTracking::Snzi)));
+    let writer = htm.direct(1);
+    shard.lock().debug_fallback_acquire(&writer);
+    {
+        let mut fut = pin!(shard.read(htm.direct(0), 0));
+        assert!(poll_once(&mut fut).is_pending());
+        assert!(
+            !shard.lock().debug_any_reader_active(&writer, 1),
+            "a pending future must not look like an active reader"
+        );
+    }
+    shard.lock().debug_fallback_release(&writer);
+    shard.lock().check_quiescent(htm.memory()).expect("clean");
+}
+
+#[test]
+fn bravo_bias_survives_cancelled_and_completed_async_readers() {
+    let htm = htm();
+    let shard = ShardLock::new(SpRwl::new(&htm, versioned(ReaderTracking::Bravo)));
+    let mem = htm.memory();
+    let d = htm.direct(0);
+
+    // Completed round trips first: arm the bias word via the fast path.
+    for _ in 0..4 {
+        let mut fut = pin!(shard.read(d, 0));
+        let Poll::Ready(guard) = poll_once(&mut fut) else {
+            panic!("idle BRAVO lock must admit");
+        };
+        drop(guard);
+    }
+
+    // Now cancel a parked acquire under a fallback writer.
+    let writer = htm.direct(1);
+    shard.lock().debug_fallback_acquire(&writer);
+    {
+        let mut fut = pin!(shard.read(d, 0));
+        assert!(poll_once(&mut fut).is_pending());
+    }
+    shard.lock().debug_fallback_release(&writer);
+
+    // Neither the visible table nor the bias word may be stuck.
+    shard
+        .lock()
+        .check_quiescent(mem)
+        .expect("bias word and visible table must be balanced after cancellation");
+
+    // And the lock still works: one more full round trip.
+    let mut fut = pin!(shard.read(d, 0));
+    let Poll::Ready(guard) = poll_once(&mut fut) else {
+        panic!("BRAVO lock must still admit after a cancelled acquire");
+    };
+    drop(guard);
+    shard.lock().check_quiescent(mem).expect("clean");
+}
+
+#[test]
+fn dropping_a_parked_write_future_leaves_no_state() {
+    let htm = htm();
+    let shard = ShardLock::new(SpRwl::new(&htm, versioned(ReaderTracking::Snzi)));
+    let holder = htm.direct(1);
+    shard.lock().debug_fallback_acquire(&holder);
+    {
+        let mut fut = pin!(shard.write_ready(htm.direct(0)));
+        assert!(
+            poll_once(&mut fut).is_pending(),
+            "a held fallback must defer the writer probe"
+        );
+        assert_eq!(shard.wake().parked(), 1);
+    }
+    shard.lock().debug_fallback_release(&holder);
+    shard
+        .lock()
+        .check_quiescent(htm.memory())
+        .expect("the write probe registers nothing to leak");
+}
+
+#[test]
+fn notify_unparks_and_admission_resumes() {
+    // End-to-end wake path: a parked read future resolves after the writer
+    // releases and notifies, from a dynamically acquired (churn) slot —
+    // the worker-pool grow/shrink shape.
+    let htm = htm();
+    let shard = ShardLock::new(SpRwl::new(&htm, versioned(ReaderTracking::Snzi)));
+    let ctx = htm.acquire_thread();
+    let tid = ctx.tid();
+    let writer = htm.direct(3);
+    shard.lock().debug_fallback_acquire(&writer);
+
+    let mut fut = pin!(shard.read(ctx.direct(), tid));
+    assert!(poll_once(&mut fut).is_pending());
+    // First failed attempt registered the versioned ticket; the release
+    // advances nothing yet, so a second poll still pends.
+    assert!(poll_once(&mut fut).is_pending());
+
+    shard.lock().debug_fallback_release(&writer);
+    shard.wake().notify_all();
+    let Poll::Ready(guard) = poll_once(&mut fut) else {
+        panic!("released fallback must admit the parked reader");
+    };
+    drop(guard);
+    drop(ctx);
+    shard.lock().check_quiescent(htm.memory()).expect("clean");
+    assert_eq!(htm.active_threads(), 0, "churn slot must be released");
+}

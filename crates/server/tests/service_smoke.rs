@@ -1,0 +1,88 @@
+//! End-to-end service runs: conservation, quiescence, per-shard
+//! statistics, and per-shard linearizability verdicts from recorded
+//! `lin-*` histories.
+
+use sprwl::ReaderTracking;
+use sprwl_lincheck::{check, CheckConfig, History, Verdict};
+use sprwl_server::{run_det, split_lin_traces, ServerConfig};
+
+#[test]
+fn smoke_run_conserves_and_quiesces() {
+    for tracking in [ReaderTracking::Snzi, ReaderTracking::Bravo] {
+        let cfg = ServerConfig {
+            tracking,
+            ..ServerConfig::smoke()
+        };
+        let run = run_det(&cfg);
+        run.quiescence.as_ref().expect("all shards quiescent");
+        run.check_conservation()
+            .expect("store conserves increments");
+        assert!(run.merged.total_commits() > 0, "{tracking:?}: no commits");
+        assert_eq!(run.shards.len(), cfg.shards);
+        // Reads are uninstrumented; every shard that saw traffic reports
+        // its own breakdown and the per-shard stats sum to the merged ones.
+        let shard_commits: u64 = run.shards.iter().map(|s| s.stats.total_commits()).sum();
+        assert_eq!(shard_commits, run.merged.total_commits());
+        assert!(
+            run.shards
+                .iter()
+                .filter(|s| s.stats.total_commits() > 0)
+                .count()
+                >= 2,
+            "{tracking:?}: traffic collapsed onto fewer than 2 shards"
+        );
+    }
+}
+
+#[test]
+fn per_shard_histories_are_linearizable() {
+    let mut cfg = ServerConfig {
+        lin_marks: true,
+        ops_per_worker: 120,
+        warmup_ops: 8,
+        ..ServerConfig::smoke()
+    };
+    cfg.trace = cfg.lin_ring();
+    let run = run_det(&cfg);
+    run.quiescence.as_ref().expect("quiescent");
+    run.check_conservation().expect("conserves");
+
+    let per_shard = split_lin_traces(&run.traces, cfg.shards);
+    assert_eq!(per_shard.len(), cfg.shards);
+    let mut checked = 0usize;
+    for (s, traces) in per_shard.iter().enumerate() {
+        if traces.is_empty() {
+            continue;
+        }
+        let hist = History::from_traces(traces).expect("well-formed mark stream");
+        if hist.total_ops() == 0 {
+            continue;
+        }
+        match check(&hist, &CheckConfig::default()) {
+            Verdict::Linearizable => checked += 1,
+            v => panic!("shard {s}: history not linearizable: {v:?}"),
+        }
+    }
+    assert!(
+        checked >= 2,
+        "only {checked} shards produced checkable histories"
+    );
+}
+
+#[test]
+fn extra_worker_changes_interleaving_but_conserves() {
+    let base = ServerConfig::smoke();
+    let bigger = ServerConfig {
+        workers: base.workers + 1,
+        ..base.clone()
+    };
+    let a = run_det(&base);
+    let b = run_det(&bigger);
+    a.check_conservation().expect("base run conserves");
+    b.check_conservation().expect("bigger run conserves");
+    b.quiescence.as_ref().expect("bigger run quiescent");
+    // One extra worker means strictly more committed increments overall
+    // (every worker commits all its ops; nothing is load-balanced away).
+    let incr = |r: &sprwl_server::ServerRun| r.shards.iter().map(|s| s.increments).sum::<u64>();
+    assert!(incr(&b) > incr(&a), "extra worker added no increments");
+}

@@ -82,7 +82,9 @@ use sprwl_locks::{
     BrLock, CommitMode, LockThread, McsRwLock, PassiveRwLock, PhaseFairRwLock, PthreadRwLock, Role,
     RwLe, RwSync, SectionId, SessionStats, Tle,
 };
+use sprwl_server::ServerConfig as KvServerConfig;
 use sprwl_trace::{export, EventKind, ThreadTrace, TraceBuffer, TraceConfig};
+use sprwl_workloads::redis::RedisSpec;
 
 pub mod explore;
 
@@ -292,6 +294,15 @@ pub enum Workload {
     /// both in one critical section (see [`sprwl::SpRwlPair`]). Requires
     /// [`LockKind::Sprwl`]; the same config instantiates both locks.
     CrossBank(CrossNesting),
+    /// The whole `sprwl-server` sharded async KV service end-to-end:
+    /// hashed key routing over [`TortureSpec::pairs`] shards (one SpRWL
+    /// each), future-based guard acquisition parked on wake-lists, and
+    /// redis-shaped GET/SET/MSET traffic. "Pair" `p` of the oracle is
+    /// shard `p`'s store: its final counter sum must equal the committed
+    /// increments every worker routed there. Requires
+    /// [`LockKind::Sprwl`] (its `reader_tracking` configures every shard)
+    /// and a deterministic scheduler.
+    ServerKv,
 }
 
 /// One torture case: a lock, a fault model, and a workload shape.
@@ -969,6 +980,7 @@ fn execute_case(
     match spec.workload {
         Workload::Mirror => execute_mirror(spec, htm_cfg, case_seed, build),
         Workload::CrossBank(nesting) => execute_cross(spec, htm_cfg, case_seed, nesting),
+        Workload::ServerKv => execute_server(spec, htm_cfg, case_seed),
     }
 }
 
@@ -1076,6 +1088,100 @@ fn execute_cross(
         quiescence,
         schedule,
         sched_divergence,
+    }
+}
+
+/// Sharded-KV service execution: drives the entire `sprwl-server` stack
+/// under this case's fault model and resolved schedule seed, then maps
+/// the run onto the oracle's shape. Shard `p` plays mirror pair `p`:
+/// `pairs_final[p]` holds the shard's final counter sum on both sides and
+/// each worker's `incr[p]` its committed increments routed there, so a
+/// store/increment imbalance surfaces through the same lost/ghost-update
+/// check as mirror-bank divergence. Worker stats, quiescence (shard locks
+/// plus slot release), the decision trace, and the recorded `lin-*`
+/// history all feed the shared judges unchanged.
+fn execute_server(spec: &TortureSpec, htm_cfg: &HtmConfig, case_seed: u64) -> CaseRun {
+    let LockKind::Sprwl(lock_cfg) = &spec.lock else {
+        panic!(
+            "server-kv torture case `{}` requires LockKind::Sprwl",
+            spec.name
+        );
+    };
+    let SchedulerKind::Deterministic { schedule_seed } = htm_cfg.scheduler else {
+        panic!(
+            "server-kv torture case `{}` is deterministic-only (the service parks \
+             futures on scheduler yield points)",
+            spec.name
+        );
+    };
+    // Mirror `write_pct` onto the redis mix: the non-GET share splits
+    // 3:1 between single-key SETs and multi-key MSETs.
+    let write_pct = spec.write_pct.min(90);
+    let mut server = KvServerConfig {
+        shards: spec.pairs,
+        workers: spec.threads,
+        warmup_ops: 8,
+        ops_per_worker: spec.ops_per_thread,
+        seed: case_seed,
+        schedule_seed,
+        spec: RedisSpec {
+            keyspace: spec.pairs as u64 * 64,
+            get_pct: 100 - write_pct,
+            set_pct: write_pct - write_pct / 4,
+            mset_keys: 3,
+            ..RedisSpec::service_default()
+        },
+        tracking: lock_cfg.reader_tracking,
+        buckets_per_shard: 32,
+        payload_cells: 16,
+        trace: TraceConfig::Off,
+        lin_marks: spec.lincheck,
+    };
+    server.trace = if spec.lincheck {
+        server.lin_ring()
+    } else {
+        worker_trace(spec)
+    };
+    let run = sprwl_server::run_det_with(&server, htm_cfg.clone());
+
+    let pairs_final: Vec<(u64, u64)> = run
+        .dump
+        .iter()
+        .map(|shard| {
+            let sum: u64 = shard.iter().map(|&(_, v)| v).sum();
+            (sum, sum)
+        })
+        .collect();
+    let mut traces = run.traces.into_iter();
+    let outs: Vec<ThreadOut> = run
+        .worker_stats
+        .into_iter()
+        .zip(run.worker_increments)
+        .map(|(stats, incr)| {
+            let reader_ops: u64 = CommitMode::ALL
+                .iter()
+                .map(|&m| stats.commits_by(Role::Reader, m))
+                .sum();
+            let writer_ops: u64 = CommitMode::ALL
+                .iter()
+                .map(|&m| stats.commits_by(Role::Writer, m))
+                .sum();
+            ThreadOut {
+                incr,
+                reader_ops,
+                writer_ops,
+                torn: None,
+                stats,
+                trace: traces.next().expect("one trace per service worker"),
+            }
+        })
+        .collect();
+    CaseRun {
+        outs,
+        pairs_final,
+        quiescence: run.quiescence,
+        schedule: run.schedule,
+        sched_divergence: run.sched_divergence,
     }
 }
 
@@ -1762,12 +1868,43 @@ pub fn det_matrix(threads: usize, ops_per_thread: usize) -> Vec<TortureSpec> {
             CrossNesting::ReadInWriter,
             HtmConfig {
                 interrupt_prob: 0.05,
-                ..det
+                ..det.clone()
             },
         ),
     ] {
         let mut spec = base(name.into(), LockKind::Sprwl(SprwlConfig::default()), htm);
         spec.workload = Workload::CrossBank(nesting);
+        m.push(spec);
+    }
+
+    // The sharded async KV service end-to-end (`sprwl-server`): hashed
+    // routing over per-shard SpRWLs, future-based acquisition, redis
+    // GET/SET/MSET traffic — judged by the shared oracle (per-shard
+    // conservation, quiescence, slot release, stats accounting) plus the
+    // linearizability checker over the recorded per-op history.
+    for (name, cfg) in [
+        ("det-server-kv-snzi", SprwlConfig::with_snzi()),
+        ("det-server-kv-bravo", SprwlConfig::with_bravo()),
+        (
+            "det-server-kv-int5",
+            SprwlConfig {
+                readers_try_htm: false,
+                versioned_sgl: true,
+                ..SprwlConfig::default()
+            },
+        ),
+    ] {
+        let htm = if name.ends_with("int5") {
+            HtmConfig {
+                interrupt_prob: 0.05,
+                ..det.clone()
+            }
+        } else {
+            det.clone()
+        };
+        let mut spec = base(name.into(), LockKind::Sprwl(cfg), htm);
+        spec.workload = Workload::ServerKv;
+        spec.pairs = 4; // shard count
         m.push(spec);
     }
 

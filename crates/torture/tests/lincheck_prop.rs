@@ -23,6 +23,7 @@ fn det_spec(schedule_seed: u64, workload: Workload) -> TortureSpec {
         name: match workload {
             Workload::Mirror => "prop-det-mirror".into(),
             Workload::CrossBank(_) => "prop-det-cross".into(),
+            Workload::ServerKv => "prop-det-server-kv".into(),
         },
         lock: LockKind::Sprwl(SprwlConfig::default()),
         htm: HtmConfig {
@@ -51,7 +52,11 @@ proptest! {
         base_seed in 1u64..0xFFFF_FFFF,
         schedule_seed in 1u64..0xFFFF_FFFF,
     ) {
-        for workload in [Workload::Mirror, Workload::CrossBank(CrossNesting::Mixed)] {
+        for workload in [
+            Workload::Mirror,
+            Workload::CrossBank(CrossNesting::Mixed),
+            Workload::ServerKv,
+        ] {
             let spec = det_spec(schedule_seed, workload);
             let art = run_case_artifacts(&spec, base_seed);
             let summary = art.outcome.as_ref().unwrap_or_else(|e| {

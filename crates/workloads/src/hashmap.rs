@@ -76,6 +76,20 @@ impl SimHashMap {
         Ok(None)
     }
 
+    /// Non-transactional lookup through [`SimMemory::peek`], for post-run
+    /// oracles (e.g. dumping a KV store's final contents after every
+    /// worker joined). Only meaningful while no thread is mutating the map.
+    pub fn lookup_peek(&self, mem: &SimMemory, key: u64) -> Option<u64> {
+        let mut cur = NodeRef::decode(mem.peek(self.buckets.cell(self.bucket_of(key))));
+        while let Some(node) = cur {
+            if mem.peek(self.slab.cell(node, F_KEY)) == key {
+                return Some(mem.peek(self.slab.cell(node, F_VALUE)));
+            }
+            cur = NodeRef::decode(mem.peek(self.slab.cell(node, F_NEXT)));
+        }
+        None
+    }
+
     /// Inserts `key → value`; updates in place when present. Returns `true`
     /// when a new node was added, `false` on update or when the slab is
     /// exhausted.

@@ -15,18 +15,23 @@
 //!   paper did — to run each transaction under a single global read-write
 //!   lock (read-only Stock-Level/Order-Status as read critical sections).
 //!
-//! Plus the [`alloc::Slab`] node allocator both build on, and the
-//! [`spec`] module describing workload mixes for the benchmark harness.
+//! Plus the [`alloc::Slab`] node allocator both build on, the [`spec`]
+//! module describing workload mixes for the benchmark harness, and the
+//! [`redis`] module: a deterministic redis-benchmark-shaped operation
+//! generator (GET/SET/MSET mix, `key:{rand}` keyspace, payload sizes,
+//! uniform or zipfian popularity) driving the `sprwl-server` KV service.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod alloc;
 pub mod hashmap;
+pub mod redis;
 pub mod sortedlist;
 pub mod spec;
 pub mod tpcc;
 
 pub use hashmap::SimHashMap;
+pub use redis::{RedisGen, RedisOp, RedisSpec};
 pub use sortedlist::SortedList;
 pub use spec::{HashmapSpec, Mix, SweepWorkload};

@@ -1,0 +1,387 @@
+//! A redis-benchmark-shaped workload generator for the sharded KV
+//! service (`sprwl-server`).
+//!
+//! `redis-benchmark` drives a server with `GET`/`SET`/`MSET` commands over
+//! keys of the form `key:<12-digit random integer>` drawn from a
+//! configurable keyspace (`-r`), with a configurable payload size (`-d`).
+//! This module reproduces that shape deterministically: a seeded
+//! [`RedisGen`] yields an operation stream with a configurable GET/SET/MSET
+//! mix, a payload-size distribution, and either uniform or zipfian key
+//! popularity (service traffic is rarely uniform; the zipfian option is the
+//! YCSB-style skew every KV study leans on).
+//!
+//! Key ids stay `u64` internally — [`format_key`]/[`parse_key`] give the
+//! wire form for exports and round-trip exactly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of digits in the wire form of a key (`key:000000000042`),
+/// matching redis-benchmark's 12-digit random-key substitution.
+pub const KEY_DIGITS: usize = 12;
+
+/// Renders a key id in redis-benchmark wire form: `key:{rand}` with the id
+/// zero-padded to [`KEY_DIGITS`] digits.
+pub fn format_key(id: u64) -> String {
+    format!("key:{id:012}")
+}
+
+/// Parses the [`format_key`] wire form back to a key id. Returns `None`
+/// for anything but an exactly-12-digit `key:` string (no sign, no spaces,
+/// no overlong ids) — the generator never emits those, so a round-trip
+/// failure means corruption, not leniency.
+pub fn parse_key(s: &str) -> Option<u64> {
+    let digits = s.strip_prefix("key:")?;
+    if digits.len() != KEY_DIGITS || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse::<u64>().ok()
+}
+
+/// Payload-size distribution: uniform over `[min_bytes, max_bytes]`
+/// (inclusive). `min == max` models redis-benchmark's fixed `-d` size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PayloadDist {
+    /// Smallest payload, bytes.
+    pub min_bytes: u32,
+    /// Largest payload, bytes (inclusive).
+    pub max_bytes: u32,
+}
+
+impl PayloadDist {
+    /// A fixed payload size (redis-benchmark `-d`).
+    pub fn fixed(bytes: u32) -> Self {
+        Self {
+            min_bytes: bytes,
+            max_bytes: bytes,
+        }
+    }
+
+    /// Draws one payload size.
+    pub fn draw(&self, rng: &mut StdRng) -> u32 {
+        if self.min_bytes >= self.max_bytes {
+            return self.min_bytes;
+        }
+        rng.gen_range(self.min_bytes..=self.max_bytes)
+    }
+}
+
+impl Default for PayloadDist {
+    /// redis-benchmark's default `-d 3`.
+    fn default() -> Self {
+        Self::fixed(3)
+    }
+}
+
+/// How keys are drawn from the keyspace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDist {
+    /// Uniform over the keyspace (redis-benchmark `-r`).
+    Uniform,
+    /// YCSB-style zipfian with the given exponent `theta` in `(0, 1)`;
+    /// rank 0 is the hottest key.
+    Zipfian {
+        /// Skew exponent (0.99 is the YCSB default).
+        theta: f64,
+    },
+}
+
+/// The full workload shape: keyspace, mix, payloads, key popularity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RedisSpec {
+    /// Distinct keys (ids `0..keyspace`); services run this in the
+    /// millions, tests keep it small.
+    pub keyspace: u64,
+    /// Percent of operations that are `GET`.
+    pub get_pct: u32,
+    /// Percent of operations that are `SET` (the remainder are `MSET`).
+    pub set_pct: u32,
+    /// Keys per `MSET`.
+    pub mset_keys: usize,
+    /// Payload-size distribution for `SET`/`MSET` values.
+    pub payload: PayloadDist,
+    /// Key-popularity distribution.
+    pub key_dist: KeyDist,
+}
+
+impl RedisSpec {
+    /// The redis-benchmark default shape scaled to service traffic:
+    /// read-dominated (90/9/1 GET/SET/MSET) over a million-key uniform
+    /// keyspace with 3-byte payloads.
+    pub fn service_default() -> Self {
+        Self {
+            keyspace: 1_000_000,
+            get_pct: 90,
+            set_pct: 9,
+            mset_keys: 4,
+            payload: PayloadDist::default(),
+            key_dist: KeyDist::Uniform,
+        }
+    }
+
+    /// A skewed variant: same mix over a zipfian(0.99) draw.
+    pub fn service_zipf() -> Self {
+        Self {
+            key_dist: KeyDist::Zipfian { theta: 0.99 },
+            ..Self::service_default()
+        }
+    }
+
+    /// Validates the shape; generator construction asserts this.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.keyspace == 0 {
+            return Err("keyspace must be non-zero".into());
+        }
+        if self.get_pct + self.set_pct > 100 {
+            return Err(format!(
+                "mix overflows 100%: get {}% + set {}%",
+                self.get_pct, self.set_pct
+            ));
+        }
+        if self.mset_keys == 0 && self.get_pct + self.set_pct < 100 {
+            return Err("MSET share is non-zero but mset_keys is 0".into());
+        }
+        if let KeyDist::Zipfian { theta } = self.key_dist {
+            if !(0.0..1.0).contains(&theta) {
+                return Err(format!("zipfian theta {theta} outside (0, 1)"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for RedisSpec {
+    fn default() -> Self {
+        Self::service_default()
+    }
+}
+
+/// One generated operation. Key ids are `0..keyspace`; render with
+/// [`format_key`] when a wire form is needed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RedisOp {
+    /// Read one key.
+    Get {
+        /// The key id.
+        key: u64,
+    },
+    /// Write one key with a payload of the given size.
+    Set {
+        /// The key id.
+        key: u64,
+        /// Payload size, bytes.
+        payload_bytes: u32,
+    },
+    /// Write several keys atomically, all with the same payload size.
+    MSet {
+        /// The key ids (may repeat; consumers dedup per atomicity domain).
+        keys: Vec<u64>,
+        /// Payload size, bytes.
+        payload_bytes: u32,
+    },
+}
+
+impl RedisOp {
+    /// Stable label for mix accounting.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RedisOp::Get { .. } => "GET",
+            RedisOp::Set { .. } => "SET",
+            RedisOp::MSet { .. } => "MSET",
+        }
+    }
+}
+
+/// Deterministic operation-stream generator: same `(spec, seed)` → same
+/// stream, on any host (the RNG is the workspace's seeded xoshiro shim).
+#[derive(Debug, Clone)]
+pub struct RedisGen {
+    spec: RedisSpec,
+    rng: StdRng,
+    zipf: Option<Zipf>,
+}
+
+impl RedisGen {
+    /// Builds a generator for `spec` seeded with `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the spec fails [`RedisSpec::validate`].
+    pub fn new(spec: RedisSpec, seed: u64) -> Self {
+        if let Err(e) = spec.validate() {
+            panic!("invalid RedisSpec: {e}");
+        }
+        let zipf = match spec.key_dist {
+            KeyDist::Uniform => None,
+            KeyDist::Zipfian { theta } => Some(Zipf::new(spec.keyspace, theta)),
+        };
+        Self {
+            spec,
+            rng: StdRng::seed_from_u64(seed),
+            zipf,
+        }
+    }
+
+    /// The spec this generator draws from.
+    pub fn spec(&self) -> &RedisSpec {
+        &self.spec
+    }
+
+    /// Draws one key id in `0..keyspace` under the configured popularity.
+    /// The zipfian rank is decorrelated from the key id (rank 0 must not
+    /// always be key 0, or every skewed run would hammer shard 0).
+    pub fn draw_key(&mut self) -> u64 {
+        match &self.zipf {
+            None => self.rng.gen_range(0..self.spec.keyspace),
+            Some(z) => {
+                let rank = z.draw(&mut self.rng);
+                // Scramble rank → id so hot ranks scatter across the
+                // keyspace (and thus the shards). The +1 keeps rank 0 off
+                // the multiplicative fixed point at id 0.
+                (rank + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) % self.spec.keyspace
+            }
+        }
+    }
+
+    /// Generates the next operation.
+    pub fn next_op(&mut self) -> RedisOp {
+        let roll = self.rng.gen_range(0..100u32);
+        if roll < self.spec.get_pct {
+            RedisOp::Get {
+                key: self.draw_key(),
+            }
+        } else if roll < self.spec.get_pct + self.spec.set_pct {
+            let payload_bytes = self.spec.payload.draw(&mut self.rng);
+            RedisOp::Set {
+                key: self.draw_key(),
+                payload_bytes,
+            }
+        } else {
+            let payload_bytes = self.spec.payload.draw(&mut self.rng);
+            let keys = (0..self.spec.mset_keys).map(|_| self.draw_key()).collect();
+            RedisOp::MSet {
+                keys,
+                payload_bytes,
+            }
+        }
+    }
+}
+
+/// YCSB-style zipfian sampler (Gray et al.): draws ranks in `0..n` with
+/// `P(rank) ∝ 1/(rank+1)^theta`. The zeta normalizer is computed once at
+/// construction — O(n), paid off over millions of draws.
+#[derive(Debug, Clone)]
+struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipf {
+    fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0);
+        let mut zetan = 0.0;
+        for i in 1..=n {
+            zetan += 1.0 / (i as f64).powf(theta);
+        }
+        let zeta2 = 1.0 + 1.0 / 2f64.powf(theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Self {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
+    }
+
+    fn draw(&self, rng: &mut StdRng) -> u64 {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if self.n >= 2 && uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_wire_form_round_trips() {
+        for id in [0u64, 1, 42, 999_999_999_999] {
+            assert_eq!(parse_key(&format_key(id)), Some(id));
+        }
+        assert_eq!(format_key(42), "key:000000000042");
+        assert_eq!(parse_key("key:42"), None, "unpadded");
+        assert_eq!(parse_key("k:000000000042"), None, "wrong prefix");
+        assert_eq!(parse_key("key:00000000004x"), None, "non-digit");
+        assert_eq!(parse_key("key:0000000000042"), None, "overlong");
+    }
+
+    #[test]
+    fn generator_is_deterministic_per_seed() {
+        for spec in [RedisSpec::service_default(), RedisSpec::service_zipf()] {
+            let mut a = RedisGen::new(spec.clone(), 7);
+            let mut b = RedisGen::new(spec.clone(), 7);
+            for _ in 0..500 {
+                assert_eq!(a.next_op(), b.next_op());
+            }
+            let mut c = RedisGen::new(spec, 8);
+            let differ = (0..500).any(|_| a.next_op() != c.next_op());
+            assert!(differ, "different seeds must diverge");
+        }
+    }
+
+    #[test]
+    fn zipfian_skews_toward_hot_keys() {
+        let spec = RedisSpec {
+            keyspace: 1_000,
+            key_dist: KeyDist::Zipfian { theta: 0.99 },
+            ..RedisSpec::service_default()
+        };
+        let mut g = RedisGen::new(spec, 42);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..20_000 {
+            *counts.entry(g.draw_key()).or_insert(0u64) += 1;
+        }
+        let mut freq: Vec<u64> = counts.values().copied().collect();
+        freq.sort_unstable_by(|a, b| b.cmp(a));
+        // Under theta=0.99 the hottest key takes a few percent of all
+        // draws; uniform would give 0.1%.
+        assert!(freq[0] > 1_000, "hottest key drew only {}", freq[0]);
+        // But it must not be key 0 every run shape — the scramble spreads
+        // hot ranks across the id space (probabilistic, but the hottest id
+        // is fixed by the scramble constant, so just check it's non-zero).
+        let hottest = counts.iter().max_by_key(|(_, c)| **c).unwrap();
+        assert_ne!(*hottest.0, 0, "hot rank must scatter away from id 0");
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        let mut s = RedisSpec::service_default();
+        s.get_pct = 70;
+        s.set_pct = 40;
+        assert!(s.validate().is_err());
+        let mut s = RedisSpec::service_default();
+        s.keyspace = 0;
+        assert!(s.validate().is_err());
+        let mut s = RedisSpec::service_default();
+        s.key_dist = KeyDist::Zipfian { theta: 1.5 };
+        assert!(s.validate().is_err());
+        let mut s = RedisSpec::service_default();
+        s.get_pct = 50;
+        s.set_pct = 40;
+        s.mset_keys = 0;
+        assert!(s.validate().is_err());
+    }
+}

@@ -1,0 +1,157 @@
+//! Property tests for the redis-shaped workload generator: wire-form
+//! round-trip, keyspace bounds, mix ratios over many draws, and zipfian
+//! determinism under a fixed seed.
+
+use proptest::prelude::*;
+use sprwl_workloads::redis::{
+    format_key, parse_key, KeyDist, PayloadDist, RedisGen, RedisOp, RedisSpec,
+};
+
+fn spec_strategy() -> impl Strategy<Value = RedisSpec> {
+    (
+        1u64..50_000,
+        0u32..=100,
+        0u32..=100,
+        1usize..8,
+        0u32..64,
+        0u32..64,
+        prop_oneof![Just(None), (0.1f64..0.99).prop_map(Some)],
+    )
+        .prop_map(|(keyspace, a, b, mset_keys, pmin, pspan, theta)| {
+            // Split 100% into get/set/mset shares without overflow.
+            let get_pct = a.min(100);
+            let set_pct = b.min(100 - get_pct);
+            RedisSpec {
+                keyspace,
+                get_pct,
+                set_pct,
+                mset_keys,
+                payload: PayloadDist {
+                    min_bytes: pmin,
+                    max_bytes: pmin + pspan,
+                },
+                key_dist: match theta {
+                    None => KeyDist::Uniform,
+                    Some(t) => KeyDist::Zipfian { theta: t },
+                },
+            }
+        })
+}
+
+fn op_keys(op: &RedisOp) -> Vec<u64> {
+    match op {
+        RedisOp::Get { key } => vec![*key],
+        RedisOp::Set { key, .. } => vec![*key],
+        RedisOp::MSet { keys, .. } => keys.clone(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn key_format_round_trips(id in 0u64..1_000_000_000_000) {
+        let wire = format_key(id);
+        prop_assert_eq!(wire.len(), 4 + 12);
+        prop_assert_eq!(parse_key(&wire), Some(id));
+    }
+
+    #[test]
+    fn draws_stay_inside_the_keyspace(spec in spec_strategy(), seed in 0u64..1_000) {
+        let keyspace = spec.keyspace;
+        let mut g = RedisGen::new(spec, seed);
+        for _ in 0..200 {
+            for key in op_keys(&g.next_op()) {
+                prop_assert!(key < keyspace, "key {key} >= keyspace {keyspace}");
+            }
+        }
+    }
+
+    #[test]
+    fn payload_sizes_respect_the_distribution(spec in spec_strategy(), seed in 0u64..1_000) {
+        let payload = spec.payload;
+        let mut g = RedisGen::new(spec, seed);
+        for _ in 0..200 {
+            let bytes = match g.next_op() {
+                RedisOp::Get { .. } => continue,
+                RedisOp::Set { payload_bytes, .. } => payload_bytes,
+                RedisOp::MSet { payload_bytes, .. } => payload_bytes,
+            };
+            prop_assert!(
+                (payload.min_bytes..=payload.max_bytes).contains(&bytes),
+                "payload {bytes} outside [{}, {}]",
+                payload.min_bytes,
+                payload.max_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn same_seed_same_stream(spec in spec_strategy(), seed in 0u64..1_000) {
+        let mut a = RedisGen::new(spec.clone(), seed);
+        let mut b = RedisGen::new(spec, seed);
+        for _ in 0..300 {
+            prop_assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+}
+
+/// Mix ratios over 10k draws stay within tolerance of the spec. Not a
+/// proptest: the tolerance argument needs a fixed, known mix.
+#[test]
+fn mix_ratios_within_tolerance_over_10k_draws() {
+    let spec = RedisSpec {
+        keyspace: 10_000,
+        get_pct: 80,
+        set_pct: 15,
+        mset_keys: 4,
+        payload: PayloadDist::fixed(16),
+        key_dist: KeyDist::Uniform,
+    };
+    let mut g = RedisGen::new(spec, 42);
+    let (mut gets, mut sets, mut msets) = (0u64, 0u64, 0u64);
+    const N: u64 = 10_000;
+    for _ in 0..N {
+        match g.next_op() {
+            RedisOp::Get { .. } => gets += 1,
+            RedisOp::Set { .. } => sets += 1,
+            RedisOp::MSet { .. } => msets += 1,
+        }
+    }
+    let pct = |n: u64| 100.0 * n as f64 / N as f64;
+    assert!((pct(gets) - 80.0).abs() < 2.0, "GET {}%", pct(gets));
+    assert!((pct(sets) - 15.0).abs() < 2.0, "SET {}%", pct(sets));
+    assert!((pct(msets) - 5.0).abs() < 2.0, "MSET {}%", pct(msets));
+}
+
+/// Zipfian draws are deterministic under a fixed seed and skewed: the top
+/// 1% of keys absorbs far more than 1% of draws.
+#[test]
+fn zipfian_draws_are_deterministic_and_skewed() {
+    let spec = RedisSpec {
+        keyspace: 1_000,
+        get_pct: 100,
+        set_pct: 0,
+        mset_keys: 1,
+        payload: PayloadDist::fixed(3),
+        key_dist: KeyDist::Zipfian { theta: 0.99 },
+    };
+    let draw_all = || {
+        let mut g = RedisGen::new(spec.clone(), 7);
+        (0..10_000).map(|_| g.draw_key()).collect::<Vec<u64>>()
+    };
+    let a = draw_all();
+    assert_eq!(a, draw_all(), "fixed seed must reproduce the draw sequence");
+
+    let mut counts = std::collections::HashMap::new();
+    for k in &a {
+        *counts.entry(*k).or_insert(0u64) += 1;
+    }
+    let mut freq: Vec<u64> = counts.values().copied().collect();
+    freq.sort_unstable_by(|x, y| y.cmp(x));
+    let top1pct: u64 = freq.iter().take(10).sum();
+    assert!(
+        top1pct > a.len() as u64 / 5,
+        "top-1% keys drew only {top1pct}/10000 — not zipfian"
+    );
+}

@@ -173,6 +173,31 @@ EOF
 bench_compare "$BENCH_SMOKE_DIR/snzi-as-bravo.json" "$BENCH_SMOKE_DIR"/BENCH_bravocand_*.json \
     --throughput-drop-pct 10 --abort-rise-pp 10 --p99-rise-pct 100
 
+echo "==> det server smoke (sharded async KV service: emit twice, byte-identical, self-compare clean)"
+# The whole service — hashed routing, per-shard SpRWLs, async guard
+# futures, redis-shaped traffic — must produce a byte-identical document
+# for the same flags: that is the determinism contract the end-to-end
+# test stack (tests/server_det.rs) asserts, re-checked here through the
+# real binary.
+bench_sweep --server --shards 2,4 --threads 2 --ops 200 --warmup-ops 16 \
+    --category serversmoke --out "$BENCH_SMOKE_DIR/srv-a" > /dev/null
+bench_sweep --server --shards 2,4 --threads 2 --ops 200 --warmup-ops 16 \
+    --category serversmoke --out "$BENCH_SMOKE_DIR/srv-b" > /dev/null
+cmp "$BENCH_SMOKE_DIR"/srv-a/BENCH_serversmoke_*.json \
+    "$BENCH_SMOKE_DIR"/srv-b/BENCH_serversmoke_*.json
+bench_compare "$BENCH_SMOKE_DIR"/srv-a/BENCH_serversmoke_*.json \
+    "$BENCH_SMOKE_DIR"/srv-b/BENCH_serversmoke_*.json > /dev/null
+python3 scripts/summarize_bench.py "$BENCH_SMOKE_DIR"/srv-a/BENCH_serversmoke_*.json > /dev/null
+
+echo "==> server baseline gate (regenerate the committed service grid, loose thresholds)"
+SERVER_BASELINE=$(ls results/BENCH_server_*.json | head -n 1)
+bench_sweep --server --shards 2,4 --threads 2,4 --ops 400 --warmup-ops 40 \
+    --schedule-seed 7 --seed 42 --out "$BENCH_SMOKE_DIR/server-current" > /dev/null
+SERVER_CURRENT=$(ls "$BENCH_SMOKE_DIR"/server-current/BENCH_server_*.json)
+bench_compare "$SERVER_BASELINE" "$SERVER_CURRENT" \
+    --throughput-drop-pct 40 --abort-rise-pp 25 --p99-rise-pct 400
+python3 scripts/summarize_bench.py "$SERVER_CURRENT" > /dev/null
+
 echo "==> perf baseline gate (regenerate the committed grid, compare with loose thresholds)"
 # The committed baseline is deterministic (virtual clock, fixed work), so
 # point-for-point drift here is caused by code changes, not host speed.

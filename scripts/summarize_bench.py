@@ -54,6 +54,22 @@ def summarize_json(doc: dict) -> None:
             )
         if cells:
             print(f"  rd lat us p50/p95/p99 {workload} thr={threads}: " + " | ".join(cells))
+    # Per-shard rows (schema minor >= 1, server-category points). A point
+    # without a `shards` array — every pre-minor-1 document — prints nothing.
+    for (workload, threads) in sorted(groups, key=str):
+        for name, p in sorted(groups[(workload, threads)].items()):
+            shards = p.get("shards")
+            if not shards:
+                continue
+            cells = []
+            for sh in shards:
+                modes = "/".join(
+                    str(sh["commit_mode"][m]) for m in ("htm", "rot", "gl", "unins")
+                )
+                cells.append(f"s{sh['shard']} {sh['commits']}c {sh['aborts']}a [{modes}]")
+            print(
+                f"  shards {workload} {name} thr={threads}: " + " | ".join(cells)
+            )
 
 
 def summarize_analyzer(doc: dict) -> None:

@@ -35,6 +35,14 @@
 //! deterministic-only (`--wall` is rejected); `--locks` restricts the
 //! tracking flavours (`SpRWL`, `SNZI`, `BRAVO` — defaults to SNZI and
 //! BRAVO), and the emitted category defaults to `server`.
+//!
+//! `--capacity` switches to the capacity grid: big-footprint writers
+//! (TPC-C under the delivery-pressure mix, sorted-list range scans) across
+//! every capacity profile (broadwell-sim, power8-sim, tiny — or just the
+//! one named by `--profile`), each measured with plain SpRWL and with the
+//! capacity-stretching ladder on. Capacity sweeps are deterministic-only;
+//! the last `--threads` entry is the worker count, and the emitted
+//! category defaults to `capacity`.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -70,7 +78,7 @@ fn usage() -> ExitCode {
          [--ops N] [--warmup-ops N] [--schedule-seed N] [--secs F] [--warmup-secs F] \
          [--locks A,B,..] [--workloads A,B,..] [--fill N,N,..] [--profile NAME] \
          [--trace off|ring:CAP|sampled:RATE:CAP].. [--capture FILE.jsonl] \
-         [--server] [--shards N,N,..] \
+         [--server] [--shards N,N,..] [--capacity] \
          [--category NAME] [--out DIR] [--date YYYY-MM-DD] [--commit HASH]"
     );
     ExitCode::from(2)
@@ -101,10 +109,13 @@ fn main() -> ExitCode {
     let mut trace_axis: Vec<(String, TraceConfig)> = Vec::new();
     let mut capture_path: Option<std::path::PathBuf> = None;
     let mut server = false;
+    let mut capacity = false;
     let mut shards: Vec<usize> = vec![2, 4];
     let mut locks_raw: Option<String> = None;
     let mut category_set = false;
     let mut wall_requested = false;
+    let mut ops_set = false;
+    let mut profile_set = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -135,6 +146,7 @@ fn main() -> ExitCode {
                 wall_requested = true;
             }
             "--server" => server = true,
+            "--capacity" => capacity = true,
             "--shards" => {
                 let v = match val("--shards") {
                     Ok(v) => v,
@@ -151,7 +163,10 @@ fn main() -> ExitCode {
                 }
             }
             "--seed" => cfg.seed = parse_val!("--seed", u64),
-            "--ops" => ops = parse_val!("--ops", usize),
+            "--ops" => {
+                ops = parse_val!("--ops", usize);
+                ops_set = true;
+            }
             "--warmup-ops" => warmup_ops = parse_val!("--warmup-ops", usize),
             "--schedule-seed" => schedule_seed = parse_val!("--schedule-seed", u64),
             "--secs" => secs = parse_val!("--secs", f64),
@@ -222,11 +237,13 @@ fn main() -> ExitCode {
                 cfg.profile = match v.as_str() {
                     "broadwell-sim" => htm_sim::CapacityProfile::BROADWELL_SIM,
                     "power8-sim" => htm_sim::CapacityProfile::POWER8_SIM,
+                    "tiny" => htm_sim::CapacityProfile::TINY,
                     _ => {
                         eprintln!("error: unknown profile {v:?}");
                         return usage();
                     }
                 };
+                profile_set = true;
             }
             "--trace" => {
                 let v = match val("--trace") {
@@ -284,6 +301,62 @@ fn main() -> ExitCode {
                 return usage();
             }
         }
+    }
+
+    if capacity {
+        if server {
+            eprintln!("error: --capacity and --server are mutually exclusive grids");
+            return ExitCode::from(2);
+        }
+        if wall_requested {
+            eprintln!(
+                "error: --capacity is deterministic-only (fixed work on the virtual \
+                 clock makes the document diffable in CI); drop --wall"
+            );
+            return ExitCode::from(2);
+        }
+        if capture_path.is_some() {
+            eprintln!("error: --capture applies to the lock-level grid, not --capacity");
+            return ExitCode::from(2);
+        }
+        let mut ccfg = sprwl_bench::CapacitySweepConfig {
+            seed: cfg.seed,
+            schedule_seed,
+            threads: *cfg.threads.last().expect("thread list is never empty"),
+            ..sprwl_bench::CapacitySweepConfig::default()
+        };
+        if ops_set {
+            ccfg.ops_per_thread = ops;
+        }
+        if profile_set {
+            ccfg.profiles = vec![cfg.profile];
+        }
+        if category_set {
+            ccfg.category = cfg.category.clone();
+        }
+        let results = sprwl_bench::run_capacity_sweep(&ccfg, &date, &commit);
+        println!(
+            "# {} @ {} ({}, {} points)",
+            results.file_name(),
+            results.git_commit,
+            results.mode,
+            results.points.len()
+        );
+        println!("{}", BenchPoint::header());
+        for p in &results.points {
+            println!("{}", p.row());
+        }
+        if let Err(e) = std::fs::create_dir_all(&out_dir) {
+            eprintln!("error: cannot create {}: {e}", out_dir.display());
+            return ExitCode::from(2);
+        }
+        let path = out_dir.join(results.file_name());
+        if let Err(e) = std::fs::write(&path, results.to_json()) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("wrote {}", path.display());
+        return ExitCode::SUCCESS;
     }
 
     if server {

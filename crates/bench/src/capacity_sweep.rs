@@ -1,0 +1,383 @@
+//! Capacity-category sweep: big-footprint writers across capacity
+//! profiles, with stretching off vs on.
+//!
+//! Two workloads whose *writers* overflow HTM budgets — TPC-C under the
+//! delivery-pressure mix ([`Mix::DELIVERY_SWEEP`]) and the sorted-list
+//! range-scan ([`RangeScanSpec::capacity_sweep`]) — run over every
+//! capacity profile in {broadwell-sim, power8-sim, tiny}, once with plain
+//! SpRWL and once with the capacity-stretching ladder
+//! ([`sprwl::StretchPolicy`]) enabled. The point of the document is the
+//! before/after contrast per profile: stretching must push the writer
+//! capacity-abort count down (the sticky rung stops re-probing doomed HTM
+//! paths) without costing throughput, which is what `bench-compare` gates
+//! in CI.
+//!
+//! Capacity sweeps are deterministic-only, like the server category: fixed
+//! work on the serialized scheduler, measured on the virtual clock, so the
+//! same flags produce a bit-identical `BENCH_capacity_<date>.json` on any
+//! host. The profile is carried in each workload name
+//! (`tpcc-delivery@power8-sim`) rather than the document header, since one
+//! document spans all three profiles; the header uses the sentinel
+//! `capacity` the way server documents use `service`.
+
+use std::time::Duration;
+
+use htm_sim::{clock, CapacityProfile, Htm, HtmConfig, SchedulerKind};
+use rand::Rng;
+use sprwl::SprwlConfig;
+use sprwl_locks::SectionId;
+use sprwl_trace::TraceConfig;
+use sprwl_workloads::spec::TpccTxKind;
+use sprwl_workloads::tpcc::{self, TpccScale};
+use sprwl_workloads::{Mix, RangeScanSpec};
+
+use crate::harness::{run_generic_ops, LockKind, RunConfig, WorkerCtx, SEC_TPCC_BASE};
+use crate::results::{BenchPoint, BenchResults, Hardware, SCHEMA_MINOR, SCHEMA_VERSION};
+
+/// Read sections of the range-scan workload.
+pub const SEC_RANGE_READ: SectionId = SectionId(0);
+/// Write sections of the range-scan workload (the big-footprint writer).
+pub const SEC_RANGE_WRITE: SectionId = SectionId(1);
+
+/// Grid description for one capacity sweep.
+#[derive(Debug, Clone)]
+pub struct CapacitySweepConfig {
+    /// Capacity profiles to sweep (each becomes a `@<name>` workload
+    /// suffix).
+    pub profiles: Vec<CapacityProfile>,
+    /// Worker threads per point.
+    pub threads: usize,
+    /// Workload seed (thread `i` draws from `seed ^ ((i + 1) << 24)`).
+    pub seed: u64,
+    /// Deterministic-scheduler seed.
+    pub schedule_seed: u64,
+    /// Measured operations per thread.
+    pub ops_per_thread: usize,
+    /// Results-document category (file name `BENCH_<category>_<date>.json`).
+    pub category: String,
+}
+
+impl Default for CapacitySweepConfig {
+    fn default() -> Self {
+        Self {
+            profiles: vec![
+                CapacityProfile::BROADWELL_SIM,
+                CapacityProfile::POWER8_SIM,
+                CapacityProfile::TINY,
+            ],
+            threads: 2,
+            seed: 42,
+            schedule_seed: 7,
+            ops_per_thread: 240,
+            category: "capacity".to_string(),
+        }
+    }
+}
+
+/// The TPC-C scale of the capacity sweep: the district count is raised
+/// past the spec's 10 so a full-work Delivery (one order per district,
+/// backlog guaranteed by [`Mix::DELIVERY_SWEEP`]) overflows even POWER8's
+/// 128-line write budget, and the tables are otherwise shrunk to keep
+/// serialized det runs fast.
+///
+/// One warehouse **per thread**: the capacity sweep isolates the footprint
+/// axis, and a shared warehouse drowns it — at the default scale writers
+/// conflict-abort on the hot district rows long before their read/write
+/// sets reach the HTM budget, so both stretch arms degenerate to the same
+/// conflict-driven fallback numbers. Home-warehouse partitioning (plus
+/// TPC-C's 15% remote payments for residual sharing) lets big deliveries
+/// actually hit the capacity wall the sweep measures.
+pub fn capacity_tpcc_scale(threads: usize) -> TpccScale {
+    TpccScale {
+        warehouses: threads as u32,
+        districts: 16,
+        customers_per_district: 48,
+        items: 256,
+        order_ring: 96,
+        initial_orders: 24,
+    }
+}
+
+/// The two stretch arms every capacity point is measured under.
+fn stretch_arms() -> [(&'static str, LockKind); 2] {
+    [
+        ("SpRWL", LockKind::Sprwl(SprwlConfig::default())),
+        ("SpRWL+stretch", LockKind::Sprwl(SprwlConfig::stretching())),
+    ]
+}
+
+fn det_htm(profile: CapacityProfile, threads: usize, cells: usize, schedule_seed: u64) -> Htm {
+    Htm::new(
+        HtmConfig {
+            capacity: profile,
+            max_threads: threads,
+            scheduler: SchedulerKind::Deterministic { schedule_seed },
+            ..HtmConfig::default()
+        },
+        cells,
+    )
+}
+
+fn rc(cfg: &CapacitySweepConfig) -> RunConfig {
+    RunConfig {
+        threads: cfg.threads,
+        duration: Duration::ZERO,
+        seed: cfg.seed,
+    }
+}
+
+/// One TPC-C delivery-pressure point: fixed ops under the det scheduler.
+fn tpcc_delivery_point(
+    cfg: &CapacitySweepConfig,
+    profile: CapacityProfile,
+    label: &str,
+    kind: &LockKind,
+) -> BenchPoint {
+    let scale = capacity_tpcc_scale(cfg.threads);
+    let htm = det_htm(
+        profile,
+        cfg.threads,
+        scale.cells_needed() + 64 * cfg.threads * 8,
+        cfg.schedule_seed,
+    );
+    let lock = kind.build(&htm);
+    let db = tpcc::TpccDb::new(htm.memory(), scale);
+    let mix = Mix::DELIVERY_SWEEP;
+    let (rep, _) = run_generic_ops(
+        &htm,
+        &rc(cfg),
+        cfg.ops_per_thread,
+        TraceConfig::Off,
+        |ctx: &mut WorkerCtx<'_, '_>| {
+            let rng = &mut ctx.rng;
+            let w = (ctx.t.tid() as u32) % scale.warehouses;
+            let kind = Mix::pick(&mix, rng.gen_range(0..100));
+            let sec = SectionId(SEC_TPCC_BASE + tpcc_kind_index(kind));
+            let now = clock::now();
+            match kind {
+                TpccTxKind::StockLevel => {
+                    let inp = tpcc::gen_stock_level(rng, &scale, w);
+                    lock.read_section(ctx.t, sec, &mut |a| db.stock_level(a, &inp));
+                }
+                TpccTxKind::OrderStatus => {
+                    let inp = tpcc::gen_order_status(rng, &scale, w);
+                    lock.read_section(ctx.t, sec, &mut |a| db.order_status(a, &inp));
+                }
+                TpccTxKind::Payment => {
+                    let inp = tpcc::gen_payment(rng, &scale, w);
+                    lock.write_section(ctx.t, sec, &mut |a| db.payment(a, &inp));
+                }
+                TpccTxKind::NewOrder => {
+                    let inp = tpcc::gen_new_order(rng, &scale, w, now);
+                    lock.write_section(ctx.t, sec, &mut |a| db.new_order(a, &inp));
+                }
+                TpccTxKind::Delivery => {
+                    let inp = tpcc::gen_delivery(rng, w, now);
+                    lock.write_section(ctx.t, sec, &mut |a| db.delivery(a, &inp));
+                }
+            }
+        },
+    );
+    assert!(
+        db.audit_ytd(htm.memory()),
+        "tpcc-delivery@{} under {label}: YTD conservation broken",
+        profile.name
+    );
+    assert!(
+        db.audit_order_queues(htm.memory()),
+        "tpcc-delivery@{} under {label}: order queues corrupt",
+        profile.name
+    );
+    let elapsed = rep.virtual_elapsed_s.expect("det run");
+    BenchPoint::from_stats(
+        &format!("tpcc-delivery@{}", profile.name),
+        label,
+        cfg.threads,
+        &rep.stats,
+        elapsed,
+    )
+}
+
+fn tpcc_kind_index(kind: TpccTxKind) -> u32 {
+    match kind {
+        TpccTxKind::StockLevel => 0,
+        TpccTxKind::Delivery => 1,
+        TpccTxKind::OrderStatus => 2,
+        TpccTxKind::Payment => 3,
+        TpccTxKind::NewOrder => 4,
+    }
+}
+
+/// One range-scan point: long range readers, back-half range writers.
+fn range_scan_point(
+    cfg: &CapacitySweepConfig,
+    profile: CapacityProfile,
+    label: &str,
+    kind: &LockKind,
+) -> BenchPoint {
+    let spec = RangeScanSpec::capacity_sweep();
+    let htm = det_htm(
+        profile,
+        cfg.threads,
+        spec.cells_needed(cfg.threads),
+        cfg.schedule_seed,
+    );
+    let lock = kind.build(&htm);
+    let list = spec.build(htm.memory(), cfg.threads);
+    let (rep, _) = run_generic_ops(
+        &htm,
+        &rc(cfg),
+        cfg.ops_per_thread,
+        TraceConfig::Off,
+        |ctx: &mut WorkerCtx<'_, '_>| {
+            let rng = &mut ctx.rng;
+            if rng.gen_range(0..100u32) < spec.update_pct {
+                let (lo, hi) = spec.write_window(rng);
+                lock.write_section(ctx.t, SEC_RANGE_WRITE, &mut |a| {
+                    list.range_update(a, lo, hi, 1)
+                });
+            } else {
+                let (lo, hi) = spec.read_window(rng);
+                lock.read_section(ctx.t, SEC_RANGE_READ, &mut |a| {
+                    list.range_sum(a, lo, hi).map(|(count, sum)| count ^ sum)
+                });
+            }
+        },
+    );
+    // Range updates only touch values; the key structure must checksum
+    // exactly as populated.
+    let mut d = htm.direct(0);
+    let (len, _) = list
+        .checksum(&mut d)
+        .expect("untracked checksum cannot abort");
+    assert_eq!(
+        len, spec.population,
+        "range-scan@{} under {label}: list structure corrupt",
+        profile.name
+    );
+    let elapsed = rep.virtual_elapsed_s.expect("det run");
+    BenchPoint::from_stats(
+        &format!("range-scan@{}", profile.name),
+        label,
+        cfg.threads,
+        &rep.stats,
+        elapsed,
+    )
+}
+
+/// Runs the full (workload × profile × stretch arm) grid and assembles the
+/// results document.
+///
+/// # Panics
+///
+/// Panics when a point fails its workload's own invariants (TPC-C audits,
+/// list checksum) — a det point violating either is a harness bug and must
+/// not produce a silently-wrong document.
+pub fn run_capacity_sweep(cfg: &CapacitySweepConfig, date: &str, git_commit: &str) -> BenchResults {
+    let mut points = Vec::new();
+    for &profile in &cfg.profiles {
+        for (label, kind) in stretch_arms() {
+            points.push(tpcc_delivery_point(cfg, profile, label, &kind));
+            points.push(range_scan_point(cfg, profile, label, &kind));
+        }
+    }
+
+    let mut params = std::collections::BTreeMap::new();
+    params.insert("seed".to_string(), cfg.seed.to_string());
+    params.insert("schedule_seed".to_string(), cfg.schedule_seed.to_string());
+    params.insert("ops_per_thread".to_string(), cfg.ops_per_thread.to_string());
+    params.insert("threads".to_string(), cfg.threads.to_string());
+    params.insert(
+        "profiles".to_string(),
+        cfg.profiles
+            .iter()
+            .map(|p| p.name)
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+
+    BenchResults {
+        schema_version: SCHEMA_VERSION,
+        schema_minor: SCHEMA_MINOR,
+        category: cfg.category.clone(),
+        date: date.to_string(),
+        git_commit: git_commit.to_string(),
+        mode: "det".to_string(),
+        capacity_profile: "capacity".to_string(),
+        hardware: Hardware::probe(),
+        params,
+        points,
+    }
+}
+
+/// Writer capacity-abort count of a point (plain + ROT) — the number the
+/// CI gate compares between the stretch arms.
+pub fn capacity_aborts(p: &BenchPoint) -> u64 {
+    // AbortCause::ALL order: conflict, capacity, explicit, reader,
+    // conflict-rot, capacity-rot, interrupt.
+    p.aborts[1] + p.aborts[5]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CapacitySweepConfig {
+        CapacitySweepConfig {
+            profiles: vec![CapacityProfile::POWER8_SIM],
+            threads: 2,
+            ops_per_thread: 160,
+            ..CapacitySweepConfig::default()
+        }
+    }
+
+    #[test]
+    fn grid_covers_both_workloads_and_both_arms() {
+        let r = run_capacity_sweep(&tiny(), "2026-08-09", "test");
+        assert_eq!(r.points.len(), 4);
+        assert_eq!(r.category, "capacity");
+        assert_eq!(r.capacity_profile, "capacity");
+        for wl in ["tpcc-delivery@power8-sim", "range-scan@power8-sim"] {
+            for lock in ["SpRWL", "SpRWL+stretch"] {
+                let p = r
+                    .points
+                    .iter()
+                    .find(|p| p.workload == wl && p.lock == lock)
+                    .unwrap_or_else(|| panic!("missing point {wl}/{lock}"));
+                assert!(p.commits > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn stretching_cuts_capacity_aborts_on_power8() {
+        let r = run_capacity_sweep(&tiny(), "2026-08-09", "test");
+        for wl in ["tpcc-delivery@power8-sim", "range-scan@power8-sim"] {
+            let get = |lock: &str| {
+                r.points
+                    .iter()
+                    .find(|p| p.workload == wl && p.lock == lock)
+                    .unwrap()
+            };
+            let off = capacity_aborts(get("SpRWL"));
+            let on = capacity_aborts(get("SpRWL+stretch"));
+            assert!(
+                on < off,
+                "{wl}: stretching must cut writer capacity aborts ({on} !< {off})"
+            );
+        }
+    }
+
+    #[test]
+    fn document_is_deterministic_and_round_trips() {
+        let cfg = tiny();
+        let a = run_capacity_sweep(&cfg, "2026-08-09", "test");
+        let b = run_capacity_sweep(&cfg, "2026-08-09", "test");
+        assert_eq!(a, b, "det capacity sweep must be bit-reproducible");
+        let json = a.to_json();
+        let back = BenchResults::from_json(&json).expect("parses");
+        assert_eq!(a, back);
+        assert_eq!(json, back.to_json());
+        assert_eq!(back.file_name(), "BENCH_capacity_2026-08-09.json");
+    }
+}

@@ -18,11 +18,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod capacity_sweep;
 pub mod harness;
 pub mod results;
 pub mod server_sweep;
 pub mod sweep;
 
+pub use capacity_sweep::{capacity_tpcc_scale, run_capacity_sweep, CapacitySweepConfig};
 pub use harness::{
     hashmap_point, htm_for, run_generic, run_generic_traced, run_hashmap, run_hashmap_traced,
     run_tpcc, tpcc_point, trace_path_from_args, LockKind, RunConfig, RunReport, WorkerCtx,

@@ -439,6 +439,27 @@ impl ReaderTable {
         Some((occupied, self.visible.len() as u64))
     }
 
+    /// Test hook (via `SpRwl::debug_arm_bias`): arm the bias immediately,
+    /// ignoring the re-arm cooldown and the `bias_enabled` knob. The CAS
+    /// retries across count traffic but never stomps a revocation in
+    /// flight.
+    pub(crate) fn force_arm_bias(&self, d: &Direct<'_>) {
+        let bias = self.bias_cell.expect("bravo tracking");
+        let mem = d.htm().memory();
+        loop {
+            let w = mem.peek(bias);
+            if snzi::root_tag(w) != BIAS_OFF {
+                return;
+            }
+            if d.compare_exchange(bias, w, snzi::with_root_tag(w, BIAS_ON))
+                .is_ok()
+            {
+                self.rearmed_at.store(clock::now());
+                return;
+            }
+        }
+    }
+
     /// Quiescence invariants of the tracking structures: all state flags
     /// down, the SNZI balanced, the visible table empty, no revocation in
     /// flight.

@@ -39,6 +39,7 @@ use sprwl_trace::EventKind;
 
 use crate::adaptive::{MODE_FLAGS, MODE_SNZI, SWITCH_COOLDOWN_NS};
 use crate::lock::{slots, Slot, SpRwl, HTM_PROBE_WINDOW};
+use crate::writer::{STRETCH_DIRECT, STRETCH_ROT, STRETCH_SPLIT};
 
 /// Section completions per tuning window.
 pub(crate) const TUNE_WINDOW: u64 = 32;
@@ -65,6 +66,8 @@ pub(crate) struct SectionTuner {
     capacity_aborts: Box<[Slot]>,
     /// Conflict(-ROT) aborts in the window.
     conflict_aborts: Box<[Slot]>,
+    /// BRAVO bias revocations paid by this section's writers in the window.
+    revokes: Box<[Slot]>,
     /// The per-section δ-start boost currently in force, nanoseconds.
     delta_boost_ns: Box<[Slot]>,
 }
@@ -76,6 +79,7 @@ impl SectionTuner {
             reader_aborts: slots(max_sections, 0),
             capacity_aborts: slots(max_sections, 0),
             conflict_aborts: slots(max_sections, 0),
+            revokes: slots(max_sections, 0),
             delta_boost_ns: slots(max_sections, 0),
         }
     }
@@ -110,6 +114,17 @@ impl SpRwl {
         }
     }
 
+    /// Feeds one BRAVO bias revocation (the writer drained the visible-
+    /// readers table before even attempting) into the window. Revocations
+    /// happen *before* the transaction, so the abort feed never sees them —
+    /// without this the bias knob is blind to exactly the cost it is
+    /// supposed to manage.
+    #[inline]
+    pub(crate) fn tuner_note_revoke(&self, sec: SectionId) {
+        let Some(tun) = &self.tuner else { return };
+        bump(&tun.revokes[sec.index()]);
+    }
+
     /// Closes out one section completion; every `TUNE_WINDOW`-th completion
     /// of a section evaluates its window and may adjust its knobs. Called
     /// after the `SectionEnd` trace event, outside the critical section, so
@@ -127,6 +142,7 @@ impl SpRwl {
         let readers = take(&tun.reader_aborts[i]);
         let capacity = take(&tun.capacity_aborts[i]);
         let conflicts = take(&tun.conflict_aborts[i]);
+        let revokes = take(&tun.revokes[i]);
 
         // (a) δ-start: writers on this section keep dying to the reader
         // check → give their timed retry more slack; decay when quiet.
@@ -190,25 +206,64 @@ impl SpRwl {
             }
         }
 
-        // (d) BRAVO bias: sustained writer pressure (reader-check aborts
-        // keep killing writers, each paying a full revocation drain) means
-        // the bias is hurting — stop readers from re-arming it, making
-        // `BIAS_OFF` sticky after the next revocation. A fully quiet window
-        // hands the fast path back to the readers.
+        // (d) BRAVO bias: sustained writer pressure means the bias is
+        // hurting — either reader-check aborts keep killing writers, or the
+        // writers keep paying the *pre-transaction* revocation drain, which
+        // the abort feed never sees (revocations happen before the attempt,
+        // so a window could show zero aborts while every writer walks the
+        // visible-readers table). Stop readers from re-arming the bias,
+        // making `BIAS_OFF` sticky after the next revocation. A fully quiet
+        // window — no reader aborts *and* no revocations — hands the fast
+        // path back to the readers.
         if self.cfg.reader_tracking == crate::config::ReaderTracking::Bravo {
-            if readers >= PRESSURE_THRESHOLD && self.readers.bias_enabled() {
+            let pressured = readers >= PRESSURE_THRESHOLD || revokes >= PRESSURE_THRESHOLD;
+            if pressured && self.readers.bias_enabled() {
                 self.readers.set_bias_enabled(false);
                 t.trace.push(EventKind::TuneDecision {
                     knob: "bravo-bias",
                     sec: sec.0,
                     value: 0,
                 });
-            } else if readers == 0 && !self.readers.bias_enabled() {
+            } else if readers == 0 && revokes == 0 && !self.readers.bias_enabled() {
                 self.readers.set_bias_enabled(true);
                 t.trace.push(EventKind::TuneDecision {
                     knob: "bravo-bias",
                     sec: sec.0,
                     value: 1,
+                });
+            }
+        }
+
+        // (e) capacity-stretching escalation: when stretching is on, the
+        // tuner owns the per-section sticky rung (direct → ROT → split),
+        // escalating under sustained capacity pressure and decaying one
+        // rung per fully clean window so a workload phase-change can find
+        // its way back to the cheap path. Profiles without suspend/resume
+        // have no ROT rung: 0 ↔ 2 directly.
+        if self.cfg.stretch.enabled {
+            let supports_rot = t.ctx.htm().config().capacity.supports_rot();
+            let level = self.stretch_level[i].load();
+            let new = if capacity >= PRESSURE_THRESHOLD {
+                match level {
+                    STRETCH_DIRECT if supports_rot => STRETCH_ROT,
+                    STRETCH_DIRECT | STRETCH_ROT => STRETCH_SPLIT,
+                    other => other,
+                }
+            } else if capacity == 0 {
+                match level {
+                    STRETCH_SPLIT if supports_rot => STRETCH_ROT,
+                    STRETCH_SPLIT | STRETCH_ROT => STRETCH_DIRECT,
+                    other => other,
+                }
+            } else {
+                level
+            };
+            if new != level {
+                self.stretch_level[i].store(new);
+                t.trace.push(EventKind::TuneDecision {
+                    knob: "stretch-level",
+                    sec: sec.0,
+                    value: new,
                 });
             }
         }

@@ -8,8 +8,8 @@
 use std::sync::Barrier;
 
 use htm_sim::{CapacityProfile, Htm, HtmConfig, SchedulerKind};
-use sprwl::{DeltaPolicy, SpRwl, SprwlConfig};
-use sprwl_locks::{LockThread, RwSync, SectionId};
+use sprwl::{DeltaPolicy, ReaderTracking, SpRwl, SprwlConfig, StretchPolicy};
+use sprwl_locks::{CommitMode, LockThread, RwSync, SectionId};
 use sprwl_trace::{EventKind, ThreadTrace, TraceConfig};
 
 const SEC_W: SectionId = SectionId(0);
@@ -174,4 +174,132 @@ fn tuner_off_by_default_leaves_knobs_alone() {
         0,
         "default config must never self-tune"
     );
+}
+
+/// Harvests `tune-decision` events for one knob as `(sec, value)` pairs.
+fn decisions_for(traces: &[ThreadTrace], wanted: &str) -> Vec<(u32, u64)> {
+    traces
+        .iter()
+        .flat_map(|t| t.events.iter())
+        .filter_map(|e| match e.kind {
+            EventKind::TuneDecision { knob, sec, value } if knob == wanted => Some((sec, value)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Satellite bugfix regression: the bias knob used to watch only
+/// reader-check *aborts*, but BRAVO revocations are paid *before* the
+/// transaction — a writer that drains the visible table every execution
+/// and then commits clean generated zero pressure signal. Single-threaded
+/// (so reader aborts are impossible by construction), with the bias
+/// force-armed before every write: the revocation feed alone must flip
+/// `bias_enabled` off, and a quiet stretch must hand it back.
+#[test]
+fn tuner_flips_bias_off_under_pure_revocation_pressure() {
+    let h = Htm::new(
+        HtmConfig {
+            capacity: CapacityProfile::BROADWELL_SIM,
+            max_threads: 4,
+            ..HtmConfig::default()
+        },
+        64 * 1024,
+    );
+    let lock = SpRwl::new(
+        &h,
+        SprwlConfig {
+            reader_tracking: ReaderTracking::Bravo,
+            readers_try_htm: false,
+            delta: DeltaPolicy::Zero,
+            ..SprwlConfig::self_tuning()
+        },
+    );
+    let cell = h.memory().alloc(1).cell(0);
+    let mut t = LockThread::with_trace(h.thread(0), TraceConfig::ring(8192));
+    assert!(lock.debug_bias_enabled());
+
+    // Pressure phase: every write section pays a revocation (zero aborts).
+    for _ in 0..64 {
+        lock.debug_arm_bias(&t.ctx.direct());
+        lock.write_section(&mut t, SEC_W, &mut |a| {
+            let v = a.read(cell)?;
+            a.write(cell, v + 1)?;
+            Ok(v)
+        });
+    }
+    assert!(
+        !lock.debug_bias_enabled(),
+        "sustained revocation pressure with zero reader aborts must flip bias off"
+    );
+
+    // Quiet phase: no revocations, no reader aborts → the tuner re-arms.
+    for _ in 0..64 {
+        lock.write_section(&mut t, SEC_W, &mut |a| {
+            let v = a.read(cell)?;
+            a.write(cell, v + 1)?;
+            Ok(v)
+        });
+    }
+    assert!(
+        lock.debug_bias_enabled(),
+        "a fully quiet window must hand the fast path back to readers"
+    );
+
+    let flips = decisions_for(&[t.trace.snapshot()], "bravo-bias");
+    assert!(
+        flips.contains(&(SEC_W.0, 0)) && flips.contains(&(SEC_W.0, 1)),
+        "both flips must be visible as tune-decision events: {flips:?}"
+    );
+}
+
+/// The stretch-level knob: under chronic capacity pressure on TINY the
+/// tuner must walk the section up the ladder (direct → ROT → split), one
+/// rung per pressured window, each step visible as a `tune-decision`.
+#[test]
+fn tuner_escalates_stretch_level_under_capacity_pressure() {
+    let h = Htm::new(
+        HtmConfig {
+            capacity: CapacityProfile::TINY,
+            max_threads: 4,
+            ..HtmConfig::default()
+        },
+        64 * 1024,
+    );
+    let lock = SpRwl::new(
+        &h,
+        SprwlConfig {
+            stretch: StretchPolicy::ON,
+            readers_try_htm: false,
+            delta: DeltaPolicy::Zero,
+            ..SprwlConfig::self_tuning()
+        },
+    );
+    // Six distinct lines: overflows TINY's HTM write budget (2) and its
+    // ROT budget (2), so every rung below the split keeps capacity-aborting.
+    let cells = h.memory().alloc_line_aligned(64);
+    let mut t = LockThread::with_trace(h.thread(0), TraceConfig::ring(8192));
+    for round in 0..64u64 {
+        lock.write_section(&mut t, SEC_W, &mut |a| {
+            for i in 0..6 {
+                a.write(cells.cell(i * 8), round + 1)?;
+            }
+            Ok(round)
+        });
+    }
+    assert_eq!(
+        lock.debug_stretch_level(SEC_W),
+        2,
+        "two pressured windows must escalate the sticky rung to the split"
+    );
+    let steps = decisions_for(&[t.trace.snapshot()], "stretch-level");
+    assert_eq!(
+        steps,
+        vec![(SEC_W.0, 1), (SEC_W.0, 2)],
+        "escalation must climb one rung per window, each step traced"
+    );
+    // Every execution overflowed both speculative rungs, so all commits
+    // landed on the (split) fallback — and the writes actually landed.
+    assert_eq!(t.stats.commits_in(CommitMode::Gl), 64);
+    let seen = lock.read_section(&mut t, SEC_R, &mut |a| a.read(cells.cell(0)));
+    assert_eq!(seen, 64);
 }

@@ -577,6 +577,8 @@ pub fn injected_bug_spec(threads: usize, ops_per_thread: usize) -> TortureSpec {
         pairs: 2,
         write_pct: 50,
         reader_span: 2,
+        writer_span: 1,
+        writer_scan: 0,
         workload: Workload::Mirror,
         lincheck: false,
         churn: false,

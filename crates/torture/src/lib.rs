@@ -326,6 +326,26 @@ pub struct TortureSpec {
     pub write_pct: u32,
     /// Mirror pairs each read section scans.
     pub reader_span: usize,
+    /// Mirror pairs each write section increments (default 1) — the
+    /// capacity-stretching torture axis. On the TINY profile even a span
+    /// of 1 overflows the HTM read budget (pair lines plus the reader-flag
+    /// lines of the commit check) while its 2 write lines still fit the
+    /// ROT budget, so a stretching lock commits on the ROT rung; a span
+    /// ≥ 2 overflows the ROT write budget too and forces the ordered
+    /// sub-transaction split. The oracle and the lincheck history both
+    /// treat the spanned increments as one atomic multi-register op, so
+    /// either rung tearing a pair — or a reader observing a half-applied
+    /// span — is a verdict, not noise.
+    pub writer_span: usize,
+    /// Extra mirror pairs each write section *reads* (observing them into
+    /// the lincheck history) before its increments, clamped so the scan
+    /// window never overlaps the increment window (default 0). This is
+    /// the read-heavy writer shape of the paper's long traversals: with
+    /// `alloc_padded` banks a scan of `s` pairs adds `2s` read-only lines
+    /// to the writer's footprint without growing its write set, which is
+    /// precisely what overflows the HTM budget while still fitting the
+    /// ROT budget — the rung `det-capacity-rot` exists to exercise.
+    pub writer_scan: usize,
     /// The operation shape (single-lock mirror or two-lock cross-bank).
     pub workload: Workload,
     /// Record a `lin-*` operation history in each worker's trace and run
@@ -578,6 +598,7 @@ fn worker(
     let mut torn = None;
     let lin = spec.lincheck;
     let mut obs: Vec<(usize, u64)> = Vec::with_capacity(spec.pairs);
+    let mut scan_obs: Vec<(usize, u64)> = Vec::with_capacity(spec.pairs);
 
     for seq in 0..spec.ops_per_thread as u64 {
         if spec.churn && seq > 0 && seq == spec.ops_per_thread as u64 / 2 {
@@ -591,7 +612,8 @@ fn worker(
             b: u64::from(is_write),
         });
         if is_write {
-            let (pa, pb) = (bank_a[p], bank_b[p]);
+            let span = spec.writer_span.min(spec.pairs).max(1);
+            let scan = spec.writer_scan.min(spec.pairs - span);
             if lin {
                 // Invocation mark *before* the section call, so the
                 // recorded interval contains the true one.
@@ -602,33 +624,65 @@ fn worker(
                 });
             }
             let r = lock.write_section(&mut t, SEC_WRITE, &mut |acc| {
-                let a = acc.read(pa)?;
-                let b = acc.read(pb)?;
-                acc.write(pa, a + 1)?;
-                acc.write(pb, b + 1)?;
-                Ok(if a == b { a } else { POISON })
+                // The side buffers are reset at the top of every attempt,
+                // so after the call they hold exactly the *committed*
+                // attempt's observations (aborted attempts never return).
+                obs.clear();
+                scan_obs.clear();
+                // Scan phase: read-only pairs disjoint from the increment
+                // window, torn-checked like any reader.
+                for k in 0..scan {
+                    let i = (p + span + k) % spec.pairs;
+                    let a = acc.read(bank_a[i])?;
+                    let b = acc.read(bank_b[i])?;
+                    if a != b {
+                        return Ok(POISON);
+                    }
+                    scan_obs.push((i, a));
+                }
+                for k in 0..span {
+                    let i = (p + k) % spec.pairs;
+                    let a = acc.read(bank_a[i])?;
+                    let b = acc.read(bank_b[i])?;
+                    acc.write(bank_a[i], a + 1)?;
+                    acc.write(bank_b[i], b + 1)?;
+                    if a != b {
+                        return Ok(POISON);
+                    }
+                    obs.push((i, a));
+                }
+                Ok(0)
             });
             if r == POISON {
                 // No lin-ret: the op stays pending and the extractor drops
                 // it (the case is already failing the end-state oracle).
-                torn = Some(format!("writer {tid} entered on torn pair {p}"));
+                torn = Some(format!("writer {tid} entered on torn pair near {p}"));
                 break;
             }
             if lin {
-                // The section's return value *is* the committed attempt's
-                // observed pre-value (aborted attempts never return).
-                t.trace.push(EventKind::Mark {
-                    label: labels::WRITE,
-                    a: reg_of(0, p, spec.pairs),
-                    b: r,
-                });
+                for &(i, v) in &scan_obs {
+                    t.trace.push(EventKind::Mark {
+                        label: labels::READ,
+                        a: reg_of(0, i, spec.pairs),
+                        b: v,
+                    });
+                }
+                for &(i, v) in &obs {
+                    t.trace.push(EventKind::Mark {
+                        label: labels::WRITE,
+                        a: reg_of(0, i, spec.pairs),
+                        b: v,
+                    });
+                }
                 t.trace.push(EventKind::Mark {
                     label: labels::RET,
                     a: seq,
                     b: 0,
                 });
             }
-            incr[p] += 1;
+            for k in 0..span {
+                incr[(p + k) % spec.pairs] += 1;
+            }
             writer_ops += 1;
         } else {
             let span = spec.reader_span.min(spec.pairs).max(1);
@@ -1533,6 +1587,8 @@ pub fn default_matrix(threads: usize, ops_per_thread: usize) -> Vec<TortureSpec>
         pairs: 8,
         write_pct: 30,
         reader_span: 4,
+        writer_span: 1,
+        writer_scan: 0,
         workload: Workload::Mirror,
         lincheck: false,
         churn: false,
@@ -1751,6 +1807,8 @@ pub fn det_matrix(threads: usize, ops_per_thread: usize) -> Vec<TortureSpec> {
         pairs: 8,
         write_pct: 30,
         reader_span: 4,
+        writer_span: 1,
+        writer_scan: 0,
         workload: Workload::Mirror,
         lincheck: true,
         churn: false,
@@ -1834,6 +1892,38 @@ pub fn det_matrix(threads: usize, ops_per_thread: usize) -> Vec<TortureSpec> {
             ..det.clone()
         },
     ));
+
+    // The capacity-stretching acceptance cases (TINY + `StretchPolicy`
+    // on). `det-capacity-rot`'s writers scan four extra pairs before
+    // their increment — ten padded read lines against TINY's four-line
+    // read budget guarantees the HTM rung aborts on capacity, while the
+    // 2-line write set still fits the ROT budget, so every writer must
+    // land on the rollback-only rung. `det-capacity-split`'s spanning
+    // writers overflow the ROT *write* budget too and run as ordered
+    // sub-transactions under the fallback ticket. The mirror oracle plus
+    // the lincheck verdict double-check the DESIGN §6i claim that
+    // neither rung ever lets a reader observe a torn pair or a
+    // half-applied span.
+    let mut rot = base(
+        "det-capacity-rot".into(),
+        LockKind::Sprwl(SprwlConfig::stretching()),
+        HtmConfig {
+            capacity: CapacityProfile::TINY,
+            ..det.clone()
+        },
+    );
+    rot.writer_scan = 4;
+    m.push(rot);
+    let mut split = base(
+        "det-capacity-split".into(),
+        LockKind::Sprwl(SprwlConfig::stretching()),
+        HtmConfig {
+            capacity: CapacityProfile::TINY,
+            ..det.clone()
+        },
+    );
+    split.writer_span = 3;
+    m.push(split);
 
     m.push(base("det-tle".into(), LockKind::Tle, det.clone()));
     m.push(base(
@@ -2042,6 +2132,8 @@ mod tests {
             pairs: 4,
             write_pct: 50,
             reader_span: 4,
+            writer_span: 1,
+            writer_scan: 0,
             workload: Workload::Mirror,
             lincheck: true,
             churn: false,

@@ -49,6 +49,8 @@ fn hot_key_spec() -> TortureSpec {
         pairs: 1,
         write_pct: 50,
         reader_span: 1,
+        writer_span: 1,
+        writer_scan: 0,
         workload: Workload::Mirror,
         lincheck: false,
         churn: false,
@@ -132,7 +134,7 @@ fn analyzer_report_is_stable_on_the_cross_golden() {
     assert_eq!(report.threads, 2);
 
     // Pinned against the committed det_cross_smoke golden: section pairs
-    // ranked (2,2) then (1,2), line heat on lines 23, 27 and 29.
+    // ranked (2,2) then (1,2), line heat on lines 30, 34 and 36.
     let pairs: Vec<((u32, u32), u64)> = report
         .top_pairs
         .iter()
@@ -144,7 +146,7 @@ fn analyzer_report_is_stable_on_the_cross_golden() {
         "top conflicting section pairs changed"
     );
     let lines: Vec<u64> = report.line_heat.iter().map(|l| l.line).collect();
-    assert_eq!(lines, vec![23, 27, 29], "hot cache lines changed");
+    assert_eq!(lines, vec![30, 34, 36], "hot cache lines changed");
 }
 
 #[test]

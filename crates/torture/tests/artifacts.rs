@@ -53,6 +53,8 @@ fn small_det_spec() -> TortureSpec {
         pairs: 2,
         write_pct: 50,
         reader_span: 2,
+        writer_span: 1,
+        writer_scan: 0,
         workload: Workload::Mirror,
         lincheck: true,
         churn: false,

@@ -109,6 +109,8 @@ fn pinned_spec(schedule_seed: u64) -> TortureSpec {
         pairs: 4,
         write_pct: 60,
         reader_span: 4,
+        writer_span: 1,
+        writer_scan: 0,
         workload: Workload::Mirror,
         lincheck: true,
         churn: false,

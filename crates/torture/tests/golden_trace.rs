@@ -12,7 +12,7 @@
 //! UPDATE_GOLDEN=1 cargo test -p sprwl-torture --test golden_trace
 //! ```
 
-use htm_sim::{HtmConfig, SchedulerKind};
+use htm_sim::{CapacityProfile, HtmConfig, SchedulerKind};
 use sprwl::SprwlConfig;
 use sprwl_torture::{
     first_divergence, run_case_artifacts, CrossNesting, LockKind, TortureSpec, Workload,
@@ -26,6 +26,11 @@ const GOLDEN_PATH: &str = concat!(
 const CROSS_GOLDEN_PATH: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
     "/tests/golden/det_cross_smoke.trace.jsonl"
+);
+
+const STRETCH_GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/det_stretch_smoke.trace.jsonl"
 );
 
 /// Base seed for the golden case; arbitrary but fixed forever.
@@ -49,6 +54,8 @@ fn golden_spec() -> TortureSpec {
         pairs: 4,
         write_pct: 50,
         reader_span: 2,
+        writer_span: 1,
+        writer_scan: 0,
         // `lincheck: false` keeps the committed trace free of `lin-*`
         // marks, so the golden bytes predate — and are unaffected by —
         // the history recorder.
@@ -77,8 +84,41 @@ fn cross_golden_spec() -> TortureSpec {
         pairs: 3,
         write_pct: 50,
         reader_span: 2,
+        writer_span: 1,
+        writer_scan: 0,
         workload: Workload::CrossBank(CrossNesting::Mixed),
         lincheck: true,
+        churn: false,
+    }
+}
+
+/// The capacity-stretching pinned case: TINY budgets with the stretching
+/// ladder on, and span-3 writers whose six padded write lines overflow
+/// both the direct and ROT rungs. The committed bytes pin the
+/// `stretch-rot` / `stretch-split` / `stretch-chunk` event shapes on the
+/// exact virtual timestamps the escalation ladder produces, so a change
+/// to the rung order, the chunk flush points, or the event format shows
+/// up as a line diff here.
+fn stretch_golden_spec() -> TortureSpec {
+    TortureSpec {
+        name: "det-golden-stretch".into(),
+        lock: LockKind::Sprwl(SprwlConfig::stretching()),
+        htm: HtmConfig {
+            scheduler: SchedulerKind::Deterministic {
+                schedule_seed: 0x601D_57E7,
+            },
+            capacity: CapacityProfile::TINY,
+            ..HtmConfig::default()
+        },
+        threads: 2,
+        ops_per_thread: 10,
+        pairs: 4,
+        write_pct: 60,
+        reader_span: 2,
+        writer_span: 3,
+        writer_scan: 0,
+        workload: Workload::Mirror,
+        lincheck: false,
         churn: false,
     }
 }
@@ -135,4 +175,23 @@ fn cross_lock_trace_matches_the_committed_golden_file() {
         GOLDEN_BASE_SEED,
         true,
     );
+}
+
+#[test]
+fn stretch_trace_matches_the_committed_golden_file() {
+    assert_matches_golden(
+        &stretch_golden_spec(),
+        STRETCH_GOLDEN_PATH,
+        GOLDEN_BASE_SEED,
+        false,
+    );
+    // Guard against the golden pinning a vacuous schedule: the committed
+    // bytes must actually contain the stretching events they exist to pin.
+    let golden = std::fs::read_to_string(STRETCH_GOLDEN_PATH).expect("golden just checked");
+    for kind in ["stretch-split", "stretch-chunk"] {
+        assert!(
+            golden.contains(kind),
+            "stretch golden carries no {kind} events — the case no longer stretches"
+        );
+    }
 }

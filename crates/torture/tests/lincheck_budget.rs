@@ -20,6 +20,8 @@ fn spec() -> TortureSpec {
         pairs: 2,
         write_pct: 40,
         reader_span: 2,
+        writer_span: 1,
+        writer_scan: 0,
         workload: Workload::Mirror,
         lincheck: true,
         churn: false,

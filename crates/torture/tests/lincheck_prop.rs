@@ -35,6 +35,8 @@ fn det_spec(schedule_seed: u64, workload: Workload) -> TortureSpec {
         pairs: 3,
         write_pct: 50,
         reader_span: 2,
+        writer_span: 1,
+        writer_scan: 0,
         workload,
         lincheck: true,
         churn: false,

@@ -1,0 +1,92 @@
+//! Non-vacuousness guards for the capacity-stretching det cases. Bit-
+//! exact replay of `det-capacity-{rot,split}` is already enforced by the
+//! matrix sweep in `determinism.rs`; an empty property would replay
+//! bit-exactly too. These tests pin what the cases exist to exercise:
+//! the ROT rung actually commits rollback-only transactions, and the
+//! split rung actually chunks the section under the fallback ticket —
+//! with the mirror oracle and lincheck verdict green throughout.
+
+use sprwl_locks::{CommitMode, Role};
+use sprwl_torture::{det_matrix, run_case_artifacts, TortureSpec, DEFAULT_SEED};
+use sprwl_trace::EventKind;
+
+fn matrix_case(name: &str) -> TortureSpec {
+    det_matrix(3, 40)
+        .into_iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("det matrix lost its {name} case"))
+}
+
+#[test]
+fn det_capacity_rot_lands_every_writer_on_the_rot_rung() {
+    // writer_scan=4 puts ten padded read lines against TINY's four-line
+    // HTM read budget: the direct rung can never commit a writer, and
+    // the 2-line write set fits the ROT budget, so the stretching ladder
+    // must stop at rung one. If this case ever drifts back to plain HTM
+    // commits (or all the way to the fallback), the ROT coverage the
+    // case exists for is gone — fail loudly rather than test nothing.
+    let spec = matrix_case("det-capacity-rot");
+    assert_eq!(spec.writer_scan, 4, "the scan knob is the case's point");
+    let art = run_case_artifacts(&spec, DEFAULT_SEED);
+    let summary = art.outcome.as_ref().expect("oracle must pass");
+    assert_eq!(summary.lincheck.label(), "ok");
+
+    let by = |mode| {
+        art.stats
+            .iter()
+            .map(|s| s.commits_by(Role::Writer, mode))
+            .sum::<u64>()
+    };
+    assert_eq!(
+        by(CommitMode::Htm),
+        0,
+        "a ten-line read set cannot fit TINY's direct rung"
+    );
+    assert!(
+        by(CommitMode::Rot) > 0,
+        "the ROT rung never committed — the case is vacuous"
+    );
+    let rot_events = art
+        .traces
+        .iter()
+        .flat_map(|t| t.events.iter())
+        .filter(|e| matches!(e.kind, EventKind::StretchRot { .. }))
+        .count();
+    assert!(rot_events > 0, "no stretch-rot events in the trace");
+}
+
+#[test]
+fn det_capacity_split_chunks_writers_under_the_fallback_ticket() {
+    // writer_span=3 makes the write set six padded lines — over the ROT
+    // budget too — so every writer must be split into ordered
+    // sub-transactions under the fallback ticket (Gl commits, one
+    // stretch-chunk event per flush, a closing stretch-split).
+    let spec = matrix_case("det-capacity-split");
+    let art = run_case_artifacts(&spec, DEFAULT_SEED);
+    let summary = art.outcome.as_ref().expect("oracle must pass");
+    assert_eq!(summary.lincheck.label(), "ok");
+
+    let gl_writers: u64 = art
+        .stats
+        .iter()
+        .map(|s| s.commits_by(Role::Writer, CommitMode::Gl))
+        .sum();
+    assert!(
+        gl_writers > 0,
+        "split sections must commit under the ticket"
+    );
+
+    let (mut splits, mut chunks) = (0usize, 0usize);
+    for e in art.traces.iter().flat_map(|t| t.events.iter()) {
+        match e.kind {
+            EventKind::StretchSplit { .. } => splits += 1,
+            EventKind::StretchChunk { .. } => chunks += 1,
+            _ => {}
+        }
+    }
+    assert!(splits > 0, "no stretch-split events in the trace");
+    assert!(
+        chunks >= splits,
+        "every split must have flushed at least one chunk ({chunks} chunks / {splits} splits)"
+    );
+}

@@ -96,6 +96,8 @@ fn oracle_catches_unsynchronized_lock() {
         pairs: 2,
         write_pct: 100,
         reader_span: 2,
+        writer_span: 1,
+        writer_scan: 0,
         workload: Workload::Mirror,
         lincheck: false,
         churn: false,
@@ -130,6 +132,8 @@ fn violations_dump_a_postmortem_event_trace() {
         pairs: 2,
         write_pct: 100,
         reader_span: 2,
+        writer_span: 1,
+        writer_scan: 0,
         workload: Workload::Mirror,
         lincheck: false,
         churn: false,
@@ -178,6 +182,8 @@ fn violation_report_includes_the_lincheck_verdict() {
         pairs: 2,
         write_pct: 100,
         reader_span: 2,
+        writer_span: 1,
+        writer_scan: 0,
         workload: Workload::Mirror,
         lincheck: true,
         churn: false,
@@ -214,6 +220,8 @@ fn violation_report_names_case_and_seed() {
         pairs: 2,
         write_pct: 100,
         reader_span: 2,
+        writer_span: 1,
+        writer_scan: 0,
         workload: Workload::Mirror,
         lincheck: false,
         churn: false,

@@ -142,6 +142,11 @@ pub struct Timeline {
     pub reader_caused_aborts: Vec<u64>,
     /// Data-conflict aborts (`cause` starting with `"conflict"`) per bucket.
     pub conflict_aborts: Vec<u64>,
+    /// Capacity-overflow aborts (`cause` starting with `"capacity"`, both
+    /// plain-HTM and ROT) per bucket. Writer capacity pressure used to be
+    /// invisible here — it fell through to the per-section rollups only —
+    /// which made stretched-writer captures look conflict-free.
+    pub capacity_aborts: Vec<u64>,
 }
 
 /// Per-thread sampling summary lifted from the `trace-meta` lines.
@@ -344,6 +349,7 @@ pub fn analyze_with(text: &str, cfg: &AnalyzeConfig) -> Result<Report, String> {
         writer_begins: vec![0; buckets],
         reader_caused_aborts: vec![0; buckets],
         conflict_aborts: vec![0; buckets],
+        capacity_aborts: vec![0; buckets],
     };
     let bucket_of = |ts: u64| (((ts - min_ts) / bucket_ns) as usize).min(buckets - 1);
 
@@ -393,6 +399,8 @@ pub fn analyze_with(text: &str, cfg: &AnalyzeConfig) -> Result<Report, String> {
                     tl.reader_caused_aborts[bucket_of(*ts)] += w;
                 } else if cause.starts_with("conflict") {
                     tl.conflict_aborts[bucket_of(*ts)] += w;
+                } else if cause.starts_with("capacity") {
+                    tl.capacity_aborts[bucket_of(*ts)] += w;
                 }
                 let victim = open.get(tid).map(|&(sec, _)| sec);
                 if let Some(vsec) = victim {
@@ -585,6 +593,8 @@ impl Report {
         push_u64_array(&mut s, &self.timeline.reader_caused_aborts);
         s.push_str(",\"conflict_aborts\":");
         push_u64_array(&mut s, &self.timeline.conflict_aborts);
+        s.push_str(",\"capacity_aborts\":");
+        push_u64_array(&mut s, &self.timeline.capacity_aborts);
         s.push_str("},\n");
         s.push_str("  \"tune_decisions\": [\n");
         for (i, (ts, tid, knob, sec, value)) in self.tune_decisions.iter().enumerate() {

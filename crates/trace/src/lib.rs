@@ -199,6 +199,26 @@ pub enum EventKind {
     /// post-revocation cooldown, restoring the single-store reader fast
     /// path.
     BiasRearm,
+    /// A capacity-stretched writer escalated to a POWER8-style
+    /// rollback-only transaction (reads untracked, writes buffered), with
+    /// the commit-time reader check run from suspended state.
+    StretchRot {
+        /// 1-based ROT attempt number within this section execution.
+        attempt: u32,
+    },
+    /// A writer that overflowed even the rollback-only budget split its
+    /// section into ordered sub-transactions under the fallback ticket.
+    StretchSplit {
+        /// Number of sub-transactions the buffered write-set was split into.
+        chunks: u32,
+    },
+    /// One sub-transaction of a split writer flushed its write chunk.
+    StretchChunk {
+        /// 0-based chunk index within the split.
+        index: u32,
+        /// Distinct cache lines the chunk wrote.
+        lines: u32,
+    },
     /// A thread context was claimed from the dynamic slot registry.
     SlotAcquire {
         /// The hardware-thread slot claimed.
@@ -242,6 +262,9 @@ impl EventKind {
             EventKind::TuneDecision { .. } => "tune-decision",
             EventKind::BiasRevoke { .. } => "bias-revoke",
             EventKind::BiasRearm => "bias-rearm",
+            EventKind::StretchRot { .. } => "stretch-rot",
+            EventKind::StretchSplit { .. } => "stretch-split",
+            EventKind::StretchChunk { .. } => "stretch-chunk",
             EventKind::SlotAcquire { .. } => "slot-acquire",
             EventKind::SlotRelease { .. } => "slot-release",
             EventKind::Mark { label, .. } => label,

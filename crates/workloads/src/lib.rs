@@ -34,4 +34,4 @@ pub mod tpcc;
 pub use hashmap::SimHashMap;
 pub use redis::{RedisGen, RedisOp, RedisSpec};
 pub use sortedlist::SortedList;
-pub use spec::{HashmapSpec, Mix, SweepWorkload};
+pub use spec::{HashmapSpec, Mix, RangeScanSpec, SweepWorkload};

@@ -168,6 +168,41 @@ impl SortedList {
         Ok((count, sum))
     }
 
+    /// Range update: adds `delta` to the value of every key in `[lo, hi]`,
+    /// returning the number of nodes updated. This is the big-footprint
+    /// *writer* of the paper's motivation mirrored onto the write path: the
+    /// traversal's read-set grows with `hi` (overflowing plain HTM read
+    /// budgets) while the write-set is bounded by the window — exactly the
+    /// shape a rollback-only stretched transaction absorbs (reads
+    /// untracked, writes within the ROT budget).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn range_update(
+        &self,
+        a: &mut dyn MemAccess,
+        lo: u64,
+        hi: u64,
+        delta: u64,
+    ) -> TxResult<u64> {
+        let mut cur = NodeRef::decode(a.read(self.head.cell(0))?);
+        let mut updated = 0;
+        while let Some(node) = cur {
+            let k = a.read(self.slab.cell(node, F_KEY))?;
+            if k > hi {
+                break;
+            }
+            if k >= lo {
+                let v = a.read(self.slab.cell(node, F_VALUE))?;
+                a.write(self.slab.cell(node, F_VALUE), v.wrapping_add(delta))?;
+                updated += 1;
+            }
+            cur = NodeRef::decode(a.read(self.slab.cell(node, F_NEXT))?);
+        }
+        Ok(updated)
+    }
+
     /// Full-list checksum: `(length, Σ keys)`. Keys must come out in
     /// strictly ascending order or the structure is corrupt.
     ///
@@ -278,6 +313,24 @@ mod tests {
         assert_eq!(list.range_sum(&mut d, 0, 9).unwrap(), (10, 10));
         assert_eq!(list.range_sum(&mut d, 20, 30).unwrap(), (0, 0));
         assert_eq!(list.range_sum(&mut d, 6, 3).unwrap(), (0, 0));
+    }
+
+    #[test]
+    fn range_update_adds_delta_within_bounds() {
+        let (htm, list) = setup(32);
+        let mut d = htm.direct(0);
+        for k in 0..10u64 {
+            list.insert(&mut d, 0, k, 100).unwrap();
+        }
+        assert_eq!(list.range_update(&mut d, 3, 6, 5).unwrap(), 4);
+        assert_eq!(list.get(&mut d, 2).unwrap(), Some(100));
+        assert_eq!(list.get(&mut d, 3).unwrap(), Some(105));
+        assert_eq!(list.get(&mut d, 6).unwrap(), Some(105));
+        assert_eq!(list.get(&mut d, 7).unwrap(), Some(100));
+        assert_eq!(list.range_update(&mut d, 20, 30, 1).unwrap(), 0);
+        // Keys are untouched; only values move.
+        let (len, sum) = list.checksum(&mut d).unwrap();
+        assert_eq!((len, sum), (10, 45));
     }
 
     #[test]

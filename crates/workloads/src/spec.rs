@@ -4,6 +4,7 @@
 use htm_sim::{CapacityProfile, MemAccess, TxResult};
 
 use crate::hashmap::SimHashMap;
+use crate::sortedlist::SortedList;
 
 /// Shape of the hashmap micro-benchmark.
 ///
@@ -253,6 +254,84 @@ fn hot_or_uniform<R: rand::Rng>(rng: &mut R, key_space: u64) -> u64 {
     }
 }
 
+/// Shape of the range-scan workload over a [`SortedList`]: long range
+/// readers (the paper's motivating traversal) mixed with *big-footprint
+/// range writers* — each write critical section traverses the list and
+/// bumps every value in a key window, so its read-set grows with the
+/// window position while its write-set stays bounded by the window size.
+/// This is the capacity-stretching shape: on POWER8-like profiles the
+/// traversal overflows the plain HTM read budget but the write-set fits a
+/// rollback-only transaction; on TINY nothing fits and the writer must
+/// split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RangeScanSpec {
+    /// Slab capacity (nodes).
+    pub capacity: u32,
+    /// Initial population: even keys `0, 2, …, 2·(population−1)`.
+    pub population: u64,
+    /// Keys a read critical section's range query spans.
+    pub scan_keys: u64,
+    /// Keys a write critical section's range update spans.
+    pub update_keys: u64,
+    /// Percentage of write critical sections.
+    pub update_pct: u32,
+}
+
+impl RangeScanSpec {
+    /// The capacity-sweep configuration: 1024 nodes (≈ 384 cache lines of
+    /// traversal, past the POWER8 128-line read budget by construction),
+    /// 32-key update windows anchored in the back half of the list so
+    /// every writer's traversal overflows plain HTM while its write-set
+    /// fits the POWER8 ROT budget.
+    pub fn capacity_sweep() -> Self {
+        Self {
+            capacity: 1536,
+            population: 1024,
+            scan_keys: 256,
+            update_keys: 32,
+            update_pct: 20,
+        }
+    }
+
+    /// Largest valid key (population is `0, 2, …`).
+    pub fn max_key(&self) -> u64 {
+        (self.population - 1) * 2
+    }
+
+    /// Simulated-memory cells this workload needs (plus harness slack).
+    pub fn cells_needed(&self, n_threads: usize) -> usize {
+        SortedList::cells_needed(self.capacity, n_threads) + 4096
+    }
+
+    /// Builds and populates the list (call before spawning threads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulated memory is exhausted.
+    pub fn build(&self, mem: &htm_sim::SimMemory, n_threads: usize) -> SortedList {
+        let list = SortedList::new(mem, self.capacity, n_threads);
+        let mut setup = InitAccess { mem };
+        list.populate(&mut setup, self.population)
+            .expect("untracked population cannot abort");
+        list
+    }
+
+    /// Draws a write window `[lo, hi]` anchored in the back half of the
+    /// key space, so the traversal to reach it reads at least half the
+    /// list — the big-footprint writer shape.
+    pub fn write_window<R: rand::Rng>(&self, rng: &mut R) -> (u64, u64) {
+        let half = self.max_key() / 2;
+        let lo = half + rng.gen_range(0..half.max(1));
+        (lo, lo + self.update_keys * 2)
+    }
+
+    /// Draws a read window `[lo, hi]` uniformly over the key space.
+    pub fn read_window<R: rand::Rng>(&self, rng: &mut R) -> (u64, u64) {
+        let lo = rng.gen_range(0..self.max_key().max(1));
+        (lo, lo + self.scan_keys * 2)
+    }
+}
+
 /// The TPC-C transaction mix the paper uses (percent).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Mix {
@@ -277,6 +356,19 @@ impl Mix {
         order_status: 4,
         payment: 43,
         new_order: 18,
+    };
+
+    /// The delivery-pressure mix of the capacity sweep: New-Order dominates
+    /// so every district keeps a backlog of undelivered orders, and each
+    /// (rarer) Delivery then walks *all* districts doing full work — the
+    /// biggest write footprint TPC-C can produce, overflowing the POWER8
+    /// budgets once the sweep's scale raises the district count.
+    pub const DELIVERY_SWEEP: Mix = Mix {
+        stock_level: 4,
+        delivery: 3,
+        order_status: 2,
+        payment: 15,
+        new_order: 76,
     };
 
     /// Sum of the shares (must be 100).
@@ -338,6 +430,53 @@ mod tests {
     #[test]
     fn paper_mix_sums_to_100() {
         assert_eq!(Mix::PAPER.total(), 100);
+    }
+
+    #[test]
+    fn delivery_sweep_mix_sums_to_100_and_feeds_delivery() {
+        let m = Mix::DELIVERY_SWEEP;
+        assert_eq!(m.total(), 100);
+        // New-Order must outpace Delivery by a wide margin so districts
+        // keep a backlog and every delivery does full-footprint work.
+        assert!(m.new_order >= 10 * m.delivery / 2);
+        assert!(m.delivery > 0);
+    }
+
+    #[test]
+    fn range_scan_spec_builds_and_windows_stay_in_range() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let spec = RangeScanSpec {
+            capacity: 64,
+            population: 32,
+            scan_keys: 8,
+            update_keys: 4,
+            update_pct: 20,
+        };
+        let htm = htm_sim::Htm::new(htm_sim::HtmConfig::default(), spec.cells_needed(4));
+        let list = spec.build(htm.memory(), 4);
+        let mut d = htm.direct(0);
+        let (len, _) = list.checksum(&mut d).unwrap();
+        assert_eq!(len, 32);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let (lo, hi) = spec.write_window(&mut rng);
+            assert!(lo >= spec.max_key() / 2, "writer anchored in back half");
+            assert!(hi > lo);
+            let (rlo, rhi) = spec.read_window(&mut rng);
+            assert!(rlo <= spec.max_key() && rhi > rlo);
+        }
+    }
+
+    #[test]
+    fn capacity_sweep_spec_overflows_power8_reads_but_fits_rot_writes() {
+        let spec = RangeScanSpec::capacity_sweep();
+        // ~3 cells per node → traversing half the list touches well past
+        // the 128-line POWER8 read budget…
+        let half_traversal_lines = (spec.population / 2) * 3 / 8;
+        assert!(half_traversal_lines > 128, "{half_traversal_lines}");
+        // …while the update window's write-set fits the ROT budget.
+        assert!(spec.update_keys < 128);
     }
 
     #[test]

@@ -198,6 +198,61 @@ bench_compare "$SERVER_BASELINE" "$SERVER_CURRENT" \
     --throughput-drop-pct 40 --abort-rise-pp 25 --p99-rise-pct 400
 python3 scripts/summarize_bench.py "$SERVER_CURRENT" > /dev/null
 
+echo "==> capacity baseline gate (big-footprint writers: the stretching ladder must keep winning)"
+# Regenerate the committed capacity document (deterministic: byte-identical
+# for identical flags) and gate the stretching claim three ways.
+CAP_BASELINE=$(ls results/BENCH_capacity_*.json | head -n 1)
+bench_sweep --capacity --threads 2 --ops 240 --schedule-seed 7 --seed 42 \
+    --out "$BENCH_SMOKE_DIR/capacity-current" > /dev/null
+CAP_CURRENT=$(ls "$BENCH_SMOKE_DIR"/capacity-current/BENCH_capacity_*.json)
+# 1. Drift against the committed baseline (loose: catches collapses).
+bench_compare "$CAP_BASELINE" "$CAP_CURRENT" \
+    --throughput-drop-pct 40 --abort-rise-pp 25 --p99-rise-pct 400
+# 2. Stretching-on vs stretching-off through bench-compare: relabel the
+#    off arm's points so they pair with the stretch arm's, then require
+#    the ladder not to cost throughput at loose thresholds. The abort
+#    threshold stays loose on purpose — ROT retries trade cheap
+#    speculative aborts for lock-serialized fallbacks, so total abort%
+#    may rise while capacity aborts and throughput both improve.
+python3 - "$CAP_CURRENT" "$BENCH_SMOKE_DIR/capacity-off-as-stretch.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+doc["points"] = [p for p in doc["points"] if p["lock"] == "SpRWL"]
+for p in doc["points"]:
+    p["lock"] = "SpRWL+stretch"
+json.dump(doc, open(sys.argv[2], "w"))
+EOF
+bench_compare "$BENCH_SMOKE_DIR/capacity-off-as-stretch.json" "$CAP_CURRENT" \
+    --throughput-drop-pct 20 --abort-rise-pp 30 --p99-rise-pct 400
+# 3. The strict claim the document is committed for: on every
+#    (workload, profile) pair the stretch arm's writer capacity aborts
+#    (plain + ROT) are strictly lower, and on the POWER8 points — the
+#    profile whose ROT/suspend machinery the ladder targets — throughput
+#    is no worse.
+python3 - "$CAP_CURRENT" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+pts = {(p["workload"], p["lock"]): p for p in doc["points"]}
+caps = lambda p: p["aborts"]["capacity"] + p["aborts"]["capacity-rot"]
+bad = []
+for (wl, lock), off in sorted(pts.items()):
+    if lock != "SpRWL":
+        continue
+    on = pts.get((wl, "SpRWL+stretch"))
+    if on is None:
+        bad.append(f"{wl}: stretch arm missing")
+    elif caps(on) >= caps(off):
+        bad.append(f"{wl}: capacity aborts {caps(on)} !< {caps(off)}")
+    elif "power8" in wl and on["throughput"] < off["throughput"]:
+        bad.append(
+            f"{wl}: stretch throughput {on['throughput']:.0f} < {off['throughput']:.0f}"
+        )
+if bad:
+    sys.exit("capacity gate: " + "; ".join(bad))
+print("capacity gate: stretching strictly cuts capacity aborts on every point")
+EOF
+python3 scripts/summarize_bench.py "$CAP_CURRENT" > /dev/null
+
 echo "==> perf baseline gate (regenerate the committed grid, compare with loose thresholds)"
 # The committed baseline is deterministic (virtual clock, fixed work), so
 # point-for-point drift here is caused by code changes, not host speed.
